@@ -1,0 +1,89 @@
+"""Extension — defense ablation matrix (paper §VI discussion).
+
+Runs the full attack against each single-knob hardening and the fully
+hardened kernel, recording which step each defense kills.  The
+qualitative expectations:
+
+- the vulnerable default leaks model + image;
+- sanitization (sync or drained pool) defeats the analysis step;
+- pagemap lockdown defeats address harvesting;
+- STRICT_DEVMEM defeats extraction;
+- either ASLR alone does NOT stop the pagemap-assisted paper attack.
+"""
+
+from pathlib import Path
+
+from conftest import INPUT_HW, OUT_DIR
+
+from repro.evaluation.scenarios import attack_under_config
+from repro.petalinux.aslr import LayoutRandomization
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.sanitizer import SanitizePolicy
+from repro.petalinux.xen import two_guest_deployment
+
+CONFIGS = [
+    ("vulnerable-default", KernelConfig(), True),
+    (
+        "zero-on-free",
+        KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+        False,
+    ),
+    (
+        "pagemap-lockdown",
+        KernelConfig(pagemap_world_readable=False),
+        False,
+    ),
+    (
+        "procfs-lockdown",
+        KernelConfig(procfs_world_readable=False),
+        False,
+    ),
+    (
+        "strict-devmem",
+        KernelConfig(devmem_unrestricted=False),
+        False,
+    ),
+    (
+        "physical-aslr-only",
+        KernelConfig(randomization=LayoutRandomization(physical=True, seed=3)),
+        True,
+    ),
+    (
+        "virtual-aslr-only",
+        KernelConfig(randomization=LayoutRandomization(virtual=True, seed=3)),
+        True,
+    ),
+    (
+        "xen-passthrough",
+        KernelConfig(xen=two_guest_deployment(dev_mem_passthrough=True)),
+        True,
+    ),
+    (
+        "xen-confined",
+        KernelConfig(xen=two_guest_deployment(dev_mem_passthrough=False)),
+        False,
+    ),
+    ("fully-hardened", KernelConfig().hardened(), False),
+]
+
+
+def _run_matrix():
+    return [
+        (label, attack_under_config(config, label, input_hw=INPUT_HW), expected)
+        for label, config, expected in CONFIGS
+    ]
+
+
+def test_defense_matrix(benchmark):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    lines = [f"{'config':<22} {'steps':<6} {'failed at':<26} leak"]
+    for label, outcome, expected in results:
+        lines.append(
+            f"{label:<22} {outcome.steps_completed:<6} "
+            f"{outcome.failed_step or '-':<26} "
+            f"{'YES' if outcome.attack_succeeded else 'no'}"
+        )
+        assert outcome.attack_succeeded == expected, (label, outcome.detail)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_defenses.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,36 @@
+"""Extension — multi-tenant scrubbing hazard (paper §I-B motivation).
+
+The paper argues RowClone/RowReset-style *contiguous* initialization is
+unsafe on multi-tenant boards with interleaved allocations: clearing a
+dead tenant's physical range also wipes the live co-tenant's pages.
+This bench demonstrates the hazard and that per-page (non-contiguous)
+scrubbing avoids it.
+"""
+
+from conftest import INPUT_HW, OUT_DIR
+
+from repro.evaluation.scenarios import multi_tenant_scrub_experiment
+
+
+def test_multitenant_scrub_strategies(benchmark):
+    outcomes = benchmark.pedantic(
+        multi_tenant_scrub_experiment, args=(INPUT_HW,), rounds=1, iterations=1
+    )
+
+    by_strategy = {outcome.strategy: outcome for outcome in outcomes}
+    lines = [f"{'strategy':<20} {'victim cleared':<16} co-tenant intact"]
+    for strategy, outcome in by_strategy.items():
+        lines.append(
+            f"{strategy:<20} "
+            f"{'yes' if outcome.victim_residue_cleared else 'NO':<16} "
+            f"{'yes' if outcome.cotenant_data_intact else 'NO'}"
+        )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_multitenant.txt").write_text("\n".join(lines) + "\n")
+
+    # Both strategies clear the residue...
+    assert by_strategy["contiguous_range"].victim_residue_cleared
+    assert by_strategy["per_page"].victim_residue_cleared
+    # ...but contiguous scrubbing collateral-damages the live tenant.
+    assert not by_strategy["contiguous_range"].cotenant_data_intact
+    assert by_strategy["per_page"].cotenant_data_intact

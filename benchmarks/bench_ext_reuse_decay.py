@@ -1,0 +1,38 @@
+"""Extension — residue decay as freed frames are reallocated.
+
+The paper scrapes immediately after termination; this experiment asks
+how long the window stays open.  With the deterministic LIFO allocator
+the victim's frames are the first to be handed to new workloads, so
+recovery collapses after a couple of filler processes — quantifying
+"scrape fast or lose it".
+"""
+
+from conftest import INPUT_HW, OUT_DIR
+
+from repro.evaluation.scenarios import reuse_decay_experiment
+
+FILLER_COUNTS = [0, 1, 2, 4, 8]
+
+
+def test_reuse_decay_curve(benchmark):
+    points = benchmark.pedantic(
+        reuse_decay_experiment, args=(FILLER_COUNTS,),
+        kwargs={"input_hw": INPUT_HW}, rounds=1, iterations=1,
+    )
+
+    lines = [f"{'fillers':<8} {'frames surviving':<18} image recovery"]
+    for point in points:
+        lines.append(
+            f"{point.filler_processes:<8} "
+            f"{point.frames_surviving_fraction:<18.2f} "
+            f"{point.image_recovery_rate:.3f}"
+        )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_reuse_decay.txt").write_text("\n".join(lines) + "\n")
+
+    # Immediate scrape is perfect; survival decays monotonically.
+    assert points[0].image_recovery_rate == 1.0
+    survival = [point.frames_surviving_fraction for point in points]
+    assert all(a >= b for a, b in zip(survival, survival[1:]))
+    # Enough reuse destroys the image.
+    assert points[-1].image_recovery_rate < 0.1

@@ -1,0 +1,62 @@
+"""Extension — scraping throughput: per-word devmem vs bulk reads.
+
+The paper automates one ``devmem`` invocation per 32-bit word; a
+smarter attacker mmaps /dev/mem and reads pages at once.  Both modes
+produce identical bytes (asserted in the test suite); this bench
+quantifies the speed gap on the same harvested range.
+"""
+
+from conftest import INPUT_HW, OUT_DIR, VICTIM_MODEL
+
+import pytest
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper
+from repro.evaluation.scenarios import BoardSession
+
+
+@pytest.fixture(scope="module")
+def harvested_board():
+    """A terminated victim with translations snapshotted, ready to scrape."""
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    run = session.victim_application().launch(VICTIM_MODEL)
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+    harvested = harvester.harvest(run.pid)
+    run.terminate()
+    return session, harvested
+
+
+def test_scrape_throughput_word_mode(benchmark, harvested_board):
+    session, harvested = harvested_board
+    scraper = MemoryScraper(
+        session.attacker_shell.devmem_tool,
+        session.attacker_shell.user,
+        AttackConfig(bulk_reads=False),
+    )
+
+    dump = benchmark(scraper.scrape, harvested)
+
+    assert dump.nbytes == harvested.length
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_throughput_word.txt").write_text(
+        f"word mode: {dump.devmem_reads} devmem reads for {dump.nbytes} bytes\n"
+    )
+
+
+def test_scrape_throughput_bulk_mode(benchmark, harvested_board):
+    session, harvested = harvested_board
+    scraper = MemoryScraper(
+        session.attacker_shell.devmem_tool,
+        session.attacker_shell.user,
+        AttackConfig(bulk_reads=True),
+    )
+
+    dump = benchmark(scraper.scrape, harvested)
+
+    assert dump.nbytes == harvested.length
+    (OUT_DIR / "ext_throughput_bulk.txt").write_text(
+        f"bulk mode: {dump.devmem_reads} reads for {dump.nbytes} bytes\n"
+    )

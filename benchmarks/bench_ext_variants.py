@@ -1,0 +1,145 @@
+"""Extension — attack-variant x defense cross-product.
+
+Three attacks with decreasing interface requirements:
+
+- **paper** (pagemap-assisted): needs ps + procfs maps/pagemap + devmem
+- **profiled-PA** (no pagemap): needs ps + devmem + a reference board
+- **full-scan** (no procfs): needs devmem only
+
+against four boards: vulnerable, physical-ASLR, pagemap-lockdown,
+zero-on-free.  The matrix shows why the paper's conclusion points at
+sanitization: it is the only single defense that stops all variants.
+"""
+
+from conftest import INPUT_HW, OUT_DIR
+
+from repro.attack.identify import SignatureDatabase
+from repro.attack.pipeline import MemoryScrapingAttack
+from repro.attack.polling import PidPoller
+from repro.attack.variants import (
+    FullScanAttack,
+    ProfiledPhysicalAttack,
+    profile_physical_layout,
+)
+from repro.errors import AttackError, ExtractionError, PermissionDeniedError
+from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.aslr import LayoutRandomization
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.sanitizer import SanitizePolicy
+from repro.vitis.image import Image
+
+BOARDS = [
+    ("vulnerable", KernelConfig()),
+    (
+        "physical-aslr",
+        KernelConfig(randomization=LayoutRandomization(physical=True, seed=9)),
+    ),
+    ("pagemap-lockdown", KernelConfig(pagemap_world_readable=False)),
+    ("zero-on-free", KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE)),
+]
+
+# Which (attack, board) pairs should leak.  Physical ASLR stops only
+# the replayed-PA variant; pagemap lockdown only the paper attack;
+# sanitization stops everything.
+EXPECTED = {
+    ("paper", "vulnerable"): True,
+    ("paper", "physical-aslr"): True,
+    ("paper", "pagemap-lockdown"): False,
+    ("paper", "zero-on-free"): False,
+    ("profiled-pa", "vulnerable"): True,
+    ("profiled-pa", "physical-aslr"): False,
+    ("profiled-pa", "pagemap-lockdown"): True,
+    ("profiled-pa", "zero-on-free"): False,
+    ("full-scan", "vulnerable"): True,
+    ("full-scan", "physical-aslr"): True,
+    ("full-scan", "pagemap-lockdown"): True,
+    ("full-scan", "zero-on-free"): False,
+}
+
+
+def _reference_knowledge():
+    reference = BoardSession.boot(input_hw=INPUT_HW)
+    profiles = reference.profile(["resnet50_pt", "squeezenet_pt"])
+    database = SignatureDatabase.from_profiles(profiles)
+    pristine = BoardSession.boot(input_hw=INPUT_HW)
+    layout = profile_physical_layout(
+        pristine.attacker_shell, "resnet50_pt", input_hw=INPUT_HW
+    )
+    return profiles, database, layout
+
+
+def _run_victim(session):
+    secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13).corrupted(0.2)
+    run = session.victim_application().launch("resnet50_pt", image=secret)
+    return run, secret
+
+
+def _paper_attack(session, profiles, run) -> bool:
+    attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+    try:
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+    except (PermissionDeniedError, ExtractionError, AttackError):
+        if run.alive:
+            run.terminate()
+        return False
+    return report.identification is not None
+
+
+def _profiled_pa_attack(session, database, layout, run) -> bool:
+    run.terminate()
+    PidPoller(session.attacker_shell).wait_for_termination(run.pid)
+    try:
+        outcome = ProfiledPhysicalAttack(
+            session.attacker_shell, layout, database
+        ).run()
+    except ExtractionError:
+        return False
+    return outcome.leaked
+
+
+def _full_scan_attack(session, database, profiles, run) -> bool:
+    run.terminate()
+    PidPoller(session.attacker_shell).wait_for_termination(run.pid)
+    try:
+        outcome = FullScanAttack(
+            session.attacker_shell, database, profiles,
+            scan_length=512 * 1024 * 1024, window=16 * 1024 * 1024,
+        ).run()
+    except ExtractionError:
+        return False
+    return outcome.leaked
+
+
+def _run_matrix():
+    profiles, database, layout = _reference_knowledge()
+    results = {}
+    for board_label, config in BOARDS:
+        for attack_label in ("paper", "profiled-pa", "full-scan"):
+            session = BoardSession.boot(config=config, input_hw=INPUT_HW)
+            run, _ = _run_victim(session)
+            if attack_label == "paper":
+                leaked = _paper_attack(session, profiles, run)
+            elif attack_label == "profiled-pa":
+                leaked = _profiled_pa_attack(session, database, layout, run)
+            else:
+                leaked = _full_scan_attack(session, database, profiles, run)
+            results[(attack_label, board_label)] = leaked
+    return results
+
+
+def test_variant_defense_matrix(benchmark):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    attacks = ("paper", "profiled-pa", "full-scan")
+    lines = [f"{'board':<18}" + "".join(f"{name:>14}" for name in attacks)]
+    for board_label, _ in BOARDS:
+        row = f"{board_label:<18}"
+        for attack_label in attacks:
+            leaked = results[(attack_label, board_label)]
+            row += f"{'LEAK' if leaked else 'safe':>14}"
+        lines.append(row)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_variants.txt").write_text("\n".join(lines) + "\n")
+
+    for key, expected in EXPECTED.items():
+        assert results[key] == expected, key

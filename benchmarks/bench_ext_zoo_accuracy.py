@@ -1,0 +1,44 @@
+"""Extension — model identification accuracy across the whole zoo.
+
+The paper identifies one model by grepping for its name; this
+experiment profiles all eight library models and attacks each one,
+measuring attribution accuracy of the signature database.
+"""
+
+from conftest import INPUT_HW, OUT_DIR
+
+from repro.attack.pipeline import MemoryScrapingAttack
+from repro.evaluation.metrics import identification_accuracy
+from repro.evaluation.scenarios import BoardSession
+from repro.vitis.zoo import MODEL_NAMES
+
+
+def _attack_every_model():
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    profiles = session.profile(list(MODEL_NAMES))
+    predictions = []
+    recovered = []
+    for name in MODEL_NAMES:
+        victim = session.victim_application().launch(name)
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        report = attack.execute(name, terminate_victim=victim.terminate)
+        predictions.append(report.identification.best_model)
+        recovered.append(report.reconstruction is not None)
+    return predictions, recovered
+
+
+def test_zoo_identification_accuracy(benchmark):
+    predictions, recovered = benchmark.pedantic(
+        _attack_every_model, rounds=1, iterations=1
+    )
+
+    accuracy = identification_accuracy(predictions, list(MODEL_NAMES))
+    lines = [f"{'victim model':<18} {'attributed as':<18} reconstructed"]
+    for name, predicted, ok in zip(MODEL_NAMES, predictions, recovered):
+        lines.append(f"{name:<18} {predicted:<18} {'yes' if ok else 'no'}")
+    lines.append(f"accuracy: {accuracy:.3f} over {len(MODEL_NAMES)} models")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_zoo_accuracy.txt").write_text("\n".join(lines) + "\n")
+
+    assert accuracy == 1.0
+    assert all(recovered)

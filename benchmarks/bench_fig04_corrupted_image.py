@@ -1,0 +1,20 @@
+"""Fig. 4 — original vs corrupted input image (0xFFFFFF marker).
+
+Regenerates the corrupted-image artifact and times the corruption
+operation the victim-side preparation performs.
+"""
+
+from conftest import INPUT_HW, assert_figure_claims
+
+from repro.vitis.image import WHITE_MARKER, Image
+
+
+def test_fig04_corrupted_image(benchmark, scenario):
+    original = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7)
+
+    corrupted = benchmark(original.corrupted, 0.2)
+
+    # Row quantization: 0.2 of the height, rounded to whole rows.
+    expected = round(INPUT_HW * 0.2) / INPUT_HW
+    assert corrupted.marker_fraction(WHITE_MARKER) == expected
+    assert_figure_claims(scenario, "fig04")

@@ -1,0 +1,18 @@
+"""Fig. 5 — ``ps -ef`` before the victim runs (attacker's baseline).
+
+Times one process-list snapshot from the attacker terminal.
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+
+def test_fig05_ps_before(benchmark, scenario):
+    attacker_shell = scenario.session.attacker_shell
+
+    listing = benchmark(attacker_shell.ps_ef)
+
+    assert "kworker" in listing
+    # The victim has terminated by now, so the live list is victim-free
+    # just like the pre-launch baseline.
+    assert VICTIM_MODEL not in listing
+    assert_figure_claims(scenario, "fig05")

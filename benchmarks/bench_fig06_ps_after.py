@@ -1,0 +1,22 @@
+"""Fig. 6 — ``ps -ef`` with the victim running; pid observed cross-user.
+
+Times step 1's find-victim poll against a board with a live victim.
+"""
+
+from conftest import INPUT_HW, VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.polling import PidPoller
+
+
+def test_fig06_pid_observed(benchmark, scenario):
+    session = scenario.session
+    run = session.victim_application().launch(VICTIM_MODEL, infer=False)
+    poller = PidPoller(session.attacker_shell)
+
+    sighting = benchmark(poller.find_victim, VICTIM_MODEL)
+
+    assert sighting is not None
+    assert sighting.pid == run.pid
+    assert "resnet50_pt.xmodel" in sighting.cmdline
+    run.terminate()
+    assert_figure_claims(scenario, "fig06")

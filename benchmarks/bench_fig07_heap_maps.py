@@ -1,0 +1,24 @@
+"""Fig. 7 — the heap VA range from ``/proc/<pid>/maps``.
+
+Times the cross-user maps read plus heap-line parse of step 2.
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.addressing import AddressHarvester
+from repro.petalinux.process import DEFAULT_HEAP_BASE
+
+
+def test_fig07_heap_range(benchmark, scenario):
+    session = scenario.session
+    run = session.victim_application().launch(VICTIM_MODEL, infer=False)
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+
+    start, end = benchmark(harvester.read_heap_range, run.pid)
+
+    assert start == DEFAULT_HEAP_BASE == 0xAAAA_EE77_5000
+    assert end > start
+    run.terminate()
+    assert_figure_claims(scenario, "fig07")

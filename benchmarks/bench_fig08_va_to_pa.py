@@ -1,0 +1,25 @@
+"""Fig. 8 — virtual_to_physical conversion through the pagemap.
+
+Times the full heap translation harvest (the batched equivalent of
+looping the paper's C tool over every heap page).
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.addressing import AddressHarvester
+
+
+def test_fig08_va_to_pa(benchmark, scenario):
+    session = scenario.session
+    run = session.victim_application().launch(VICTIM_MODEL, infer=False)
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+
+    harvested = benchmark(harvester.harvest, run.pid)
+
+    assert harvested.present_pages()
+    for entry in harvested.present_pages():
+        assert entry.physical_page_address >= 0x6000_0000
+    run.terminate()
+    assert_figure_claims(scenario, "fig08")

@@ -1,0 +1,23 @@
+"""Fig. 9 — the victim pid vanishes from ``ps`` after termination.
+
+Times the aliveness poll the attacker spins on while waiting for the
+victim to exit.
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.polling import PidPoller
+
+
+def test_fig09_pid_gone(benchmark, scenario):
+    session = scenario.session
+    run = session.victim_application().launch(VICTIM_MODEL, infer=False)
+    victim_pid = run.pid
+    run.terminate()
+    poller = PidPoller(session.attacker_shell)
+
+    alive = benchmark(poller.is_alive, victim_pid)
+
+    assert not alive
+    assert str(victim_pid) not in session.attacker_shell.ps_ef()
+    assert_figure_claims(scenario, "fig09")

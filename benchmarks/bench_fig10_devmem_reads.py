@@ -1,0 +1,47 @@
+"""Fig. 10 — ``devmem`` reads of the terminated process's residue.
+
+Times one page of word-granular devmem reads (1024 invocations), the
+unit of work step 3 repeats over every harvested heap page.  The bench
+plays out its own victim so the residue it reads is not perturbed by
+the other benchmarks sharing the session board.
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+import pytest
+
+from repro.attack.addressing import AddressHarvester
+from repro.mmu.paging import PAGE_SIZE
+
+
+@pytest.fixture()
+def fresh_residue(scenario):
+    """A just-terminated victim: (first heap page PA, its true bytes)."""
+    session = scenario.session
+    run = session.victim_application().launch(VICTIM_MODEL)
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+    harvested = harvester.harvest(run.pid)
+    ground_truth = run.process.address_space.read_virtual(
+        harvested.heap_start, PAGE_SIZE
+    )
+    run.terminate()
+    first_page = harvested.present_pages()[0]
+    return first_page.physical_page_address, ground_truth
+
+
+def test_fig10_devmem_page_read(benchmark, scenario, fresh_residue):
+    physical_address, ground_truth = fresh_residue
+    attacker_shell = scenario.session.attacker_shell
+
+    words = benchmark(
+        attacker_shell.devmem_tool.read_range,
+        physical_address,
+        PAGE_SIZE,
+        attacker_shell.user,
+    )
+
+    assert len(words) == PAGE_SIZE // 4
+    assert words[0] == int.from_bytes(ground_truth[:4], "little")
+    assert_figure_claims(scenario, "fig10")

@@ -1,0 +1,27 @@
+"""Fig. 11 — the model name surfaces in the scraped hexdump.
+
+Times step 4a: signature-database identification over the full dump
+(the generalization of the paper's single ``grep "resnet50"``).
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.identify import ModelIdentifier, SignatureDatabase
+
+
+def test_fig11_model_identification(benchmark, scenario):
+    database = SignatureDatabase.from_profiles(scenario.profiles)
+    identifier = ModelIdentifier(database)
+
+    result = benchmark(identifier.identify, scenario.report.dump)
+
+    assert result.best_model == VICTIM_MODEL
+    assert result.confident
+    assert any("resnet50" in hit.row_text for hit in result.grep_hits)
+    assert_figure_claims(scenario, "fig11")
+
+
+def test_fig11_raw_grep(benchmark, scenario):
+    """The literal paper operation: grep the hexdump for 'resnet50'."""
+    hits = benchmark(scenario.report.dump.hexdump.grep, "resnet50")
+    assert hits

@@ -1,0 +1,27 @@
+"""Fig. 12 — marker rows in the dump and input-image reconstruction.
+
+Times step 4b: locating the corrupted-image identifier and slicing the
+image out of the dump at the profiled offset.
+"""
+
+from conftest import VICTIM_MODEL, assert_figure_claims
+
+from repro.attack.reconstruct import ImageReconstructor
+
+
+def test_fig12_image_reconstruction(benchmark, scenario):
+    reconstructor = ImageReconstructor()
+    profile = scenario.profiles.get(VICTIM_MODEL)
+
+    result = benchmark(reconstructor.reconstruct, scenario.report.dump, profile)
+
+    assert result.corruption_marker_seen
+    assert result.image.pixel_match_rate(scenario.secret) == 1.0
+    assert_figure_claims(scenario, "fig12")
+
+
+def test_fig12_marker_scan(benchmark, scenario):
+    """Just the solid-FFFF-row scan over the whole dump."""
+    reconstructor = ImageReconstructor()
+    rows = benchmark(reconstructor.find_marker_rows, scenario.report.dump)
+    assert rows

@@ -1,0 +1,69 @@
+"""Shared state for the benchmark suite.
+
+One standard scenario (board boot → profiling → victim → attack) is
+prepared once per benchmark session; the per-figure benchmarks time
+their step's characteristic operation against it and assert the
+figure's claims.  Regenerated artifacts are written to
+``benchmarks/out/`` for inspection and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.attack.pipeline import AttackReport, MemoryScrapingAttack
+from repro.attack.profiling import ProfileStore
+from repro.evaluation.figures import FigureArtifact, generate_all_figures
+from repro.evaluation.scenarios import BoardSession
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+VICTIM_MODEL = "resnet50_pt"
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@dataclass
+class PreparedScenario:
+    """A fully played-out paper scenario plus its leftovers."""
+
+    session: BoardSession
+    profiles: ProfileStore
+    report: AttackReport
+    secret: Image
+    figures: dict[str, FigureArtifact]
+
+
+@pytest.fixture(scope="session")
+def scenario() -> PreparedScenario:
+    """Run the standard attack once and keep every intermediate."""
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    profiles = session.profile(
+        [VICTIM_MODEL, "squeezenet_pt", "inception_v1_tf"]
+    )
+    secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7).corrupted(0.2)
+    attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+    run = session.victim_application().launch(VICTIM_MODEL, image=secret)
+    report = attack.execute(VICTIM_MODEL, terminate_victim=run.terminate)
+    figures = generate_all_figures(input_hw=INPUT_HW, victim_model=VICTIM_MODEL)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    for figure_id, artifact in sorted(figures.items()):
+        (OUT_DIR / f"{figure_id}.txt").write_text(artifact.render() + "\n")
+    (OUT_DIR / "attack_report.txt").write_text(report.render() + "\n")
+    return PreparedScenario(
+        session=session,
+        profiles=profiles,
+        report=report,
+        secret=secret,
+        figures=figures,
+    )
+
+
+def assert_figure_claims(scenario: PreparedScenario, figure_id: str) -> None:
+    """Fail loudly if any claim of the regenerated figure is violated."""
+    artifact = scenario.figures[figure_id]
+    failing = [claim for claim, held in artifact.claims.items() if not held]
+    assert not failing, f"{figure_id} failing claims: {failing}"

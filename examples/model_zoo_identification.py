@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Model identification across the whole Vitis AI library.
+
+The paper identifies one victim model by grepping for its name; this
+example profiles all eight zoo models, attacks a victim running each
+one, and reports attribution accuracy plus the distinctive signature
+tokens the offline profiling mined.
+
+Run:  python examples/model_zoo_identification.py
+"""
+
+from repro.attack import MemoryScrapingAttack, SignatureDatabase
+from repro.evaluation.scenarios import BoardSession
+from repro.vitis.zoo import MODEL_NAMES
+
+INPUT_HW = 32
+
+
+def main() -> None:
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    print(f"profiling {len(MODEL_NAMES)} models offline...")
+    profiles = session.profile(list(MODEL_NAMES))
+
+    database = SignatureDatabase.from_profiles(profiles)
+    print()
+    print("distinctive signature tokens per model (sample):")
+    for name in MODEL_NAMES:
+        tokens = sorted(database.signature(name).tokens)
+        sample = ", ".join(tokens[:3])
+        print(f"  {name:<18} {len(tokens):>3} tokens  e.g. {sample}")
+
+    print()
+    print(f"{'victim':<18} {'attributed as':<18} {'score':<7} image recovered")
+    print("-" * 62)
+    correct = 0
+    for name in MODEL_NAMES:
+        victim = session.victim_application().launch(name)
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        report = attack.execute(name, terminate_victim=victim.terminate)
+        identification = report.identification
+        recovered = report.reconstruction is not None
+        if identification.best_model == name:
+            correct += 1
+        print(
+            f"{name:<18} {identification.best_model:<18} "
+            f"{identification.scores[identification.best_model]:<7.2f} "
+            f"{'yes' if recovered else 'no'}"
+        )
+    print("-" * 62)
+    print(f"accuracy: {correct}/{len(MODEL_NAMES)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Multi-tenant FPGA: scraping a co-tenant and the scrubbing dilemma.
+
+Two scenarios on one board:
+
+1. **Cross-tenant scraping** — guest B attacks guest A's terminated
+   inference job, exactly like the single-tenant attack (the paper
+   notes the attack "works on both single-tenant and multi-tenant
+   FPGAs").
+2. **The sanitization dilemma (paper §I-B)** — contiguous-range
+   initialization (RowClone/RowReset style) clears the dead tenant but
+   wipes the live one's interleaved pages; per-page scrubbing is the
+   safe variant.
+
+Run:  python examples/multi_tenant_scraping.py
+"""
+
+from repro.attack import MemoryScrapingAttack, OfflineProfiler
+from repro.evaluation.scenarios import (
+    BoardSession,
+    multi_tenant_scrub_experiment,
+)
+from repro.vitis import Image, VictimApplication
+
+INPUT_HW = 32
+
+
+def cross_tenant_attack() -> None:
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    guest_b = session.add_tenant("guest_b", 1003, "pts/2")
+
+    # Guest B preps offline from its own terminal.
+    profiles = OfflineProfiler(guest_b, input_hw=INPUT_HW).profile_library(
+        ["resnet50_pt", "mobilenet_v2_tf"]
+    )
+
+    # Guest A (the victim tenant) runs its inference job.
+    secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=21)
+    victim = VictimApplication(session.victim_shell, input_hw=INPUT_HW).launch(
+        "mobilenet_v2_tf", image=secret
+    )
+
+    # Guest B mounts the scraping attack on guest A.
+    attack = MemoryScrapingAttack(guest_b, profiles)
+    report = attack.execute("mobilenet_v2_tf", terminate_victim=victim.terminate)
+    recovered = report.reconstruction.image
+    print("cross-tenant attack (guest_b -> guest_a):")
+    print(f"  model attributed: {report.identification.best_model}")
+    print(f"  image fidelity:   {recovered.pixel_match_rate(secret):.1%}")
+
+
+def scrubbing_dilemma() -> None:
+    print()
+    print("sanitization strategies on a multi-tenant board:")
+    print(f"  {'strategy':<20} {'dead tenant cleared':<21} live tenant intact")
+    for outcome in multi_tenant_scrub_experiment(INPUT_HW):
+        print(
+            f"  {outcome.strategy:<20} "
+            f"{'yes' if outcome.victim_residue_cleared else 'NO':<21} "
+            f"{'yes' if outcome.cotenant_data_intact else 'NO  <- collateral damage'}"
+        )
+
+
+def main() -> None:
+    cross_tenant_attack()
+    scrubbing_dilemma()
+
+
+if __name__ == "__main__":
+    main()

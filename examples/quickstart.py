@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the full memory scraping attack in ~40 lines.
+
+Boots a simulated ZCU104 running PetaLinux, profiles the victim model
+offline, launches a victim inference with a secret input image, and
+runs the paper's four attack steps from a second user's terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attack import MemoryScrapingAttack, OfflineProfiler
+from repro.evaluation.scenarios import BoardSession
+from repro.vitis import Image, VictimApplication
+
+INPUT_HW = 32
+
+
+def main() -> None:
+    # A ZCU104 with the paper's two-terminal setup: the attacker on
+    # pts/0, the victim on pts/1 — different non-root users.
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    print(session.soc.board.describe())
+    print()
+
+    # Offline phase: the adversary profiles the Xilinx model library on
+    # hardware they control, learning each model's image offset.
+    profiler = OfflineProfiler(session.attacker_shell, input_hw=INPUT_HW)
+    profiles = profiler.profile_library(
+        ["resnet50_pt", "squeezenet_pt", "inception_v1_tf"]
+    )
+    resnet_profile = profiles.get("resnet50_pt")
+    print(
+        f"profiled resnet50_pt: image at heap offset "
+        f"{resnet_profile.image_offset:#x} (hexdump row "
+        f"{resnet_profile.hexdump_row})"
+    )
+    print()
+
+    # The victim runs resnet50_pt on a private image (partially marked
+    # with 0xFFFFFF, as in the paper's Fig. 4).
+    secret_image = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7).corrupted(0.2)
+    victim = VictimApplication(session.victim_shell, input_hw=INPUT_HW).launch(
+        "resnet50_pt", image=secret_image
+    )
+    print(f"victim running as pid {victim.pid}, top-5: {victim.result.top_k()}")
+    print()
+
+    # The attack: steps 1-2 while the victim lives, step 3 after it
+    # terminates, step 4 on the scraped dump.
+    attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+    report = attack.execute("resnet50_pt", terminate_victim=victim.terminate)
+    print(report.render())
+    print()
+
+    recovered = report.reconstruction.image
+    print(
+        f"recovered image fidelity: "
+        f"{recovered.pixel_match_rate(secret_image):.1%} pixel match"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Memory Scraping Attack on Xilinx FPGAs — reproduction package.
+
+Reproduces Madabhushi, Kundu & Holcomb, "Memory Scraping Attack on
+Xilinx FPGAs: Private Data Extraction from Terminated Processes"
+(DATE 2024) as a software twin of the full board stack:
+
+- :mod:`repro.hw` — ZCU104/ZCU102 hardware (DRAM, address map, DPU),
+- :mod:`repro.mmu` — frames, page tables, Linux pagemap, VMAs,
+- :mod:`repro.petalinux` — the OS twin with the paper's three
+  vulnerability policies, procfs, devmem, XSDB, Xen,
+- :mod:`repro.vitis` — the Vitis-AI-style runtime and model zoo,
+- :mod:`repro.attack` — the four-step memory scraping attack (the
+  paper's contribution) plus profiling, carving, variants, weights,
+- :mod:`repro.evaluation` — metrics, scenarios, figure regeneration.
+
+Quick start::
+
+    from repro.evaluation.scenarios import BoardSession, run_paper_attack
+
+    outcome = run_paper_attack(BoardSession.boot(input_hw=32))
+    assert outcome.image_recovered_exactly
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

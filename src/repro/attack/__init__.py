@@ -1,0 +1,72 @@
+"""The memory scraping attack (MSA) — the paper's contribution.
+
+The four steps of §III map onto submodules:
+
+1. :mod:`repro.attack.polling` — find the victim pid with ``ps -ef``.
+2. :mod:`repro.attack.addressing` — heap range from ``maps``, VA→PA
+   through ``pagemap``.
+3. :mod:`repro.attack.extraction` — post-termination ``devmem`` reads.
+4. :mod:`repro.attack.identify` / :mod:`repro.attack.reconstruct` —
+   model identification and input-image recovery, powered by
+   :mod:`repro.attack.profiling` (the offline marker-image pass).
+
+:mod:`repro.attack.pipeline` ties the steps into the end-to-end
+:class:`MemoryScrapingAttack`.
+"""
+
+from repro.attack.config import AttackConfig
+from repro.attack.polling import PidPoller, VictimSighting
+from repro.attack.addressing import AddressHarvester, HarvestedRange, PageTranslation
+from repro.attack.extraction import MemoryScraper, ScrapedDump
+from repro.attack.identify import IdentificationResult, ModelIdentifier, SignatureDatabase
+from repro.attack.profiling import ModelProfile, OfflineProfiler, ProfileStore
+from repro.attack.reconstruct import ImageReconstructor, ReconstructionResult
+from repro.attack.pipeline import AttackPhase, AttackReport, MemoryScrapingAttack
+from repro.attack.variants import (
+    FullScanAttack,
+    PhysicalLayoutProfile,
+    ProfiledPhysicalAttack,
+    VariantOutcome,
+    profile_physical_layout,
+)
+from repro.attack.weights import (
+    ExtractedWeights,
+    WeightExtractor,
+    WeightLayoutProfile,
+    profile_weight_layout,
+)
+from repro.attack.carving import DumpCartographer, Region, RegionKind
+
+__all__ = [
+    "AttackConfig",
+    "PidPoller",
+    "VictimSighting",
+    "AddressHarvester",
+    "HarvestedRange",
+    "PageTranslation",
+    "MemoryScraper",
+    "ScrapedDump",
+    "IdentificationResult",
+    "ModelIdentifier",
+    "SignatureDatabase",
+    "ModelProfile",
+    "OfflineProfiler",
+    "ProfileStore",
+    "ImageReconstructor",
+    "ReconstructionResult",
+    "AttackPhase",
+    "AttackReport",
+    "MemoryScrapingAttack",
+    "FullScanAttack",
+    "PhysicalLayoutProfile",
+    "ProfiledPhysicalAttack",
+    "VariantOutcome",
+    "profile_physical_layout",
+    "ExtractedWeights",
+    "WeightExtractor",
+    "WeightLayoutProfile",
+    "profile_weight_layout",
+    "DumpCartographer",
+    "Region",
+    "RegionKind",
+]

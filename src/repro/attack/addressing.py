@@ -1,0 +1,157 @@
+"""Step 2 — heap range from ``maps``, VA→PA through ``pagemap``.
+
+Re-implements the paper's two artifacts:
+
+- reading ``/proc/<pid>/maps`` and pulling out the ``[heap]`` line
+  (Fig. 7), and
+- the authors' ``virtual_to_physical`` C helper (Fig. 8): seek the
+  pagemap file to ``(va >> 12) * 8``, read one u64, mask the PFN,
+  rebuild the physical address.
+
+Everything here runs while the victim is *alive* — after termination
+the pid vanishes from /proc and translation is impossible, which is
+why the attack snapshots translations ahead of time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AddressHarvestError, PermissionDeniedError
+from repro.mmu.pagemap import ENTRY_SIZE, entry_from_bytes
+from repro.mmu.paging import PAGE_SHIFT, PAGE_SIZE, page_offset, vpn_of
+from repro.petalinux.procfs import ProcFs
+from repro.petalinux.users import User
+
+_HEAP_LINE_RE = re.compile(
+    r"^([0-9a-f]+)-([0-9a-f]+)\s+(\S{4})\s+\S+\s+\S+\s+\S+\s+\[heap\]\s*$",
+    re.MULTILINE,
+)
+
+
+@dataclass(frozen=True)
+class PageTranslation:
+    """One snapshotted VA page -> physical address mapping."""
+
+    virtual_page_address: int
+    physical_page_address: int
+    present: bool
+
+
+@dataclass
+class HarvestedRange:
+    """The heap range plus its per-page physical translations."""
+
+    pid: int
+    heap_start: int
+    heap_end: int
+    translations: list[PageTranslation] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Heap size in bytes."""
+        return self.heap_end - self.heap_start
+
+    def present_pages(self) -> list[PageTranslation]:
+        """Translations for pages that were resident at snapshot time."""
+        return [entry for entry in self.translations if entry.present]
+
+    def physical_of(self, virtual_address: int) -> int:
+        """Physical address of *virtual_address* (paper's Fig. 8 query)."""
+        target_page = virtual_address & ~(PAGE_SIZE - 1)
+        for entry in self.translations:
+            if entry.virtual_page_address == target_page and entry.present:
+                return entry.physical_page_address | page_offset(virtual_address)
+        raise AddressHarvestError(
+            f"no snapshotted translation for VA {virtual_address:#x}"
+        )
+
+
+class AddressHarvester:
+    """Runs step 2 against a live victim from the attacker's user."""
+
+    def __init__(self, procfs: ProcFs, caller: User) -> None:
+        self._procfs = procfs
+        self._caller = caller
+
+    # -- maps parsing -------------------------------------------------------
+
+    def read_heap_range(self, pid: int) -> tuple[int, int]:
+        """The ``[heap]`` VA range from ``/proc/<pid>/maps``.
+
+        Raises :class:`~repro.errors.AddressHarvestError` when the
+        maps file has no heap line, and propagates
+        :class:`~repro.errors.PermissionDeniedError` unchanged from
+        hardened kernels — the attack caller distinguishes "no heap"
+        from "blocked by isolation".
+        """
+        maps_text = self._procfs.read_maps(pid, caller=self._caller)
+        match = _HEAP_LINE_RE.search(maps_text)
+        if match is None:
+            raise AddressHarvestError(f"pid {pid} has no [heap] mapping")
+        start = int(match.group(1), 16)
+        end = int(match.group(2), 16)
+        return start, end
+
+    # -- the virtual_to_physical helper ------------------------------------------
+
+    def virtual_to_physical(self, pid: int, virtual_address: int) -> int | None:
+        """One VA -> PA query, exactly as the paper's C code does it.
+
+        Returns ``None`` for non-present pages (the C tool prints 0).
+        """
+        file_offset = vpn_of(virtual_address) * ENTRY_SIZE
+        raw = self._procfs.read_pagemap(
+            pid, file_offset, ENTRY_SIZE, caller=self._caller
+        )
+        entry = entry_from_bytes(raw)
+        if not entry.present:
+            return None
+        return (entry.pfn << PAGE_SHIFT) | page_offset(virtual_address)
+
+    # -- full harvest -----------------------------------------------------------
+
+    def harvest(self, pid: int) -> HarvestedRange:
+        """Snapshot the whole heap's translations for later extraction.
+
+        One batched pagemap pread covers the heap's VPN range (the
+        paper's automation loops the single-address tool; same bytes
+        either way).
+        """
+        heap_start, heap_end = self.read_heap_range(pid)
+        first_vpn = vpn_of(heap_start)
+        page_total = (heap_end - heap_start) // PAGE_SIZE
+        try:
+            raw = self._procfs.read_pagemap(
+                pid,
+                first_vpn * ENTRY_SIZE,
+                page_total * ENTRY_SIZE,
+                caller=self._caller,
+            )
+        except PermissionDeniedError:
+            raise
+        translations = []
+        for index in range(page_total):
+            entry = entry_from_bytes(
+                raw[index * ENTRY_SIZE : (index + 1) * ENTRY_SIZE]
+            )
+            translations.append(
+                PageTranslation(
+                    virtual_page_address=(first_vpn + index) << PAGE_SHIFT,
+                    physical_page_address=entry.pfn << PAGE_SHIFT,
+                    present=entry.present,
+                )
+            )
+        harvested = HarvestedRange(
+            pid=pid,
+            heap_start=heap_start,
+            heap_end=heap_end,
+            translations=translations,
+        )
+        if not harvested.present_pages():
+            raise AddressHarvestError(
+                f"pid {pid}: no present pages in heap "
+                f"[{heap_start:#x}, {heap_end:#x})"
+            )
+        return harvested

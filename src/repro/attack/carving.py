@@ -1,0 +1,168 @@
+"""Dump characterization — mapping what a terminated process left behind.
+
+The paper's contribution 4 is "a methodology for characterizing
+terminated processes and accessing their private data".  Before the
+targeted steps (grep for names, slice at profiled offsets), an analyst
+wants a map of the dump: where the readable metadata is, where the
+quantized weight arrays are, where an image-like constant block sits,
+and what is just empty.
+
+:class:`DumpCartographer` produces that map from byte statistics alone
+— no profiles needed — by classifying fixed windows and merging
+adjacent windows of the same kind:
+
+==============  ====================================================
+kind            signature
+==============  ====================================================
+ZERO            every byte 0x00 (never-written or scrubbed)
+CONSTANT        a single repeated non-zero byte (marker blocks)
+TEXT            mostly printable ASCII (paths, names, metadata)
+QUANTIZED       small-alphabet symmetric data (int8 weight arrays)
+RANDOM          near-uniform bytes (runtime structures, ciphertext)
+MIXED           none of the above (pixel data, headers, packed misc)
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+
+class RegionKind(enum.Enum):
+    """Classification of one region of a scraped dump."""
+
+    ZERO = "zero"
+    CONSTANT = "constant"
+    TEXT = "text"
+    QUANTIZED = "quantized"
+    RANDOM = "random"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A maximal run of same-kind windows."""
+
+    start: int
+    end: int
+    kind: RegionKind
+
+    @property
+    def length(self) -> int:
+        """Region size in bytes."""
+        return self.end - self.start
+
+    def contains(self, offset: int) -> bool:
+        """Whether *offset* falls inside the region."""
+        return self.start <= offset < self.end
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Bits of entropy per byte of *data* (0.0 for empty input)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def printable_fraction(data: bytes) -> float:
+    """Fraction of bytes in the printable ASCII range (1.0 for empty)."""
+    if not data:
+        return 1.0
+    printable = sum(1 for byte in data if 0x20 <= byte <= 0x7E or byte == 0x00)
+    return printable / len(data)
+
+
+class DumpCartographer:
+    """Window-classify a dump and merge into regions."""
+
+    def __init__(
+        self,
+        window: int = 256,
+        text_threshold: float = 0.85,
+        random_entropy: float = 7.0,
+        quantized_max_alphabet: int = 48,
+    ) -> None:
+        if window < 16:
+            raise ValueError(f"window must be >= 16 bytes, got {window}")
+        self._window = window
+        self._text_threshold = text_threshold
+        self._random_entropy = random_entropy
+        self._quantized_max_alphabet = quantized_max_alphabet
+
+    def classify_window(self, data: bytes) -> RegionKind:
+        """Classify one window of bytes."""
+        if not data or data == b"\x00" * len(data):
+            return RegionKind.ZERO
+        distinct = set(data)
+        if len(distinct) == 1:
+            return RegionKind.CONSTANT
+        if printable_fraction(data) >= self._text_threshold:
+            return RegionKind.TEXT
+        entropy = shannon_entropy(data)
+        # A window of n bytes cannot exceed log2(n) bits of measured
+        # entropy, so the uniform-randomness threshold scales down for
+        # short windows.
+        effective_threshold = min(
+            self._random_entropy, math.log2(len(data)) - 0.7
+        )
+        if entropy >= effective_threshold:
+            return RegionKind.RANDOM
+        if len(distinct) <= self._quantized_max_alphabet:
+            # Small alphabet straddling 0x00/0xFF: signed int8 values
+            # near zero, the footprint of quantized weights.
+            low_magnitude = sum(
+                1 for byte in data if byte < 64 or byte >= 192
+            )
+            if low_magnitude / len(data) > 0.9:
+                return RegionKind.QUANTIZED
+        return RegionKind.MIXED
+
+    def map_dump(self, data: bytes) -> list[Region]:
+        """The full region map of *data*, adjacent windows merged."""
+        regions: list[Region] = []
+        for start in range(0, len(data), self._window):
+            window = data[start : start + self._window]
+            kind = self.classify_window(window)
+            end = min(start + self._window, len(data))
+            if regions and regions[-1].kind is kind and regions[-1].end == start:
+                regions[-1] = Region(regions[-1].start, end, kind)
+            else:
+                regions.append(Region(start, end, kind))
+        return regions
+
+    def region_at(self, regions: list[Region], offset: int) -> Region:
+        """The region containing *offset*; raises ``ValueError`` outside."""
+        for region in regions:
+            if region.contains(offset):
+                return region
+        raise ValueError(f"offset {offset:#x} outside the mapped dump")
+
+    @staticmethod
+    def kind_totals(regions: list[Region]) -> dict[RegionKind, int]:
+        """Total bytes per kind."""
+        totals: dict[RegionKind, int] = {kind: 0 for kind in RegionKind}
+        for region in regions:
+            totals[region.kind] += region.length
+        return totals
+
+    @staticmethod
+    def render(regions: list[Region], limit: int = 40) -> str:
+        """Human-readable region table (first *limit* regions)."""
+        lines = [f"{'start':>10} {'end':>10} {'bytes':>9}  kind"]
+        for region in regions[:limit]:
+            lines.append(
+                f"{region.start:>#10x} {region.end:>#10x} "
+                f"{region.length:>9}  {region.kind.value}"
+            )
+        if len(regions) > limit:
+            lines.append(f"... {len(regions) - limit} more regions")
+        return "\n".join(lines)

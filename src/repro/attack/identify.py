@@ -1,0 +1,155 @@
+"""Step 4.a — identifying the victim's model from dump strings.
+
+"The adversary analyzes the FPGA DRAM data for distinct patterns or
+signatures of different models.  Using criteria like keywords or known
+model names (e.g. 'resnet50', 'squeezenet'), they identify the model
+run by the targeted process" (§III).
+
+The paper greps for one known name; this module generalizes that into
+a signature database mined from the offline profiles: a token is a
+*signature* of model M if it appears in M's profiled dump and in no
+other model's.  Shared runtime strings (libvart paths and the like)
+cancel out automatically, so identification keys on genuinely
+model-specific evidence — names, install paths, origin strings,
+kernel identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.extraction import ScrapedDump
+from repro.attack.profiling import ProfileStore
+from repro.errors import IdentificationError
+from repro.utils.hexdump import GrepHit
+
+
+@dataclass(frozen=True)
+class ModelSignature:
+    """The distinctive tokens of one model."""
+
+    model_name: str
+    tokens: frozenset[str]
+
+
+@dataclass
+class IdentificationResult:
+    """Outcome of matching a dump against the signature database."""
+
+    best_model: str
+    scores: dict[str, float]
+    matched_tokens: list[str]
+    grep_hits: list[GrepHit] = field(default_factory=list)
+    confident: bool = True
+
+    def describe(self) -> str:
+        """One-line verdict for the attack report."""
+        qualifier = "" if self.confident else " (low confidence)"
+        return (
+            f"identified model {self.best_model!r}{qualifier} "
+            f"({len(self.matched_tokens)} signature tokens matched)"
+        )
+
+
+class SignatureDatabase:
+    """Per-model distinctive-token sets derived from offline profiles."""
+
+    def __init__(self, signatures: list[ModelSignature]) -> None:
+        if not signatures:
+            raise ValueError("signature database cannot be empty")
+        self._signatures = {sig.model_name: sig for sig in signatures}
+
+    @classmethod
+    def from_profiles(cls, store: ProfileStore, min_token_length: int = 6) -> "SignatureDatabase":
+        """Mine signatures: strings unique to each model's profiled dump."""
+        profiles = store.profiles()
+        if not profiles:
+            raise ValueError("profile store is empty")
+        signatures = []
+        for profile in profiles:
+            others: set[str] = set()
+            for other in profiles:
+                if other.model_name != profile.model_name:
+                    others |= other.strings
+            distinctive = frozenset(
+                token
+                for token in profile.strings - others
+                if len(token) >= min_token_length
+            )
+            signatures.append(
+                ModelSignature(model_name=profile.model_name, tokens=distinctive)
+            )
+        return cls(signatures)
+
+    def signature(self, model_name: str) -> ModelSignature:
+        """The signature for one model."""
+        return self._signatures[model_name]
+
+    def model_names(self) -> list[str]:
+        """All models with signatures, sorted."""
+        return sorted(self._signatures)
+
+    def match(self, dump_data: bytes) -> dict[str, tuple[float, list[str]]]:
+        """Score every model against raw dump bytes.
+
+        Score = fraction of the model's signature tokens present
+        verbatim in the dump.  Models with empty signatures score 0.
+        """
+        results = {}
+        for name, signature in self._signatures.items():
+            if not signature.tokens:
+                results[name] = (0.0, [])
+                continue
+            matched = sorted(
+                token
+                for token in signature.tokens
+                if token.encode("utf-8", errors="ignore") in dump_data
+            )
+            results[name] = (len(matched) / len(signature.tokens), matched)
+        return results
+
+
+class ModelIdentifier:
+    """Applies a signature database to a scraped dump.
+
+    ``min_score`` guards against misattribution from incidental token
+    collisions (e.g. a generic layer name shared by an unprofiled
+    architecture): a genuine match hits most of its signature tokens,
+    an accidental one only a stray few.
+    """
+
+    def __init__(self, database: SignatureDatabase, min_score: float = 0.3) -> None:
+        if not 0.0 <= min_score <= 1.0:
+            raise ValueError(f"min_score must be in [0, 1], got {min_score}")
+        self._database = database
+        self._min_score = min_score
+
+    def identify(self, dump: ScrapedDump) -> IdentificationResult:
+        """Attribute the dump to one model.
+
+        The winner needs a score of at least ``min_score``; otherwise
+        the attribution failed and
+        :class:`~repro.errors.IdentificationError` is raised (the
+        expected outcome on a scrubbed dump or an unprofiled model).
+        A winner whose margin over the runner-up is zero is flagged
+        ``confident=False``.
+        """
+        matches = self._database.match(dump.data)
+        scores = {name: score for name, (score, _) in matches.items()}
+        ranked = sorted(scores, key=lambda name: scores[name], reverse=True)
+        best = ranked[0]
+        best_score, matched_tokens = matches[best]
+        if best_score < self._min_score or not matched_tokens:
+            raise IdentificationError(
+                f"best candidate {best!r} scored {best_score:.2f} "
+                f"(< {self._min_score}); cannot attribute a model"
+            )
+        runner_up_score = scores[ranked[1]] if len(ranked) > 1 else 0.0
+        grep_hits = dump.hexdump.grep(best)[:4]
+        return IdentificationResult(
+            best_model=best,
+            scores=scores,
+            matched_tokens=matched_tokens,
+            grep_hits=grep_hits,
+            confident=best_score > runner_up_score,
+        )

@@ -1,0 +1,251 @@
+"""The end-to-end memory scraping attack.
+
+Orchestrates the paper's four steps against one booted board.  The
+simulation is single-threaded, so the pipeline exposes explicit phase
+methods — the experiment driver interleaves victim actions (launch,
+terminate) between them, mirroring the two-terminal choreography of
+the paper's §IV:
+
+>>> attack = MemoryScrapingAttack(attacker_shell, profiles)
+>>> sighting = attack.observe_victim("resnet50_pt")   # step 1
+>>> attack.harvest_addresses()                        # step 2 (victim alive)
+>>> victim_run.terminate()                            # victim ends
+>>> attack.extract()                                  # step 3
+>>> report = attack.analyze()                         # steps 4a + 4b
+
+``execute`` wraps the whole dance when the caller hands over a
+terminate callback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.attack.addressing import AddressHarvester, HarvestedRange
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper, ScrapedDump
+from repro.attack.identify import (
+    IdentificationResult,
+    ModelIdentifier,
+    SignatureDatabase,
+)
+from repro.attack.polling import PidPoller, VictimSighting
+from repro.attack.profiling import ProfileStore
+from repro.attack.reconstruct import ImageReconstructor, ReconstructionResult
+from repro.errors import AttackError, ReconstructionError
+from repro.petalinux.shell import Shell
+from typing import Callable
+
+
+class AttackPhase(enum.Enum):
+    """Pipeline progress marker."""
+
+    IDLE = "idle"
+    VICTIM_OBSERVED = "victim_observed"
+    ADDRESSES_HARVESTED = "addresses_harvested"
+    EXTRACTED = "extracted"
+    ANALYZED = "analyzed"
+
+
+@dataclass
+class AttackReport:
+    """Everything the attack learned, plus the figure artifacts."""
+
+    sighting: VictimSighting
+    harvested: HarvestedRange
+    termination_polls: int
+    dump: ScrapedDump
+    identification: IdentificationResult | None = None
+    reconstruction: ReconstructionResult | None = None
+    ps_before: str = ""
+    ps_during: str = ""
+    ps_after: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the attack attributed a model to the residue."""
+        return self.identification is not None
+
+    def save_artifacts(self, directory: str) -> list[str]:
+        """Write the attack evidence to *directory*; returns the paths.
+
+        Mirrors the paper's working files: the raw dump, the hexdump
+        log the analysis greps (named ``<pid>_hexdump.log`` like the
+        paper's ``1391_hexdump.log``), the reconstructed image as a
+        viewable PPM, and the rendered report.
+        """
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        written = []
+
+        dump_path = os.path.join(directory, f"{self.sighting.pid}_heap.bin")
+        with open(dump_path, "wb") as handle:
+            handle.write(self.dump.data)
+        written.append(dump_path)
+
+        log_path = os.path.join(directory, f"{self.sighting.pid}_hexdump.log")
+        with open(log_path, "w") as handle:
+            handle.write("\n".join(self.dump.hexdump.rows()) + "\n")
+        written.append(log_path)
+
+        if self.reconstruction is not None:
+            image_path = os.path.join(
+                directory, f"{self.sighting.pid}_reconstructed.ppm"
+            )
+            with open(image_path, "wb") as handle:
+                handle.write(self.reconstruction.image.to_ppm())
+            written.append(image_path)
+
+        report_path = os.path.join(directory, "attack_report.txt")
+        with open(report_path, "w") as handle:
+            handle.write(self.render() + "\n")
+        written.append(report_path)
+        return written
+
+    def render(self) -> str:
+        """Multi-section text report mirroring the paper's §V flow."""
+        lines = [
+            "=== Memory Scraping Attack report ===",
+            f"Step 1  victim: {self.sighting.describe()}",
+            (
+                f"Step 2  heap [{self.harvested.heap_start:#x}, "
+                f"{self.harvested.heap_end:#x}) — "
+                f"{len(self.harvested.present_pages())} pages translated"
+            ),
+            (
+                f"Step 3  termination after {self.termination_polls} polls; "
+                f"scraped {self.dump.nbytes} bytes "
+                f"({self.dump.devmem_reads} devmem reads)"
+            ),
+        ]
+        if self.identification is not None:
+            lines.append(f"Step 4a {self.identification.describe()}")
+            for hit in self.identification.grep_hits:
+                lines.append(f"        row {hit.row_number}: {hit.row_text}")
+        else:
+            lines.append("Step 4a model identification FAILED")
+        if self.reconstruction is not None:
+            lines.append(f"Step 4b {self.reconstruction.describe()}")
+        else:
+            lines.append("Step 4b image reconstruction FAILED")
+        return "\n".join(lines)
+
+
+class MemoryScrapingAttack:
+    """The attacker-side state machine."""
+
+    def __init__(
+        self,
+        shell: Shell,
+        profiles: ProfileStore,
+        config: AttackConfig | None = None,
+        database: SignatureDatabase | None = None,
+    ) -> None:
+        self._shell = shell
+        self._profiles = profiles
+        self._config = config or AttackConfig()
+        self._database = database or SignatureDatabase.from_profiles(profiles)
+        self._poller = PidPoller(shell, poll_limit=self._config.poll_limit)
+        self._harvester = AddressHarvester(shell.procfs, caller=shell.user)
+        self._scraper = MemoryScraper(
+            shell.devmem_tool, caller=shell.user, config=self._config
+        )
+        self.phase = AttackPhase.IDLE
+        self._sighting: VictimSighting | None = None
+        self._harvested: HarvestedRange | None = None
+        self._dump: ScrapedDump | None = None
+        self._termination_polls = 0
+        # Surveillance baseline: the process list when the attacker
+        # started watching (the paper's Fig. 5 snapshot).
+        self._ps_before = self._poller.snapshot()
+        self._ps_during = ""
+        self._ps_after = ""
+
+    def _require_phase(self, *allowed: AttackPhase) -> None:
+        if self.phase not in allowed:
+            raise AttackError(
+                f"operation invalid in phase {self.phase.value}; "
+                f"needs one of {[phase.value for phase in allowed]}"
+            )
+
+    # -- step 1 -------------------------------------------------------------
+
+    def observe_victim(self, pattern: str) -> VictimSighting:
+        """Poll ``ps -ef`` until the victim appears."""
+        self._require_phase(AttackPhase.IDLE)
+        self._sighting = self._poller.wait_for_victim(pattern)
+        self._ps_during = self._poller.snapshot()
+        self.phase = AttackPhase.VICTIM_OBSERVED
+        return self._sighting
+
+    # -- step 2 -------------------------------------------------------------
+
+    def harvest_addresses(self) -> HarvestedRange:
+        """Snapshot heap VA range and all VA→PA translations."""
+        self._require_phase(AttackPhase.VICTIM_OBSERVED)
+        assert self._sighting is not None
+        self._harvested = self._harvester.harvest(self._sighting.pid)
+        self.phase = AttackPhase.ADDRESSES_HARVESTED
+        return self._harvested
+
+    # -- step 3 -------------------------------------------------------------
+
+    def extract(self) -> ScrapedDump:
+        """Wait for the pid to vanish, then scrape the residue."""
+        self._require_phase(AttackPhase.ADDRESSES_HARVESTED)
+        assert self._sighting is not None and self._harvested is not None
+        self._termination_polls = self._poller.wait_for_termination(
+            self._sighting.pid
+        )
+        self._ps_after = self._poller.snapshot()
+        self._dump = self._scraper.scrape(self._harvested)
+        self.phase = AttackPhase.EXTRACTED
+        return self._dump
+
+    # -- step 4 -------------------------------------------------------------
+
+    def analyze(self) -> AttackReport:
+        """Identify the model and reconstruct the input image."""
+        self._require_phase(AttackPhase.EXTRACTED)
+        assert (
+            self._sighting is not None
+            and self._harvested is not None
+            and self._dump is not None
+        )
+        report = AttackReport(
+            sighting=self._sighting,
+            harvested=self._harvested,
+            termination_polls=self._termination_polls,
+            dump=self._dump,
+            ps_before=self._ps_before,
+            ps_during=self._ps_during,
+            ps_after=self._ps_after,
+        )
+        identifier = ModelIdentifier(self._database)
+        identification = identifier.identify(self._dump)
+        report.identification = identification
+        if identification.best_model in self._profiles:
+            reconstructor = ImageReconstructor(self._config)
+            try:
+                report.reconstruction = reconstructor.reconstruct(
+                    self._dump, self._profiles.get(identification.best_model)
+                )
+            except ReconstructionError:
+                report.reconstruction = None
+        self.phase = AttackPhase.ANALYZED
+        return report
+
+    # -- convenience --------------------------------------------------------
+
+    def execute(
+        self, pattern: str, terminate_victim: Callable[[], None]
+    ) -> AttackReport:
+        """Run all four steps; *terminate_victim* ends the victim between
+        address harvesting and extraction (the two-terminal interleaving)."""
+        self.observe_victim(pattern)
+        self.harvest_addresses()
+        terminate_victim()
+        self.extract()
+        return self.analyze()

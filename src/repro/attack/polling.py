@@ -1,0 +1,102 @@
+"""Step 1 — polling for the victim pid.
+
+"The adversary continuously monitors the system to identify the
+relevant process of interest, utilizing commands like ``ps -ef``"
+(paper §III).  The poller runs from the *attacker's* shell; on the
+vulnerable board ``ps`` shows every user's processes, so a victim
+command line — including the xmodel path it was launched with — is
+visible across user spaces (paper Figs. 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VictimNotFoundError
+from repro.petalinux.shell import Shell
+
+
+@dataclass(frozen=True)
+class VictimSighting:
+    """A process matching the victim pattern, as seen in ``ps -ef``."""
+
+    pid: int
+    uid: str
+    tty: str
+    cmdline: str
+
+    def describe(self) -> str:
+        """One-line summary for the attack report."""
+        return f"pid {self.pid} (user {self.uid}, {self.tty}): {self.cmdline}"
+
+
+class PidPoller:
+    """Watches the process table from the attacker's terminal."""
+
+    def __init__(self, shell: Shell, poll_limit: int = 1000) -> None:
+        self._shell = shell
+        self._poll_limit = poll_limit
+        self.polls_performed = 0
+
+    def snapshot(self) -> str:
+        """One raw ``ps -ef`` capture (the Fig. 5/6 artifact)."""
+        self.polls_performed += 1
+        return self._shell.ps_ef()
+
+    def find_victim(self, pattern: str) -> VictimSighting | None:
+        """Scan the current process list for *pattern* in the CMD column."""
+        sightings = self.find_victims(pattern)
+        return sightings[0] if sightings else None
+
+    def find_victims(self, pattern: str) -> list[VictimSighting]:
+        """All processes matching *pattern*, ascending pid.
+
+        Busy boards run several inference jobs; the attacker snapshots
+        them all and works through the list as each terminates.
+        """
+        self.polls_performed += 1
+        return [
+            VictimSighting(pid=row.pid, uid=row.uid, tty=row.tty, cmdline=row.cmd)
+            for row in self._shell.ps_rows()
+            if pattern in row.cmd
+        ]
+
+    def wait_for_victim(self, pattern: str) -> VictimSighting:
+        """Poll until a process matching *pattern* appears.
+
+        The simulation is single-threaded, so "waiting" advances the
+        kernel clock one tick per poll; the victim must already be
+        running (or be started by a scheduled kernel event) for the
+        sighting to occur.  Raises
+        :class:`~repro.errors.VictimNotFoundError` after the
+        configured poll budget.
+        """
+        for _ in range(self._poll_limit):
+            sighting = self.find_victim(pattern)
+            if sighting is not None:
+                return sighting
+            self._shell.kernel.tick()
+        raise VictimNotFoundError(
+            f"no process matching {pattern!r} after {self._poll_limit} polls"
+        )
+
+    def is_alive(self, pid: int) -> bool:
+        """Whether *pid* still shows in the process list."""
+        self.polls_performed += 1
+        return self._shell.kernel.has_process(pid)
+
+    def wait_for_termination(self, pid: int) -> int:
+        """Poll until *pid* disappears from ``ps`` (paper Fig. 9).
+
+        Returns the number of polls it took.  Each unsuccessful poll
+        advances the kernel clock, so background daemons (e.g. the
+        scrub pool of the defended configuration) make progress while
+        the attacker waits — the realistic interleaving.
+        """
+        for poll in range(1, self._poll_limit + 1):
+            if not self.is_alive(pid):
+                return poll
+            self._shell.kernel.tick()
+        raise VictimNotFoundError(
+            f"pid {pid} still alive after {self._poll_limit} polls"
+        )

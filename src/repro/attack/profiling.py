@@ -1,0 +1,188 @@
+"""Offline profiling — how the adversary learns high-value offsets.
+
+Paper §V, step 4.b: "we conducted offline profiling by changing pixel
+values to 0x555555.  We then ran the resnet50_pt model offline with
+this modified image, repeating Steps 1 to 3.  By analyzing the
+hexadecimal dump, we found the offset between the first occurrence of
+'5555 5555' and the hexdump file's start."
+
+The profiler does literally that, per model: launch the application as
+the *attacker's own* process with a solid-marker input, run the same
+steps 1-3 the live attack uses, and record where the marker lands.
+Because the allocator and heap arena are deterministic, the recorded
+offset transfers to any victim running the same model — the paper's
+"no randomization" finding.  The profiler also keeps the dump's
+printable strings, which the signature database mines for
+model-identification tokens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper, ScrapedDump
+from repro.attack.polling import PidPoller
+from repro.errors import ProfilingError
+from repro.petalinux.shell import Shell
+from repro.utils.strings import extract_strings
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+_PAPER_ROW_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Everything profiling learned about one model's memory layout."""
+
+    model_name: str
+    image_offset: int
+    """Byte offset of the input image from the heap base."""
+    image_height: int
+    image_width: int
+    heap_size: int
+    strings: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def image_nbytes(self) -> int:
+        """Raw RGB24 size of the input buffer."""
+        return self.image_height * self.image_width * 3
+
+    @property
+    def hexdump_row(self) -> int:
+        """First hexdump row of the image — the paper's 'row 646768'."""
+        return self.image_offset // _PAPER_ROW_BYTES
+
+
+class ProfileStore:
+    """The adversary's accumulated offline knowledge."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, ModelProfile] = {}
+
+    def add(self, profile: ModelProfile) -> None:
+        """Insert or replace the profile for one model."""
+        self._profiles[profile.model_name] = profile
+
+    def get(self, model_name: str) -> ModelProfile:
+        """The profile for *model_name*; raises ``KeyError`` if absent."""
+        return self._profiles[model_name]
+
+    def __contains__(self, model_name: str) -> bool:
+        return model_name in self._profiles
+
+    def model_names(self) -> list[str]:
+        """All profiled models, sorted."""
+        return sorted(self._profiles)
+
+    def profiles(self) -> list[ModelProfile]:
+        """All profiles, sorted by model name."""
+        return [self._profiles[name] for name in self.model_names()]
+
+    # -- persistence (the adversary's notebook) -----------------------------
+
+    def to_json(self) -> str:
+        """Serialize the store (strings included) to JSON."""
+        payload = {
+            name: {
+                "image_offset": profile.image_offset,
+                "image_height": profile.image_height,
+                "image_width": profile.image_width,
+                "heap_size": profile.heap_size,
+                "strings": sorted(profile.strings),
+            }
+            for name, profile in self._profiles.items()
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileStore":
+        """Rebuild a store from :meth:`to_json` output."""
+        store = cls()
+        for name, record in json.loads(text).items():
+            store.add(
+                ModelProfile(
+                    model_name=name,
+                    image_offset=record["image_offset"],
+                    image_height=record["image_height"],
+                    image_width=record["image_width"],
+                    heap_size=record["heap_size"],
+                    strings=frozenset(record["strings"]),
+                )
+            )
+        return store
+
+
+class OfflineProfiler:
+    """Runs the marker-image pass for each model of interest."""
+
+    def __init__(
+        self,
+        shell: Shell,
+        input_hw: int = 32,
+        config: AttackConfig | None = None,
+    ) -> None:
+        self._shell = shell
+        self._input_hw = input_hw
+        self._config = config or AttackConfig()
+
+    def _scrape_own_run(self, model_name: str, image: Image) -> ScrapedDump:
+        """Steps 2-3 against the profiler's own process.
+
+        The profiler launched the process itself, so it addresses it by
+        pid directly — pattern-matching ``ps`` here could collide with
+        an unrelated process running the same model.
+        """
+        application = VictimApplication(self._shell, input_hw=self._input_hw)
+        run = application.launch(model_name, image=image)
+        poller = PidPoller(self._shell, poll_limit=self._config.poll_limit)
+        harvester = AddressHarvester(self._shell.procfs, caller=self._shell.user)
+        harvested = harvester.harvest(run.pid)
+        run.terminate()
+        poller.wait_for_termination(run.pid)
+        scraper = MemoryScraper(
+            self._shell.devmem_tool, caller=self._shell.user, config=self._config
+        )
+        return scraper.scrape(harvested)
+
+    def profile_model(self, model_name: str) -> ModelProfile:
+        """Learn the image offset and string set for one model.
+
+        Raises :class:`~repro.errors.ProfilingError` when the marker
+        never shows up in the dump (e.g. a sanitizing kernel scrubbed
+        it — profiling on a defended board fails the same way the
+        attack does).
+        """
+        marker_image = Image.solid(
+            self._input_hw, self._input_hw, self._config.profiling_marker
+        )
+        dump = self._scrape_own_run(model_name, marker_image)
+        marker_run = bytes(self._config.profiling_marker) * 16
+        offset = dump.data.find(marker_run)
+        if offset < 0:
+            raise ProfilingError(
+                f"profiling marker not found in {model_name} dump "
+                f"({dump.nbytes} bytes)"
+            )
+        strings = frozenset(
+            hit.text
+            for hit in extract_strings(dump.data, self._config.string_min_length)
+        )
+        return ModelProfile(
+            model_name=model_name,
+            image_offset=offset,
+            image_height=self._input_hw,
+            image_width=self._input_hw,
+            heap_size=dump.nbytes,
+            strings=strings,
+        )
+
+    def profile_library(self, model_names: list[str]) -> ProfileStore:
+        """Profile a whole model library (the adversary's prep phase)."""
+        store = ProfileStore()
+        for name in model_names:
+            store.add(self.profile_model(name))
+        return store

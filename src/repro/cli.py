@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the evaluation entry points:
+
+- ``demo``      — run the paper's end-to-end attack and print the report
+- ``figures``   — regenerate Figs. 4-12 with claim checks
+- ``defenses``  — the defense ablation matrix
+- ``zoo``       — list the model library (name, framework, weights)
+- ``boards``    — list the supported evaluation boards
+- ``profile``   — run offline profiling and emit the JSON notebook
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.evaluation.figures import generate_all_figures, render_figure_report
+from repro.evaluation.scenarios import BoardSession, run_paper_attack
+from repro.hw.board import BOARDS, board_by_name
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--input-hw",
+        type=int,
+        default=32,
+        help="square input edge in pixels (default: 32)",
+    )
+    parser.add_argument(
+        "--board",
+        default="ZCU104",
+        choices=sorted(BOARDS),
+        help="evaluation board (default: ZCU104)",
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    session = BoardSession.boot(
+        board=board_by_name(args.board), input_hw=args.input_hw
+    )
+    outcome = run_paper_attack(session, victim_model=args.model)
+    print(outcome.report.render())
+    print()
+    if outcome.fidelity is not None:
+        print(
+            f"reconstruction fidelity: "
+            f"{outcome.fidelity.pixel_match_rate:.1%} pixel match"
+        )
+    return 0 if outcome.model_identified_correctly else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    figures = generate_all_figures(input_hw=args.input_hw)
+    print(render_figure_report(figures))
+    failing = [
+        figure_id
+        for figure_id, artifact in figures.items()
+        if not artifact.all_claims_hold
+    ]
+    if failing:
+        print(f"\nFAILING figures: {failing}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(figures)} figures reproduced.")
+    return 0
+
+
+def _cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.evaluation.scenarios import attack_under_config
+    from repro.petalinux.kernel import KernelConfig
+    from repro.petalinux.sanitizer import SanitizePolicy
+
+    configs = [
+        ("vulnerable-default", KernelConfig()),
+        (
+            "zero-on-free",
+            KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+        ),
+        ("pagemap-lockdown", KernelConfig(pagemap_world_readable=False)),
+        ("strict-devmem", KernelConfig(devmem_unrestricted=False)),
+        ("fully-hardened", KernelConfig().hardened()),
+    ]
+    print(f"{'config':<22} {'steps':<6} {'stopped at':<26} leaked?")
+    for label, config in configs:
+        outcome = attack_under_config(config, label, input_hw=args.input_hw)
+        print(
+            f"{label:<22} {outcome.steps_completed:<6} "
+            f"{outcome.failed_step or '-':<26} "
+            f"{'YES' if outcome.attack_succeeded else 'no'}"
+        )
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.vitis.zoo import MODEL_NAMES, build_model
+
+    print(f"{'model':<18} {'framework':<12} {'layers':<7} weight bytes")
+    for name in MODEL_NAMES:
+        model = build_model(name, input_hw=args.input_hw)
+        print(
+            f"{name:<18} {model.framework:<12} "
+            f"{len(model.subgraph.layers):<7} {model.weight_nbytes()}"
+        )
+    return 0
+
+
+def _cmd_boards(args: argparse.Namespace) -> int:
+    del args
+    for name in sorted(BOARDS):
+        print(BOARDS[name].describe())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    session = BoardSession.boot(
+        board=board_by_name(args.board), input_hw=args.input_hw
+    )
+    profiles = session.profile(args.models)
+    text = profiles.to_json()
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(args.models)} profiles to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory Scraping Attack on Xilinx FPGAs (DATE 2024) "
+        "— simulation and reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the end-to-end attack")
+    _add_common_options(demo)
+    demo.add_argument("--model", default="resnet50_pt", help="victim model")
+    demo.set_defaults(func=_cmd_demo)
+
+    figures = subparsers.add_parser("figures", help="regenerate Figs. 4-12")
+    _add_common_options(figures)
+    figures.set_defaults(func=_cmd_figures)
+
+    defenses = subparsers.add_parser("defenses", help="defense ablation matrix")
+    _add_common_options(defenses)
+    defenses.set_defaults(func=_cmd_defenses)
+
+    zoo = subparsers.add_parser("zoo", help="list the model library")
+    _add_common_options(zoo)
+    zoo.set_defaults(func=_cmd_zoo)
+
+    boards = subparsers.add_parser("boards", help="list evaluation boards")
+    boards.set_defaults(func=_cmd_boards)
+
+    profile = subparsers.add_parser(
+        "profile", help="offline-profile models, emit JSON notebook"
+    )
+    _add_common_options(profile)
+    profile.add_argument(
+        "models", nargs="+", help="model names to profile"
+    )
+    profile.add_argument(
+        "-o", "--output", default="-", help="output path (default: stdout)"
+    )
+    profile.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # well-behaved Unix tools.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulation or the attack pipeline derives from
+:class:`ReproError`, so callers can catch one base class.  The hierarchy
+mirrors the layers of the system: hardware bus faults, MMU translation
+faults, OS-level errors (bad pid, permission), and attack-stage failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class HardwareError(ReproError):
+    """Base class for hardware-layer errors."""
+
+
+class BusError(HardwareError):
+    """A physical address does not decode to any device on the SoC bus."""
+
+    def __init__(self, address: int, message: str | None = None) -> None:
+        self.address = address
+        super().__init__(message or f"bus error at physical address {address:#x}")
+
+
+class DramAddressError(HardwareError):
+    """A DRAM-relative offset is outside the device's capacity."""
+
+    def __init__(self, offset: int, capacity: int) -> None:
+        self.offset = offset
+        self.capacity = capacity
+        super().__init__(
+            f"DRAM offset {offset:#x} out of range (capacity {capacity:#x})"
+        )
+
+
+class MmuError(ReproError):
+    """Base class for memory-management errors."""
+
+
+class OutOfMemoryError(MmuError):
+    """The physical frame allocator has no free frames left."""
+
+
+class TranslationFault(MmuError):
+    """A virtual address has no mapping in the page table."""
+
+    def __init__(self, virtual_address: int, pid: int | None = None) -> None:
+        self.virtual_address = virtual_address
+        self.pid = pid
+        detail = f" (pid {pid})" if pid is not None else ""
+        super().__init__(
+            f"no translation for virtual address {virtual_address:#x}{detail}"
+        )
+
+
+class VmaError(MmuError):
+    """An operation on a virtual memory area is invalid (overlap, bad range)."""
+
+
+class OsError(ReproError):
+    """Base class for PetaLinux (simulated OS) errors."""
+
+
+class NoSuchProcessError(OsError):
+    """The referenced pid does not exist (``ESRCH``)."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        super().__init__(f"no such process: pid {pid}")
+
+
+class PermissionDeniedError(OsError):
+    """The calling user may not perform the operation (``EACCES``).
+
+    Raised only when the kernel is configured with hardened isolation;
+    the paper's insecure default never raises this for procfs reads.
+    """
+
+
+class ProcessStateError(OsError):
+    """The process is in the wrong state for the operation."""
+
+
+class VitisError(ReproError):
+    """Base class for Vitis-AI-runtime errors."""
+
+
+class XModelFormatError(VitisError):
+    """An xmodel blob fails to parse (bad magic, truncated, corrupt)."""
+
+
+class UnknownModelError(VitisError):
+    """The requested model name is not in the zoo."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown model: {name!r}")
+
+
+class ImageFormatError(VitisError):
+    """An image blob fails to parse or has inconsistent dimensions."""
+
+
+class AttackError(ReproError):
+    """Base class for attack-stage failures."""
+
+
+class VictimNotFoundError(AttackError):
+    """Step 1 polling never observed the victim process."""
+
+
+class AddressHarvestError(AttackError):
+    """Step 2 could not obtain the heap range or translate it."""
+
+
+class ExtractionError(AttackError):
+    """Step 3 failed to read physical memory (e.g. devmem blocked)."""
+
+
+class IdentificationError(AttackError):
+    """Step 4a could not attribute the dump to any profiled model."""
+
+
+class ReconstructionError(AttackError):
+    """Step 4b could not recover the input image from the dump."""
+
+
+class ProfilingError(AttackError):
+    """Offline profiling failed to locate the marker in the dump."""

@@ -1,0 +1,30 @@
+"""Evaluation: metrics, canned scenarios, paper-figure regeneration."""
+
+from repro.evaluation.metrics import (
+    byte_recovery_rate,
+    identification_accuracy,
+    image_fidelity,
+    residue_survival,
+)
+from repro.evaluation.scenarios import (
+    AttackOutcome,
+    BoardSession,
+    DefenseOutcome,
+    attack_under_config,
+    run_paper_attack,
+)
+from repro.evaluation.figures import FigureArtifact, generate_all_figures
+
+__all__ = [
+    "byte_recovery_rate",
+    "identification_accuracy",
+    "image_fidelity",
+    "residue_survival",
+    "AttackOutcome",
+    "BoardSession",
+    "DefenseOutcome",
+    "attack_under_config",
+    "run_paper_attack",
+    "FigureArtifact",
+    "generate_all_figures",
+]

@@ -1,0 +1,80 @@
+"""Quantitative metrics for the attack and defense experiments.
+
+The paper's evaluation is qualitative (figures showing each step
+working); these metrics put numbers on the same claims so the extended
+experiments can sweep parameters: how much residue survives, how
+faithful the recovered image is, how often the right model is named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mmu.frame_alloc import FrameAllocator
+from repro.vitis.image import Image
+
+
+def byte_recovery_rate(recovered: bytes, ground_truth: bytes) -> float:
+    """Fraction of ground-truth bytes recovered at the right position.
+
+    Both blobs must describe the same range; a scrubbed dump scores
+    near zero (only incidental zero bytes line up).
+    """
+    if len(recovered) != len(ground_truth):
+        raise ValueError(
+            f"length mismatch: recovered {len(recovered)}, "
+            f"ground truth {len(ground_truth)}"
+        )
+    if not ground_truth:
+        return 1.0
+    matches = sum(1 for a, b in zip(recovered, ground_truth) if a == b)
+    return matches / len(ground_truth)
+
+
+@dataclass(frozen=True)
+class ImageFidelity:
+    """Similarity of a reconstructed image to the victim's input."""
+
+    pixel_match_rate: float
+    psnr_db: float
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the reconstruction is bit-perfect."""
+        return self.pixel_match_rate == 1.0
+
+
+def image_fidelity(reconstructed: Image, original: Image) -> ImageFidelity:
+    """Pixel match rate plus PSNR between reconstruction and truth."""
+    return ImageFidelity(
+        pixel_match_rate=reconstructed.pixel_match_rate(original),
+        psnr_db=reconstructed.psnr(original),
+    )
+
+
+def identification_accuracy(
+    predictions: list[str], ground_truth: list[str]
+) -> float:
+    """Fraction of trials where the attributed model is correct."""
+    if len(predictions) != len(ground_truth):
+        raise ValueError("predictions and ground truth differ in length")
+    if not predictions:
+        raise ValueError("no trials")
+    correct = sum(
+        1 for predicted, actual in zip(predictions, ground_truth)
+        if predicted == actual
+    )
+    return correct / len(predictions)
+
+
+def residue_survival(allocator: FrameAllocator, victim_frames: list[int]) -> float:
+    """Fraction of a dead victim's frames not yet handed to a new owner.
+
+    Frames still in the free pool retain their residue verbatim;
+    reallocated frames may have been overwritten.  This is the
+    denominator of the reuse-decay experiment.
+    """
+    if not victim_frames:
+        raise ValueError("victim_frames is empty")
+    surviving = sum(1 for frame in victim_frames if allocator.is_free(frame))
+    return surviving / len(victim_frames)

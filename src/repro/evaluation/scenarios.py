@@ -1,0 +1,427 @@
+"""Canned experiment scenarios.
+
+:class:`BoardSession` is the shared fixture of the whole evaluation: a
+booted ZCU104 twin with the paper's two-terminal setup (attacker on
+``pts/0``, victim on ``pts/1``).  On top of it:
+
+- :func:`run_paper_attack` — the full §IV/§V experiment: profile,
+  launch victim with a corrupted image, attack, score fidelity.
+- :func:`attack_under_config` — the same attack against an arbitrary
+  kernel configuration, recording *which step* fails; drives the
+  defense-ablation benchmark.
+- :func:`reuse_decay_experiment` — how recovery decays as freed frames
+  get reallocated to new workloads.
+- :func:`multi_tenant_scrub_experiment` — the §I-B motivation: naive
+  contiguous-range scrubbing corrupts the co-tenant, per-page scrubbing
+  does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.config import AttackConfig
+from repro.attack.pipeline import AttackReport, MemoryScrapingAttack
+from repro.attack.profiling import OfflineProfiler, ProfileStore
+from repro.errors import (
+    AttackError,
+    ExtractionError,
+    IdentificationError,
+    PermissionDeniedError,
+    ProfilingError,
+)
+from repro.evaluation.metrics import ImageFidelity, image_fidelity
+from repro.hw.board import BoardSpec, ZCU104
+from repro.hw.soc import ZynqMpSoC
+from repro.petalinux.kernel import KernelConfig, PetaLinuxKernel
+from repro.petalinux.shell import Shell
+from repro.petalinux.users import Terminal, User, default_terminals
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+
+@dataclass
+class BoardSession:
+    """A booted board with the paper's attacker/victim terminals."""
+
+    soc: ZynqMpSoC
+    kernel: PetaLinuxKernel
+    attacker_shell: Shell
+    victim_shell: Shell
+    input_hw: int = 32
+
+    @classmethod
+    def boot(
+        cls,
+        config: KernelConfig | None = None,
+        board: BoardSpec = ZCU104,
+        input_hw: int = 32,
+        fill_seed: int = 0,
+    ) -> "BoardSession":
+        """Power up a board, install Vitis AI, log the two users in."""
+        from repro.petalinux.rootfs import install_vitis_ai
+
+        soc = ZynqMpSoC(board=board, fill_seed=fill_seed)
+        kernel = PetaLinuxKernel(soc, config=config)
+        install_vitis_ai(kernel.rootfs, input_hw=input_hw)
+        attacker_terminal, victim_terminal = default_terminals()
+        return cls(
+            soc=soc,
+            kernel=kernel,
+            attacker_shell=Shell(kernel, attacker_terminal),
+            victim_shell=Shell(kernel, victim_terminal),
+            input_hw=input_hw,
+        )
+
+    def add_tenant(self, name: str, uid: int, tty: str) -> Shell:
+        """Log an extra guest in (multi-tenant experiments)."""
+        return Shell(self.kernel, Terminal(tty, User(name, uid)))
+
+    def victim_application(self) -> VictimApplication:
+        """An application factory bound to the victim terminal."""
+        return VictimApplication(self.victim_shell, input_hw=self.input_hw)
+
+    def profile(
+        self, model_names: list[str], config: AttackConfig | None = None
+    ) -> ProfileStore:
+        """Run the attacker's offline profiling pass."""
+        profiler = OfflineProfiler(
+            self.attacker_shell, input_hw=self.input_hw, config=config
+        )
+        return profiler.profile_library(model_names)
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one full paper attack, with ground truth attached."""
+
+    report: AttackReport
+    victim_model: str
+    victim_image: Image
+    fidelity: ImageFidelity | None
+
+    @property
+    def model_identified_correctly(self) -> bool:
+        """Whether step 4a named the model the victim actually ran."""
+        return (
+            self.report.identification is not None
+            and self.report.identification.best_model == self.victim_model
+        )
+
+    @property
+    def image_recovered_exactly(self) -> bool:
+        """Whether step 4b recovered the input bit-for-bit."""
+        return self.fidelity is not None and self.fidelity.is_exact
+
+
+def run_paper_attack(
+    session: BoardSession,
+    victim_model: str = "resnet50_pt",
+    profiles: ProfileStore | None = None,
+    profile_models: list[str] | None = None,
+    corruption_fraction: float = 0.2,
+    attack_config: AttackConfig | None = None,
+    image_seed: int = 7,
+) -> AttackOutcome:
+    """The paper's end-to-end experiment on one session.
+
+    Profiles the library (unless a store is supplied), launches the
+    victim with a partially corrupted test image (Fig. 4), runs the
+    four attack steps, and scores the reconstruction against ground
+    truth.
+    """
+    if profiles is None:
+        names = profile_models or [victim_model, "squeezenet_pt", "inception_v1_tf"]
+        if victim_model not in names:
+            names = [victim_model] + list(names)
+        profiles = session.profile(names, config=attack_config)
+    secret = Image.test_pattern(
+        session.input_hw, session.input_hw, seed=image_seed
+    ).corrupted(corruption_fraction)
+    run = session.victim_application().launch(victim_model, image=secret)
+    attack = MemoryScrapingAttack(
+        session.attacker_shell, profiles, config=attack_config
+    )
+    report = attack.execute(victim_model, terminate_victim=run.terminate)
+    fidelity = None
+    if report.reconstruction is not None:
+        fidelity = image_fidelity(report.reconstruction.image, secret)
+    return AttackOutcome(
+        report=report,
+        victim_model=victim_model,
+        victim_image=secret,
+        fidelity=fidelity,
+    )
+
+
+@dataclass
+class DefenseOutcome:
+    """How far the attack got against one kernel configuration."""
+
+    config_label: str
+    profiling_succeeded: bool
+    steps_completed: int
+    failed_step: str | None
+    model_identified: bool
+    image_recovered: bool
+    detail: str = ""
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """Success means private data actually leaked."""
+        return self.model_identified or self.image_recovered
+
+
+def attack_under_config(
+    config: KernelConfig,
+    config_label: str,
+    victim_model: str = "resnet50_pt",
+    input_hw: int = 32,
+    profiles: ProfileStore | None = None,
+) -> DefenseOutcome:
+    """Run the paper attack against an arbitrarily hardened kernel.
+
+    Profiling runs on a *vulnerable reference board* when a profile
+    store is not supplied — the adversary preps on hardware they
+    control; the defense only has to protect the victim's board.
+    Records which step the defense kills.
+    """
+    if profiles is None:
+        reference = BoardSession.boot(input_hw=input_hw)
+        try:
+            profiles = reference.profile([victim_model, "squeezenet_pt"])
+        except ProfilingError as error:
+            return DefenseOutcome(
+                config_label=config_label,
+                profiling_succeeded=False,
+                steps_completed=0,
+                failed_step="offline profiling",
+                model_identified=False,
+                image_recovered=False,
+                detail=str(error),
+            )
+
+    session = BoardSession.boot(config=config, input_hw=input_hw)
+    secret = Image.test_pattern(input_hw, input_hw, seed=7).corrupted(0.2)
+    run = session.victim_application().launch(victim_model, image=secret)
+    attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+
+    steps_completed = 0
+    failed_step: str | None = None
+    detail = ""
+    report: AttackReport | None = None
+    try:
+        attack.observe_victim(victim_model)
+        steps_completed = 1
+        attack.harvest_addresses()
+        steps_completed = 2
+        run.terminate()
+        attack.extract()
+        steps_completed = 3
+        report = attack.analyze()
+        steps_completed = 4
+    except (PermissionDeniedError, ExtractionError, IdentificationError,
+            AttackError) as error:
+        failed_step = {
+            0: "step 1 (polling)",
+            1: "step 2 (address harvest)",
+            2: "step 3 (extraction)",
+            3: "step 4 (analysis)",
+        }[steps_completed]
+        detail = str(error)
+        if run.alive:
+            run.terminate()
+
+    model_identified = False
+    image_recovered = False
+    if report is not None and report.identification is not None:
+        model_identified = report.identification.best_model == victim_model
+    if report is not None and report.reconstruction is not None:
+        fidelity = image_fidelity(report.reconstruction.image, secret)
+        image_recovered = fidelity.pixel_match_rate > 0.99
+    return DefenseOutcome(
+        config_label=config_label,
+        profiling_succeeded=True,
+        steps_completed=steps_completed,
+        failed_step=failed_step,
+        model_identified=model_identified,
+        image_recovered=image_recovered,
+        detail=detail,
+    )
+
+
+@dataclass
+class ReuseDecayPoint:
+    """One point of the residue-decay curve."""
+
+    filler_processes: int
+    frames_surviving_fraction: float
+    image_recovery_rate: float
+
+
+def reuse_decay_experiment(
+    filler_counts: list[int],
+    victim_model: str = "resnet50_pt",
+    input_hw: int = 32,
+    filler_pages: int = 16,
+) -> list[ReuseDecayPoint]:
+    """Residue decay as freed frames are reallocated.
+
+    After the victim dies, *n* filler processes are spawned (each
+    dirtying ``filler_pages`` heap pages) before the attacker scrapes.
+    With the default LIFO allocator the victim's own frames are reused
+    first, so recovery decays quickly — the curve the extension
+    benchmark plots.
+    """
+    from repro.evaluation.metrics import byte_recovery_rate
+
+    points = []
+    for count in filler_counts:
+        session = BoardSession.boot(input_hw=input_hw)
+        profiles = session.profile([victim_model])
+        secret = Image.test_pattern(input_hw, input_hw, seed=7)
+        run = session.victim_application().launch(victim_model, image=secret)
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        attack.observe_victim(victim_model)
+        attack.harvest_addresses()
+        run.terminate()
+        # Snapshot the victim's frames now — fillers will take them over.
+        victim_frames = _victim_frames(session, run.pid)
+        for filler_index in range(count):
+            filler = session.kernel.spawn(
+                [f"./filler_{filler_index}"],
+                user=session.victim_shell.user,
+                terminal=session.victim_shell.terminal,
+            )
+            arena = filler.heap_arena
+            assert arena is not None
+            arena.allocate_and_write(b"\xa5" * (filler_pages * 4096))
+        dump = attack.extract()
+        profile = profiles.get(victim_model)
+        recovered = dump.data[
+            profile.image_offset : profile.image_offset + profile.image_nbytes
+        ]
+        recovery = byte_recovery_rate(recovered, secret.to_raw_rgb())
+        surviving = (
+            sum(1 for frame in victim_frames if session.kernel.allocator.is_free(frame))
+            / len(victim_frames)
+        )
+        points.append(
+            ReuseDecayPoint(
+                filler_processes=count,
+                frames_surviving_fraction=surviving,
+                image_recovery_rate=recovery,
+            )
+        )
+    return points
+
+
+def _victim_frames(session: BoardSession, pid: int) -> list[int]:
+    """Ground-truth frame list of a dead victim (diagnostic)."""
+    return [
+        frame
+        for frame in range(session.kernel.allocator.total_frames)
+        if session.kernel.allocator.last_owner_of(frame) == pid
+    ]
+
+
+def warm_reboot(session: BoardSession, scrub_on_boot: bool = False) -> BoardSession:
+    """Reboot the OS while DRAM keeps its contents (a Zynq warm reset).
+
+    A warm reset (PS-only reset, or a reboot fast enough that the DDR
+    retains charge) does not clear the DDR4 — so residue from before
+    the reboot is still scrapeable afterwards, and the deterministic
+    allocator reproduces the same physical layout.  ``scrub_on_boot``
+    models a boot-time memory wipe, the boot-level analogue of
+    zero-on-free.
+    """
+    from repro.petalinux.rootfs import install_vitis_ai
+
+    if scrub_on_boot:
+        reserved = session.kernel.config.reserved_frames
+        dram = session.soc.dram
+        for frame in range(reserved, dram.capacity // 4096):
+            if dram.is_page_touched(frame):
+                dram.scrub_page(frame)
+    kernel = PetaLinuxKernel(session.soc, config=session.kernel.config)
+    install_vitis_ai(kernel.rootfs, input_hw=session.input_hw)
+    attacker_terminal, victim_terminal = default_terminals()
+    return BoardSession(
+        soc=session.soc,
+        kernel=kernel,
+        attacker_shell=Shell(kernel, attacker_terminal),
+        victim_shell=Shell(kernel, victim_terminal),
+        input_hw=session.input_hw,
+    )
+
+
+@dataclass
+class MultiTenantOutcome:
+    """Effect of a scrubbing strategy on a co-tenant's live data."""
+
+    strategy: str
+    victim_residue_cleared: bool
+    cotenant_data_intact: bool
+
+
+def multi_tenant_scrub_experiment(input_hw: int = 32) -> list[MultiTenantOutcome]:
+    """Naive contiguous scrubbing vs per-page scrubbing (paper §I-B).
+
+    Two tenants interleave heap allocations in physical memory.  When
+    tenant A dies, scrubbing the *contiguous physical range* spanned by
+    A's frames also wipes B's interleaved live pages; scrubbing exactly
+    A's frames does not.  Reproduces the paper's argument for
+    targeted, non-contiguous sanitization.
+    """
+    outcomes = []
+    for strategy in ("contiguous_range", "per_page"):
+        session = BoardSession.boot(input_hw=input_hw)
+        tenant_b_shell = session.add_tenant("guest_b", 1003, "pts/2")
+        process_a = session.kernel.spawn(
+            ["./tenant_a"], user=session.victim_shell.user,
+            terminal=session.victim_shell.terminal,
+        )
+        process_b = session.kernel.spawn(
+            ["./tenant_b"], user=tenant_b_shell.user,
+            terminal=tenant_b_shell.terminal,
+            heap_base=0xAAAB_0000_0000,
+        )
+        marker_b = b"TENANT_B_LIVE_DATA" * 256
+        arena_a = process_a.heap_arena
+        arena_b = process_b.heap_arena
+        assert arena_a is not None and arena_b is not None
+        # Interleave allocations so the tenants' frames alternate.
+        addresses_b = []
+        for _ in range(8):
+            arena_a.allocate_and_write(b"\x41" * 4096)
+            addresses_b.append(arena_b.allocate_and_write(marker_b[:4096]))
+        a_frames = sorted(
+            frame
+            for frame in range(session.kernel.allocator.total_frames)
+            if session.kernel.allocator.owner_of(frame) == process_a.pid
+        )
+        session.kernel.exit_process(process_a.pid)
+        if strategy == "contiguous_range":
+            low = min(a_frames)
+            high = max(a_frames)
+            for frame in range(low, high + 1):
+                session.soc.dram.scrub_page(frame)
+        else:
+            for frame in a_frames:
+                session.soc.dram.scrub_page(frame)
+        residue_cleared = all(
+            session.soc.dram.read(frame * 4096, 4096) == b"\x00" * 4096
+            for frame in a_frames
+        )
+        intact = all(
+            arena_b.read(address, 4096) == marker_b[:4096]
+            for address in addresses_b
+        )
+        outcomes.append(
+            MultiTenantOutcome(
+                strategy=strategy,
+                victim_residue_cleared=residue_cleared,
+                cotenant_data_intact=intact,
+            )
+        )
+    return outcomes

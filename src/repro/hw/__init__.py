@@ -1,0 +1,21 @@
+"""Hardware layer: DRAM, the Zynq UltraScale+ address map, boards, SoC."""
+
+from repro.hw.board import BoardSpec, ZCU102, ZCU104
+from repro.hw.dram import DramDevice, PowerUpFill
+from repro.hw.dpu import DpuCore, DpuJob
+from repro.hw.memmap import AddressMap, Region, zynqmp_address_map
+from repro.hw.soc import ZynqMpSoC
+
+__all__ = [
+    "BoardSpec",
+    "ZCU102",
+    "ZCU104",
+    "DramDevice",
+    "PowerUpFill",
+    "DpuCore",
+    "DpuJob",
+    "AddressMap",
+    "Region",
+    "zynqmp_address_map",
+    "ZynqMpSoC",
+]

@@ -1,0 +1,77 @@
+"""Board descriptions for the two evaluation targets of the paper.
+
+The attack was demonstrated on the ZCU104 and re-verified on the ZCU102
+(paper §I-C).  A :class:`BoardSpec` carries everything the simulation
+needs to instantiate a software twin of the board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.dram import PowerUpFill
+from repro.utils.units import parse_size
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """Static description of an evaluation board."""
+
+    name: str
+    family: str
+    dram_size: int
+    apu: str
+    apu_cores: int
+    rpu: str
+    gpu: str
+    process_node: str
+    powerup_fill: PowerUpFill = PowerUpFill.ZEROS
+
+    def __post_init__(self) -> None:
+        if self.dram_size <= 0:
+            raise ValueError(f"dram_size must be positive, got {self.dram_size}")
+        if self.apu_cores <= 0:
+            raise ValueError(f"apu_cores must be positive, got {self.apu_cores}")
+
+    def describe(self) -> str:
+        """One-paragraph hardware summary, mirroring the paper's §I-C."""
+        return (
+            f"{self.name} ({self.family}): {self.apu_cores}-core {self.apu} APU, "
+            f"{self.rpu} RPU, {self.gpu} GPU, "
+            f"{self.dram_size // 1024**2} MiB PS DDR4, {self.process_node}"
+        )
+
+
+ZCU104 = BoardSpec(
+    name="ZCU104",
+    family="Zynq UltraScale+ MPSoC",
+    dram_size=parse_size("2GiB"),
+    apu="ARM Cortex-A53",
+    apu_cores=4,
+    rpu="dual-core Cortex-R5",
+    gpu="Mali-400 MP2",
+    process_node="16nm FinFET+",
+)
+
+ZCU102 = BoardSpec(
+    name="ZCU102",
+    family="Zynq UltraScale+ MPSoC",
+    dram_size=parse_size("4GiB"),
+    apu="ARM Cortex-A53",
+    apu_cores=4,
+    rpu="dual-core Cortex-R5",
+    gpu="Mali-400 MP2",
+    process_node="16nm FinFET+",
+)
+
+BOARDS = {board.name: board for board in (ZCU104, ZCU102)}
+
+
+def board_by_name(name: str) -> BoardSpec:
+    """Look a board up by name (``"ZCU104"``/``"ZCU102"``)."""
+    try:
+        return BOARDS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown board {name!r}; known boards: {sorted(BOARDS)}"
+        ) from None

@@ -1,0 +1,130 @@
+"""The DPU accelerator core (modelled after the DPUCZDX8G).
+
+On the real board, the Vitis AI runtime hands the DPU a compiled
+xmodel subgraph plus DMA descriptors pointing at physically scattered
+input/output buffers in the PS DRAM.  Our twin keeps that split:
+
+- the DPU is a *gather → execute → scatter* engine over physical DRAM,
+- the "execute" step is delegated to a kernel object compiled by the
+  Vitis layer (:mod:`repro.vitis.runner`), keeping the hardware layer
+  free of ML specifics.
+
+What matters to the attack is the DMA behaviour: tensors really do
+land in DRAM at the physical frames the victim's page table names, and
+they stay there after the job completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.hw.soc import ZynqMpSoC
+
+
+class DpuKernel(Protocol):
+    """Anything the DPU can execute: a compiled subgraph."""
+
+    def execute(self, input_blob: bytes) -> bytes:
+        """Map the gathered input bytes to output bytes."""
+        ...
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count, used for the cycle estimate."""
+        ...
+
+
+Segment = tuple[int, int]
+"""A DMA descriptor: (physical address, length in bytes)."""
+
+
+@dataclass
+class DpuJob:
+    """One inference job: scatter-gather lists plus the kernel."""
+
+    kernel: DpuKernel
+    input_segments: list[Segment]
+    output_segments: list[Segment]
+
+    def input_length(self) -> int:
+        """Total gathered input size in bytes."""
+        return sum(length for _, length in self.input_segments)
+
+    def output_capacity(self) -> int:
+        """Total scatter capacity in bytes."""
+        return sum(length for _, length in self.output_segments)
+
+
+@dataclass
+class DpuStats:
+    """Per-core counters for the performance benches."""
+
+    jobs_completed: int = 0
+    bytes_gathered: int = 0
+    bytes_scattered: int = 0
+    total_macs: int = 0
+
+
+@dataclass
+class DpuCore:
+    """One DPU core attached to the SoC's PL region.
+
+    ``peak_macs_per_cycle`` follows the DPUCZDX8G B4096 configuration
+    (4096 MACs/cycle) and only feeds the cycle *estimate* in job
+    results; the simulation is functional, not cycle-accurate.
+    """
+
+    soc: ZynqMpSoC
+    peak_macs_per_cycle: int = 4096
+    stats: DpuStats = field(default_factory=DpuStats)
+
+    def run(self, job: DpuJob, on_phase: Callable[[str], None] | None = None) -> "DpuJobResult":
+        """Execute *job*: gather inputs, run the kernel, scatter outputs.
+
+        Raises ``ValueError`` if the kernel's output does not fit the
+        scatter list — the DMA engine cannot invent buffer space.
+        """
+        if on_phase:
+            on_phase("gather")
+        input_blob = bytearray()
+        for address, length in job.input_segments:
+            input_blob += self.soc.read_physical(address, length)
+
+        if on_phase:
+            on_phase("execute")
+        output_blob = job.kernel.execute(bytes(input_blob))
+
+        if len(output_blob) > job.output_capacity():
+            raise ValueError(
+                f"kernel produced {len(output_blob)} bytes but the scatter "
+                f"list only holds {job.output_capacity()}"
+            )
+
+        if on_phase:
+            on_phase("scatter")
+        cursor = 0
+        for address, length in job.output_segments:
+            take = min(length, len(output_blob) - cursor)
+            if take <= 0:
+                break
+            self.soc.write_physical(address, output_blob[cursor : cursor + take])
+            cursor += take
+
+        self.stats.jobs_completed += 1
+        self.stats.bytes_gathered += len(input_blob)
+        self.stats.bytes_scattered += cursor
+        self.stats.total_macs += job.kernel.macs
+        cycles = max(1, job.kernel.macs // self.peak_macs_per_cycle)
+        return DpuJobResult(
+            output=bytes(output_blob), estimated_cycles=cycles, macs=job.kernel.macs
+        )
+
+
+@dataclass(frozen=True)
+class DpuJobResult:
+    """What a completed job returns to the runtime."""
+
+    output: bytes
+    estimated_cycles: int
+    macs: int

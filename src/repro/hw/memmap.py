@@ -1,0 +1,132 @@
+"""The Zynq UltraScale+ MPSoC global physical address map.
+
+The attack's step 3 reads raw physical addresses with ``devmem``; those
+addresses are positions in this map.  We model the regions that matter
+for the attack plus enough neighbours that a wild read faults the way
+it would on the board (a bus error rather than silently returning
+zeros).
+
+Region layout follows Xilinx UG1085 (Zynq UltraScale+ TRM):
+
+=================  =====================  ========
+region             base                   size
+=================  =====================  ========
+DDR_LOW            0x0000_0000            2 GiB
+PL_LPD (M_AXI)     0x8000_0000            512 MiB
+QSPI               0xC000_0000            512 MiB
+LPS_IOU            0xFF00_0000            ~14 MiB
+OCM                0xFFFC_0000            256 KiB
+DDR_HIGH           0x8_0000_0000          up to 32 GiB
+=================  =====================  ========
+
+Boards with <= 2 GiB of PS DRAM (the ZCU104) back only DDR_LOW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BusError
+
+DDR_LOW_BASE = 0x0000_0000
+DDR_LOW_SIZE = 2 * 1024**3
+PL_LPD_BASE = 0x8000_0000
+PL_LPD_SIZE = 512 * 1024**2
+QSPI_BASE = 0xC000_0000
+QSPI_SIZE = 512 * 1024**2
+OCM_BASE = 0xFFFC_0000
+OCM_SIZE = 256 * 1024
+DDR_HIGH_BASE = 0x8_0000_0000
+DDR_HIGH_SIZE = 32 * 1024**3
+
+
+@dataclass(frozen=True)
+class Region:
+    """One window of the global address map."""
+
+    name: str
+    base: int
+    size: int
+    backed: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* falls inside this region."""
+        return self.base <= address < self.end
+
+    def offset_of(self, address: int) -> int:
+        """Region-relative offset of *address* (caller checks containment)."""
+        return address - self.base
+
+
+class AddressMap:
+    """An ordered, non-overlapping set of regions with address decode."""
+
+    def __init__(self, regions: list[Region]) -> None:
+        ordered = sorted(regions, key=lambda region: region.base)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if earlier.end > later.base:
+                raise ValueError(
+                    f"regions {earlier.name!r} and {later.name!r} overlap"
+                )
+        self._regions = ordered
+        self._by_name = {region.name: region for region in ordered}
+        if len(self._by_name) != len(ordered):
+            raise ValueError("duplicate region names")
+
+    @property
+    def regions(self) -> list[Region]:
+        """All regions, ascending by base address."""
+        return list(self._regions)
+
+    def region(self, name: str) -> Region:
+        """Look a region up by name; raises ``KeyError`` if absent."""
+        return self._by_name[name]
+
+    def decode(self, address: int) -> tuple[Region, int]:
+        """Map a global physical address to ``(region, offset)``.
+
+        Raises :class:`~repro.errors.BusError` when the address decodes
+        to no region — the behaviour a stray ``devmem`` would see.
+        """
+        for region in self._regions:
+            if region.contains(address):
+                return region, region.offset_of(address)
+        raise BusError(address)
+
+    def render(self) -> str:
+        """Human-readable table of the map, for reports and examples."""
+        lines = [f"{'region':<10} {'base':>12} {'end':>12}  backed"]
+        for region in self._regions:
+            lines.append(
+                f"{region.name:<10} {region.base:>#12x} {region.end:>#12x}  "
+                f"{'yes' if region.backed else 'no'}"
+            )
+        return "\n".join(lines)
+
+
+def zynqmp_address_map(dram_size: int) -> AddressMap:
+    """Build the Zynq UltraScale+ map for a board with *dram_size* DRAM.
+
+    DRAM fills DDR_LOW first; any remainder appears in DDR_HIGH, which
+    matches how the Zynq US+ DDR controller presents >2 GiB parts.
+    """
+    if dram_size <= 0:
+        raise ValueError(f"dram_size must be positive, got {dram_size}")
+    low_size = min(dram_size, DDR_LOW_SIZE)
+    regions = [
+        Region("DDR_LOW", DDR_LOW_BASE, low_size),
+        Region("PL_LPD", PL_LPD_BASE, PL_LPD_SIZE, backed=False),
+        Region("QSPI", QSPI_BASE, QSPI_SIZE, backed=False),
+        Region("OCM", OCM_BASE, OCM_SIZE),
+    ]
+    high_size = dram_size - low_size
+    if high_size > 0:
+        if high_size > DDR_HIGH_SIZE:
+            raise ValueError(f"dram_size {dram_size:#x} exceeds DDR_HIGH window")
+        regions.append(Region("DDR_HIGH", DDR_HIGH_BASE, high_size))
+    return AddressMap(regions)

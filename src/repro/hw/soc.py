@@ -1,0 +1,106 @@
+"""The Zynq UltraScale+ MPSoC: bus, DRAM, OCM, and the PL-side DPU.
+
+The SoC object is the single gateway for *physical* memory access.
+Everything above it — the kernel's frame allocator, the ``devmem``
+tool, the DPU — goes through :meth:`read_physical` /
+:meth:`write_physical`, which decode the global address against the
+UG1085 map and route to the backing device.  This is what makes the
+attack model honest: the attacker's post-mortem reads traverse exactly
+the same bus path as the victim's writes did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BusError
+from repro.hw.board import BoardSpec, ZCU104
+from repro.hw.dram import DramDevice, PowerUpFill
+from repro.hw.memmap import AddressMap, zynqmp_address_map
+
+
+@dataclass
+class ZynqMpSoC:
+    """A software twin of one Zynq UltraScale+ MPSoC board."""
+
+    board: BoardSpec = field(default_factory=lambda: ZCU104)
+    fill: PowerUpFill | None = None
+    fill_seed: int = 0
+
+    def __post_init__(self) -> None:
+        fill = self.fill if self.fill is not None else self.board.powerup_fill
+        self.address_map: AddressMap = zynqmp_address_map(self.board.dram_size)
+        self.dram = DramDevice(
+            capacity=self.board.dram_size, fill=fill, fill_seed=self.fill_seed
+        )
+        ocm_region = self.address_map.region("OCM")
+        self.ocm = DramDevice(capacity=ocm_region.size, fill=PowerUpFill.ZEROS)
+
+    # -- device routing ----------------------------------------------------
+
+    def _route(self, address: int) -> tuple[DramDevice, int]:
+        region, offset = self.address_map.decode(address)
+        if region.name == "DDR_LOW":
+            return self.dram, offset
+        if region.name == "DDR_HIGH":
+            # DDR_HIGH continues where DDR_LOW left off in the same device.
+            return self.dram, self.address_map.region("DDR_LOW").size + offset
+        if region.name == "OCM":
+            return self.ocm, offset
+        raise BusError(address, f"region {region.name} is not memory-backed")
+
+    # -- physical access ---------------------------------------------------
+
+    def read_physical(self, address: int, length: int) -> bytes:
+        """Read *length* bytes at global physical address *address*."""
+        device, offset = self._route(address)
+        return device.read(offset, length)
+
+    def write_physical(self, address: int, data: bytes) -> None:
+        """Write *data* at global physical address *address*."""
+        device, offset = self._route(address)
+        device.write(offset, data)
+
+    def read_word(self, address: int, word_size: int = 4) -> int:
+        """Word read at a physical address — the ``devmem`` primitive."""
+        device, offset = self._route(address)
+        return device.read_word(offset, word_size)
+
+    def write_word(self, address: int, value: int, word_size: int = 4) -> None:
+        """Word write at a physical address."""
+        device, offset = self._route(address)
+        device.write_word(offset, value, word_size)
+
+    # -- DRAM geometry helpers ----------------------------------------------
+
+    def dram_physical_base(self) -> int:
+        """Physical address where DRAM starts (DDR_LOW base)."""
+        return self.address_map.region("DDR_LOW").base
+
+    def dram_frame_to_physical(self, frame_number: int) -> int:
+        """Physical address of DRAM frame *frame_number*.
+
+        Frames beyond DDR_LOW appear in the DDR_HIGH window, matching
+        the real DDR controller's address splitting.
+        """
+        from repro.hw.dram import PAGE_SIZE
+
+        byte_offset = frame_number * PAGE_SIZE
+        low = self.address_map.region("DDR_LOW")
+        if byte_offset < low.size:
+            return low.base + byte_offset
+        high = self.address_map.region("DDR_HIGH")
+        return high.base + (byte_offset - low.size)
+
+    def physical_to_dram_frame(self, address: int) -> int:
+        """Inverse of :meth:`dram_frame_to_physical` (page-aligned input)."""
+        from repro.hw.dram import PAGE_SIZE
+
+        device, offset = self._route(address)
+        if device is not self.dram:
+            raise BusError(address, "address is not DRAM-backed")
+        return offset // PAGE_SIZE
+
+    def describe(self) -> str:
+        """Board summary plus the decoded address map."""
+        return self.board.describe() + "\n" + self.address_map.render()

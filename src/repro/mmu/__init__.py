@@ -1,0 +1,53 @@
+"""Memory management: frames, page tables, pagemap, address spaces."""
+
+from repro.mmu.paging import (
+    PAGE_MASK,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    align_down,
+    align_up,
+    is_page_aligned,
+    page_count,
+    page_offset,
+    vpn_of,
+)
+from repro.mmu.frame_alloc import FrameAllocator, ReusePolicy
+from repro.mmu.pagetable import PageTable, PageTableEntry
+from repro.mmu.pagemap import (
+    PM_FILE_BIT,
+    PM_PFN_BITS,
+    PM_PRESENT_BIT,
+    PM_SOFT_DIRTY_BIT,
+    PM_SWAP_BIT,
+    PagemapEntry,
+    decode_entry,
+    encode_entry,
+)
+from repro.mmu.address_space import AddressSpace, Vma, VmaKind
+
+__all__ = [
+    "PAGE_MASK",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "align_down",
+    "align_up",
+    "is_page_aligned",
+    "page_count",
+    "page_offset",
+    "vpn_of",
+    "FrameAllocator",
+    "ReusePolicy",
+    "PageTable",
+    "PageTableEntry",
+    "PM_FILE_BIT",
+    "PM_PFN_BITS",
+    "PM_PRESENT_BIT",
+    "PM_SOFT_DIRTY_BIT",
+    "PM_SWAP_BIT",
+    "PagemapEntry",
+    "decode_entry",
+    "encode_entry",
+    "AddressSpace",
+    "Vma",
+    "VmaKind",
+]

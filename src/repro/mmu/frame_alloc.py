@@ -1,0 +1,192 @@
+"""The physical frame allocator.
+
+Two of its properties carry the paper's findings:
+
+1. **Frames are never cleared here.**  ``free()`` just returns the frame
+   to the free pool; the bytes the owning process wrote stay in DRAM.
+   Sanitization, when enabled, is a kernel policy layered on top
+   (:mod:`repro.petalinux.sanitizer`).
+2. **Allocation order is deterministic** by default (ascending
+   first-fit with LIFO reuse), which is what lets the attacker's
+   offline profiling predict physical layout run after run — the
+   paper's third PetaLinux finding ("no randomization in physical page
+   layout").  The ``RANDOM`` policy is the physical-ASLR defense knob.
+
+The allocator also remembers, for every frame, the pid that last held
+it.  That bookkeeping is *diagnostic only* (used by the evaluation
+metrics to check ground truth); neither the kernel nor the attack read
+it.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+
+
+class ReusePolicy(enum.Enum):
+    """Order in which freed frames are handed back out."""
+
+    LIFO = "lifo"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass
+class FrameAllocatorStats:
+    """Counters used by the reuse-decay experiment."""
+
+    allocations: int = 0
+    frees: int = 0
+    frames_allocated: int = 0
+    frames_freed: int = 0
+
+
+class FrameAllocator:
+    """Allocates physical page frames from a contiguous frame range.
+
+    ``base_frame`` reserves the low frames (kernel image, DMA pools) so
+    user allocations land in the region the paper's devmem reads hit
+    (PAs around 0x6... on the ZCU104 — well above the kernel).
+    """
+
+    def __init__(
+        self,
+        total_frames: int,
+        base_frame: int = 0,
+        policy: ReusePolicy = ReusePolicy.LIFO,
+        seed: int = 0,
+    ) -> None:
+        if total_frames <= 0:
+            raise ValueError(f"total_frames must be positive, got {total_frames}")
+        if not 0 <= base_frame < total_frames:
+            raise ValueError(
+                f"base_frame {base_frame} outside [0, {total_frames})"
+            )
+        self._total_frames = total_frames
+        self._base_frame = base_frame
+        self._policy = policy
+        self._rng = random.Random(seed)
+        # Deterministic policies hand out never-used frames in ascending
+        # order from this watermark; freed frames go to the reuse pool.
+        # RANDOM models physical ASLR: placement must be unpredictable
+        # for *first* allocations too, so the whole frame range starts
+        # in the (randomly drawn-from) pool and the watermark is spent.
+        if policy is ReusePolicy.RANDOM:
+            self._watermark = total_frames
+            # A plain list allows O(1) swap-remove random draws.
+            self._free_pool: "deque[int] | list[int]" = list(
+                range(base_frame, total_frames)
+            )
+            self._free_set: set[int] = set(self._free_pool)
+        else:
+            self._watermark = base_frame
+            self._free_pool = deque()
+            self._free_set = set()
+        self._owner: dict[int, int | None] = {}
+        self._last_owner: dict[int, int] = {}
+        self.stats = FrameAllocatorStats()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def policy(self) -> ReusePolicy:
+        """The configured reuse policy."""
+        return self._policy
+
+    @property
+    def total_frames(self) -> int:
+        """Size of the managed frame range (including reserved base)."""
+        return self._total_frames
+
+    def free_frames(self) -> int:
+        """How many frames are currently allocatable."""
+        return (self._total_frames - self._watermark) + len(self._free_pool)
+
+    def allocated_frames(self) -> int:
+        """How many frames are currently held by owners."""
+        return len(self._owner)
+
+    def owner_of(self, frame: int) -> int | None:
+        """Current owner pid of *frame*, or ``None`` if free/never used."""
+        return self._owner.get(frame)
+
+    def last_owner_of(self, frame: int) -> int | None:
+        """Pid that most recently held *frame* (diagnostic ground truth)."""
+        return self._last_owner.get(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        """Whether *frame* is currently allocated."""
+        return frame in self._owner
+
+    # -- allocation --------------------------------------------------------
+
+    def _take_from_pool(self) -> int:
+        if self._policy is ReusePolicy.LIFO:
+            frame = self._free_pool.pop()
+        elif self._policy is ReusePolicy.FIFO:
+            frame = self._free_pool.popleft()
+        else:
+            # Swap-remove keeps random draws O(1) even with the whole
+            # frame range pooled (the physical-ASLR configuration).
+            index = self._rng.randrange(len(self._free_pool))
+            last = self._free_pool[-1]
+            frame = self._free_pool[index]
+            self._free_pool[index] = last
+            self._free_pool.pop()
+        self._free_set.discard(frame)
+        return frame
+
+    def allocate(self, count: int, owner: int | None = None) -> list[int]:
+        """Allocate *count* frames for *owner* (a pid, or None for kernel).
+
+        Freed frames are preferred over never-used frames, because that
+        is what exposes residue to reuse — and what the reuse-decay
+        experiment measures.  Raises
+        :class:`~repro.errors.OutOfMemoryError` if the request cannot
+        be satisfied (no partial allocation is left behind).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if count > self.free_frames():
+            raise OutOfMemoryError(
+                f"requested {count} frames, only {self.free_frames()} free"
+            )
+        frames = []
+        for _ in range(count):
+            if self._free_pool:
+                frame = self._take_from_pool()
+            else:
+                frame = self._watermark
+                self._watermark += 1
+            self._owner[frame] = owner
+            if owner is not None:
+                self._last_owner[frame] = owner
+            frames.append(frame)
+        self.stats.allocations += 1
+        self.stats.frames_allocated += count
+        return frames
+
+    def free(self, frames: list[int]) -> None:
+        """Return *frames* to the pool.  Contents are NOT cleared.
+
+        Raises ``ValueError`` on double-free or freeing an unallocated
+        frame — those are simulation bugs, not modelled behaviour.
+        """
+        for frame in frames:
+            if frame not in self._owner:
+                raise ValueError(f"double free or wild free of frame {frame}")
+        for frame in frames:
+            del self._owner[frame]
+            self._free_pool.append(frame)
+            self._free_set.add(frame)
+        self.stats.frees += 1
+        self.stats.frames_freed += len(frames)
+
+    def is_free(self, frame: int) -> bool:
+        """Whether *frame* is in the reuse pool (freed, residue intact)."""
+        return frame in self._free_set

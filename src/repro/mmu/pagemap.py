@@ -1,0 +1,113 @@
+"""Bit-exact Linux ``/proc/<pid>/pagemap`` entry encoding.
+
+The attack's step 2 parses real pagemap bytes, so the encoding follows
+``fs/proc/task_mmu.c`` exactly: one little-endian u64 per virtual page,
+
+====== =======================================
+bits   meaning
+====== =======================================
+0-54   page frame number (when present)
+55     soft-dirty
+56     exclusively mapped
+61     file-page / shared-anon
+62     swapped
+63     present
+====== =======================================
+
+The attacker-side tool (:mod:`repro.attack.addressing`) re-implements
+the paper's C program: ``seek(pagemap_fd, (va / PAGE_SIZE) * 8)``, read
+8 bytes, mask out the PFN.  Keeping the format bit-exact means that
+code would work unchanged against a real board's pagemap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitfield import bit, extract_bits, insert_bits
+
+PM_PFN_BITS = 55
+PM_SOFT_DIRTY_BIT = 55
+PM_MMAP_EXCLUSIVE_BIT = 56
+PM_FILE_BIT = 61
+PM_SWAP_BIT = 62
+PM_PRESENT_BIT = 63
+
+ENTRY_SIZE = 8
+"""Bytes per pagemap entry (one u64)."""
+
+
+@dataclass(frozen=True)
+class PagemapEntry:
+    """Decoded view of one pagemap u64."""
+
+    present: bool
+    pfn: int
+    swapped: bool = False
+    file_page: bool = False
+    soft_dirty: bool = False
+    exclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pfn < 0 or self.pfn >= 1 << PM_PFN_BITS:
+            raise ValueError(f"PFN {self.pfn:#x} does not fit in {PM_PFN_BITS} bits")
+        if self.present and self.swapped:
+            raise ValueError("a page cannot be both present and swapped")
+
+
+def encode_entry(entry: PagemapEntry) -> int:
+    """Pack a :class:`PagemapEntry` into its u64 wire value."""
+    value = 0
+    if entry.present:
+        value = insert_bits(value, 0, PM_PFN_BITS, entry.pfn)
+        value |= bit(PM_PRESENT_BIT)
+    if entry.swapped:
+        value |= bit(PM_SWAP_BIT)
+    if entry.file_page:
+        value |= bit(PM_FILE_BIT)
+    if entry.soft_dirty:
+        value |= bit(PM_SOFT_DIRTY_BIT)
+    if entry.exclusive:
+        value |= bit(PM_MMAP_EXCLUSIVE_BIT)
+    return value
+
+
+def decode_entry(value: int) -> PagemapEntry:
+    """Unpack a u64 wire value into a :class:`PagemapEntry`.
+
+    The PFN field is only meaningful when the present bit is set; for
+    non-present pages it decodes as zero, matching the kernel's
+    behaviour of hiding frame numbers for unmapped pages.  A value with
+    both present and swap set (which the kernel never emits) decodes
+    as present — tolerating garbage keeps the attacker-side parser
+    total over arbitrary u64 input.
+    """
+    if value < 0 or value >= 1 << 64:
+        raise ValueError(f"pagemap value {value:#x} is not a u64")
+    present = bool(value & bit(PM_PRESENT_BIT))
+    pfn = extract_bits(value, 0, PM_PFN_BITS) if present else 0
+    return PagemapEntry(
+        present=present,
+        pfn=pfn,
+        swapped=bool(value & bit(PM_SWAP_BIT)) and not present,
+        file_page=bool(value & bit(PM_FILE_BIT)),
+        soft_dirty=bool(value & bit(PM_SOFT_DIRTY_BIT)),
+        exclusive=bool(value & bit(PM_MMAP_EXCLUSIVE_BIT)),
+    )
+
+
+def entry_to_bytes(entry: PagemapEntry) -> bytes:
+    """Little-endian 8-byte wire form, as read from the pagemap file."""
+    return encode_entry(entry).to_bytes(ENTRY_SIZE, "little")
+
+
+def entry_from_bytes(data: bytes) -> PagemapEntry:
+    """Parse one 8-byte little-endian pagemap record."""
+    if len(data) != ENTRY_SIZE:
+        raise ValueError(f"pagemap entries are {ENTRY_SIZE} bytes, got {len(data)}")
+    return decode_entry(int.from_bytes(data, "little"))
+
+
+def absent_entry() -> PagemapEntry:
+    """The all-clear entry the kernel emits for unmapped pages."""
+    return PagemapEntry(present=False, pfn=0)

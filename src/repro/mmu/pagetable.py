@@ -1,0 +1,83 @@
+"""Per-process page tables.
+
+A flat VPN → PTE map stands in for the ARMv8 four-level walk; the
+translation *result* (which frame backs which virtual page, with what
+permissions) is identical, and that result is all the pagemap file and
+the attack consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TranslationFault
+from repro.mmu.paging import PAGE_SHIFT, page_offset, vpn_of
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """One mapping: virtual page -> physical frame with permissions."""
+
+    frame: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+
+    def perms(self) -> str:
+        """Render as the maps-file style triple, e.g. ``rw-``."""
+        return (
+            ("r" if self.readable else "-")
+            + ("w" if self.writable else "-")
+            + ("x" if self.executable else "-")
+        )
+
+
+class PageTable:
+    """Mutable VPN → :class:`PageTableEntry` mapping for one process."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def map_page(self, vpn: int, entry: PageTableEntry) -> None:
+        """Install a mapping; remapping an already-mapped VPN is an error."""
+        if vpn in self._entries:
+            raise ValueError(f"VPN {vpn:#x} is already mapped")
+        self._entries[vpn] = entry
+
+    def unmap_page(self, vpn: int) -> PageTableEntry:
+        """Remove and return the mapping for *vpn*."""
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise TranslationFault(vpn << PAGE_SHIFT) from None
+
+    def lookup(self, vpn: int) -> PageTableEntry | None:
+        """The PTE for *vpn*, or ``None`` when unmapped."""
+        return self._entries.get(vpn)
+
+    def translate(self, virtual_address: int) -> int:
+        """Translate a virtual address to a physical frame-space address.
+
+        Returns ``frame * PAGE_SIZE + page_offset`` — the *DRAM frame
+        address*; the SoC address map turns frames into global physical
+        addresses.  Raises :class:`~repro.errors.TranslationFault` for
+        unmapped addresses.
+        """
+        entry = self._entries.get(vpn_of(virtual_address))
+        if entry is None:
+            raise TranslationFault(virtual_address)
+        return (entry.frame << PAGE_SHIFT) | page_offset(virtual_address)
+
+    def mapped_vpns(self) -> list[int]:
+        """All mapped VPNs, ascending."""
+        return sorted(self._entries)
+
+    def frames(self) -> list[int]:
+        """All backing frames, in VPN order."""
+        return [self._entries[vpn].frame for vpn in self.mapped_vpns()]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

@@ -1,0 +1,54 @@
+"""Page-granularity constants and alignment helpers.
+
+PetaLinux on the Cortex-A53 uses 4 KiB pages; every layer of the
+simulation shares these constants so a "page" means the same thing to
+the DRAM device, the frame allocator, the pagemap encoder and the
+attack's address arithmetic.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+def is_page_aligned(address: int) -> bool:
+    """Whether *address* sits on a page boundary."""
+    return (address & PAGE_MASK) == 0
+
+
+def align_down(address: int) -> int:
+    """Round *address* down to its page boundary."""
+    return address & ~PAGE_MASK
+
+
+def align_up(address: int) -> int:
+    """Round *address* up to the next page boundary (identity if aligned)."""
+    return (address + PAGE_MASK) & ~PAGE_MASK
+
+
+def page_offset(address: int) -> int:
+    """Byte offset of *address* within its page."""
+    return address & PAGE_MASK
+
+
+def vpn_of(address: int) -> int:
+    """Virtual page number containing *address*."""
+    return address >> PAGE_SHIFT
+
+
+def page_count(length: int) -> int:
+    """Number of pages needed to hold *length* bytes."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    return (length + PAGE_MASK) >> PAGE_SHIFT
+
+
+def page_span(start: int, end: int) -> range:
+    """Iterate the VPNs covering the half-open byte range [start, end)."""
+    if end < start:
+        raise ValueError(f"end {end:#x} precedes start {start:#x}")
+    if start == end:
+        return range(0)
+    return range(vpn_of(start), vpn_of(end - 1) + 1)

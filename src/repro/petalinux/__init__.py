@@ -1,0 +1,28 @@
+"""PetaLinux software twin: kernel, processes, procfs, shell tools."""
+
+from repro.petalinux.users import ROOT, Terminal, User
+from repro.petalinux.process import HeapArena, Process, ProcessState, ProgramImage
+from repro.petalinux.sanitizer import SanitizePolicy, Sanitizer
+from repro.petalinux.aslr import LayoutRandomization
+from repro.petalinux.kernel import KernelConfig, PetaLinuxKernel
+from repro.petalinux.procfs import ProcFs
+from repro.petalinux.devmem import Devmem
+from repro.petalinux.shell import Shell
+
+__all__ = [
+    "ROOT",
+    "Terminal",
+    "User",
+    "HeapArena",
+    "Process",
+    "ProcessState",
+    "ProgramImage",
+    "SanitizePolicy",
+    "Sanitizer",
+    "LayoutRandomization",
+    "KernelConfig",
+    "PetaLinuxKernel",
+    "ProcFs",
+    "Devmem",
+    "Shell",
+]

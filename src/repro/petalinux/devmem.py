@@ -1,0 +1,92 @@
+"""The ``devmem`` tool — step 3's physical-memory read primitive.
+
+``devmem`` (from busybox) mmaps ``/dev/mem`` and reads one word at a
+given physical address.  On the PetaLinux image the device node is
+accessible to the logged-in user, which is the third ingredient of the
+attack.  The hardened configuration (``devmem_unrestricted=False``)
+models a build with ``CONFIG_STRICT_DEVMEM`` + proper node permissions:
+only root may read, and the attack's extraction step dies with
+``PermissionDeniedError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PermissionDeniedError
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.users import User
+
+
+@dataclass
+class Devmem:
+    """``devmem <address> [width]`` against one booted kernel."""
+
+    kernel: PetaLinuxKernel
+
+    def _check_access(self, caller: User) -> None:
+        if self.kernel.config.devmem_unrestricted or caller.is_root:
+            return
+        raise PermissionDeniedError(
+            f"user {caller.name!r} may not open /dev/mem (STRICT_DEVMEM)"
+        )
+
+    def _check_xen(self, caller: User, address: int, length: int) -> None:
+        """Enforce hypervisor domain confinement, page by page.
+
+        A no-op without Xen and under the passthrough default — the
+        hole the paper describes is exactly that this check does not
+        happen on the PetaLinux-generated configuration.
+        """
+        deployment = self.kernel.config.xen
+        if deployment is None:
+            return
+        from repro.mmu.paging import PAGE_SHIFT, PAGE_SIZE
+
+        first_frame = address >> PAGE_SHIFT
+        last_frame = (address + max(length - 1, 0)) >> PAGE_SHIFT
+        for frame in range(first_frame, last_frame + 1):
+            deployment.check_physical_access(caller, frame)
+
+    def read(self, address: int, caller: User, width_bits: int = 32) -> int:
+        """Read one word at physical *address* — ``devmem 0x61c6d730``.
+
+        Raises :class:`~repro.errors.BusError` for addresses that
+        decode to nothing, like a real stray /dev/mem access would
+        fault.
+        """
+        self._check_access(caller)
+        if width_bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported width {width_bits}")
+        self._check_xen(caller, address, width_bits // 8)
+        return self.kernel.soc.read_word(address, width_bits // 8)
+
+    def read_range(
+        self, start: int, length: int, caller: User, word_bits: int = 32
+    ) -> list[int]:
+        """The automated loop the paper runs: one read per word.
+
+        Equivalent to invoking ``devmem`` at ``start``, ``start+4``,
+        ... across *length* bytes, which is exactly what the authors'
+        automation does over the harvested physical ranges.
+        """
+        self._check_access(caller)
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        self._check_xen(caller, start, length)
+        word_bytes = word_bits // 8
+        return [
+            self.kernel.soc.read_word(start + offset, word_bytes)
+            for offset in range(0, length, word_bytes)
+        ]
+
+    def read_bytes(self, start: int, length: int, caller: User) -> bytes:
+        """Bulk byte read (used by benches to skip per-word overhead)."""
+        self._check_access(caller)
+        self._check_xen(caller, start, length)
+        return self.kernel.soc.read_physical(start, length)
+
+    def render(self, address: int, caller: User, width_bits: int = 32) -> str:
+        """The exact console line ``devmem`` prints (paper Fig. 10)."""
+        value = self.read(address, caller, width_bits)
+        return f"0x{value:0{width_bits // 4}X}"

@@ -1,0 +1,206 @@
+"""Processes and the in-process heap arena.
+
+A :class:`Process` owns an address space laid out like aarch64
+PetaLinux: text, data, heap (at the paper's ``0xaaaa_...`` range),
+optional device mappings, and the stack near ``0xffff_...``.
+
+:class:`HeapArena` is the deterministic bump allocator standing in for
+glibc malloc on the board.  Its determinism is load-bearing for the
+paper: the same program processing the same model always places the
+input image at the same heap offset, which is what makes the offline
+profiling step transferable to the victim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProcessStateError, VmaError
+from repro.mmu.address_space import AddressSpace, VmaKind
+from repro.mmu.paging import PAGE_SIZE, align_up
+from repro.petalinux.users import Terminal, User
+
+TEXT_BASE = 0xAAAA_EE75_0000
+"""Load address of the (PIE) executable under the deterministic layout."""
+
+DEFAULT_HEAP_BASE = 0xAAAA_EE77_5000
+"""Heap start — chosen to match the paper's Fig. 7 exactly."""
+
+STACK_TOP = 0xFFFF_D000_0000
+DEFAULT_STACK_SIZE = 1024 * 1024
+
+DEVICE_MMAP_BASE = 0xFFFF_B13B_5000
+"""Where device mappings land (the paper's Fig. 7 shows
+``/dev/dri/renderD128`` at this address)."""
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states, as ``ps`` would report them."""
+
+    RUNNING = "R"
+    SLEEPING = "S"
+    ZOMBIE = "Z"
+    DEAD = "X"
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """Static description of an executable the kernel can spawn."""
+
+    path: str
+    text_size: int = 0x20000
+    data_size: int = 0x5000
+    initial_heap: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("program path must be non-empty")
+        if self.text_size <= 0 or self.data_size <= 0:
+            raise ValueError("text and data sizes must be positive")
+
+
+@dataclass
+class Process:
+    """One live (or zombie) process."""
+
+    pid: int
+    ppid: int
+    user: User
+    terminal: Terminal | None
+    cmdline: list[str]
+    address_space: AddressSpace
+    start_time: str = "12:33"
+    state: ProcessState = ProcessState.RUNNING
+    cpu_seconds: int = 0
+    exit_code: int | None = None
+    heap_arena: "HeapArena | None" = field(default=None, repr=False)
+
+    @property
+    def command(self) -> str:
+        """The CMD column of ``ps -ef``."""
+        return " ".join(self.cmdline)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process still holds its memory."""
+        return self.state in (ProcessState.RUNNING, ProcessState.SLEEPING)
+
+    def require_alive(self) -> None:
+        """Raise unless the process can still execute."""
+        if not self.is_alive:
+            raise ProcessStateError(
+                f"pid {self.pid} is {self.state.name}, not running"
+            )
+
+    def tty_name(self) -> str:
+        """TTY column: the pty name, or ``?`` for kernel threads."""
+        return self.terminal.name if self.terminal else "?"
+
+
+class HeapArena:
+    """Deterministic bump allocator over the process heap.
+
+    Allocations are 16-byte aligned and never freed individually —
+    the victim application allocates model, weights and image buffers
+    once and exits, which is exactly the pattern the paper profiles.
+    Growth goes through ``brk`` so the kernel maps fresh frames.
+    """
+
+    ALIGNMENT = 16
+
+    def __init__(self, process: Process, base: int | None = None) -> None:
+        heap = process.address_space.heap()
+        if heap is None:
+            raise VmaError(f"pid {process.pid} has no heap")
+        self._process = process
+        self._cursor = base if base is not None else heap.start
+        if not heap.contains(self._cursor) and self._cursor != heap.start:
+            raise VmaError(f"arena base {self._cursor:#x} outside heap")
+
+    @property
+    def cursor(self) -> int:
+        """Next allocation address (before alignment)."""
+        return self._cursor
+
+    def allocate(self, size: int) -> int:
+        """Reserve *size* bytes; returns the virtual address.
+
+        Grows the heap via ``brk`` when the arena runs past the current
+        break — mirroring glibc's main-arena behaviour for the large
+        allocations the Vitis runtime makes.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self._process.require_alive()
+        address = align_up_to(self._cursor, self.ALIGNMENT)
+        new_cursor = address + size
+        heap = self._process.address_space.heap()
+        assert heap is not None
+        if new_cursor > heap.end:
+            self._process.address_space.brk(new_cursor)
+        self._cursor = new_cursor
+        return address
+
+    def write(self, address: int, data: bytes) -> None:
+        """Store bytes at an arena address (through the page table)."""
+        self._process.require_alive()
+        self._process.address_space.write_virtual(address, data)
+
+    def read(self, address: int, length: int) -> bytes:
+        """Load bytes from an arena address."""
+        return self._process.address_space.read_virtual(address, length)
+
+    def allocate_and_write(self, data: bytes) -> int:
+        """Reserve space for *data*, store it, return its address."""
+        address = self.allocate(len(data))
+        self.write(address, data)
+        return address
+
+
+def align_up_to(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def layout_process_memory(
+    address_space: AddressSpace,
+    image: ProgramImage,
+    heap_base: int = DEFAULT_HEAP_BASE,
+    text_base: int = TEXT_BASE,
+    stack_size: int = DEFAULT_STACK_SIZE,
+    device_paths: tuple[str, ...] = (),
+) -> None:
+    """Build the standard VMA layout for a freshly spawned process.
+
+    Text and data are placed below the heap; device mappings (e.g. the
+    DRM render node the Vitis runtime opens) land in the high mmap
+    area; the stack sits just under ``STACK_TOP``.
+    """
+    data_base = text_base + align_up(image.text_size)
+    if data_base + align_up(image.data_size) > heap_base:
+        raise VmaError(
+            f"text+data [{text_base:#x}..) collide with heap base {heap_base:#x}"
+        )
+    address_space.add_vma(
+        text_base, image.text_size, "r-xp", VmaKind.TEXT,
+        name=image.path, dev="b3:02", inode=4321,
+    )
+    address_space.add_vma(
+        data_base, image.data_size, "rw-p", VmaKind.DATA,
+        name=image.path, file_offset=align_up(image.text_size),
+        dev="b3:02", inode=4321,
+    )
+    address_space.create_heap(heap_base, image.initial_heap)
+    mmap_cursor = DEVICE_MMAP_BASE
+    for path in device_paths:
+        vma = address_space.add_vma(
+            mmap_cursor, 0x100000, "rw-p", VmaKind.DEVICE, name=path,
+            dev="00:06", inode=180,
+        )
+        mmap_cursor = vma.end + PAGE_SIZE
+    address_space.add_vma(
+        STACK_TOP - stack_size, stack_size, "rw-p", VmaKind.STACK, name="[stack]"
+    )

@@ -1,0 +1,119 @@
+"""The ``/proc`` filesystem facade.
+
+Every read takes the *calling user*, because the cross-user readability
+of these files is one of the paper's two exploited holes.  With the
+default (vulnerable) kernel config any user reads any process's
+``maps``/``pagemap``/``cmdline``/``status``; with the hardened config
+the same calls raise :class:`~repro.errors.PermissionDeniedError`
+unless the caller owns the process or is root — which is what a
+stock server-grade Linux would do (pagemap has required
+``CAP_SYS_ADMIN`` for the PFN field since 4.0).
+
+``read_pagemap`` is deliberately pread-style (offset + length), like
+the real sparse file: one 8-byte entry per virtual page, indexed by
+VPN.  The attacker-side code seeks to ``(va >> 12) * 8`` exactly as
+the paper's C helper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PermissionDeniedError
+from repro.mmu.pagemap import ENTRY_SIZE, entry_to_bytes
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.process import Process
+from repro.petalinux.users import User
+
+
+@dataclass
+class ProcFs:
+    """Read-side of ``/proc`` for one booted kernel."""
+
+    kernel: PetaLinuxKernel
+
+    # -- permission model ---------------------------------------------------
+
+    def _check_procfs_access(self, caller: User, process: Process) -> None:
+        if self.kernel.config.procfs_world_readable:
+            return
+        if caller.is_root or caller.uid == process.user.uid:
+            return
+        raise PermissionDeniedError(
+            f"user {caller.name!r} may not read /proc/{process.pid} "
+            f"(owned by {process.user.name!r})"
+        )
+
+    def _check_pagemap_access(self, caller: User, process: Process) -> None:
+        self._check_procfs_access(caller, process)
+        if self.kernel.config.pagemap_world_readable:
+            return
+        if caller.is_root:
+            return
+        raise PermissionDeniedError(
+            f"user {caller.name!r} may not read /proc/{process.pid}/pagemap "
+            "(PFN disclosure requires CAP_SYS_ADMIN)"
+        )
+
+    # -- files ---------------------------------------------------------------
+
+    def read_maps(self, pid: int, caller: User) -> str:
+        """``/proc/<pid>/maps`` — the text the paper's Fig. 7 shows."""
+        process = self.kernel.find_process(pid)
+        self._check_procfs_access(caller, process)
+        return process.address_space.render_maps()
+
+    def read_cmdline(self, pid: int, caller: User) -> bytes:
+        """``/proc/<pid>/cmdline`` — NUL-separated argv."""
+        process = self.kernel.find_process(pid)
+        self._check_procfs_access(caller, process)
+        return b"\x00".join(arg.encode() for arg in process.cmdline) + b"\x00"
+
+    def read_status(self, pid: int, caller: User) -> str:
+        """``/proc/<pid>/status`` — the subset of fields tools consume."""
+        process = self.kernel.find_process(pid)
+        self._check_procfs_access(caller, process)
+        name = process.cmdline[0].rsplit("/", 1)[-1]
+        rss_kib = process.address_space.resident_bytes() // 1024
+        return (
+            f"Name:\t{name}\n"
+            f"State:\t{process.state.value} ({process.state.name.lower()})\n"
+            f"Pid:\t{process.pid}\n"
+            f"PPid:\t{process.ppid}\n"
+            f"Uid:\t{process.user.uid}\t{process.user.uid}\t"
+            f"{process.user.uid}\t{process.user.uid}\n"
+            f"VmRSS:\t{rss_kib} kB\n"
+        )
+
+    def read_pagemap(self, pid: int, offset: int, length: int, caller: User) -> bytes:
+        """pread on ``/proc/<pid>/pagemap``.
+
+        *offset* and *length* are in bytes and must be multiples of the
+        8-byte entry size, matching how the file behaves (short,
+        unaligned reads fail with EINVAL on the real kernel too).
+        """
+        process = self.kernel.find_process(pid)
+        self._check_pagemap_access(caller, process)
+        if offset % ENTRY_SIZE or length % ENTRY_SIZE:
+            raise ValueError(
+                f"pagemap reads must be {ENTRY_SIZE}-byte aligned "
+                f"(offset={offset}, length={length})"
+            )
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        first_vpn = offset // ENTRY_SIZE
+        out = bytearray()
+        for vpn in range(first_vpn, first_vpn + length // ENTRY_SIZE):
+            out += entry_to_bytes(self.kernel.pagemap_entry(pid, vpn))
+        return bytes(out)
+
+    def list_pids(self, caller: User) -> list[int]:
+        """The numeric /proc entries.
+
+        pid *visibility* is world-readable even on hardened systems
+        without ``hidepid``; we keep it visible in all configs so step
+        1 of the attack (polling ``ps``) always works — the hardened
+        configs defeat the later steps instead.
+        """
+        del caller
+        return sorted(process.pid for process in self.kernel.processes())

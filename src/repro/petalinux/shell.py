@@ -1,0 +1,137 @@
+"""A login shell on one pseudo-terminal.
+
+This is where the attack's "two terminals" (paper §IV) live: both the
+victim and the attacker interact with the board through a
+:class:`Shell`.  The shell offers the handful of commands the paper's
+figures show — ``ps -ef``, ``devmem``, ``grep`` — plus programmatic
+accessors returning structured data, which the attack pipeline prefers
+over re-parsing its own console output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.petalinux.devmem import Devmem
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.procfs import ProcFs
+from repro.petalinux.process import Process
+from repro.petalinux.users import Terminal
+
+
+@dataclass(frozen=True)
+class PsRow:
+    """One structured row of ``ps -ef`` output."""
+
+    uid: str
+    pid: int
+    ppid: int
+    c: int
+    stime: str
+    tty: str
+    time: str
+    cmd: str
+
+    def render(self) -> str:
+        """Format like procps: whitespace-aligned columns."""
+        return (
+            f"{self.uid:<10}{self.pid:>7}{self.ppid:>7}{self.c:>3} "
+            f"{self.stime:>5} {self.tty:<8}{self.time:>9} {self.cmd}"
+        )
+
+
+@dataclass
+class Shell:
+    """One user's session on one terminal of the booted board."""
+
+    kernel: PetaLinuxKernel
+    terminal: Terminal
+    procfs: ProcFs = field(init=False)
+    devmem_tool: Devmem = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.procfs = ProcFs(self.kernel)
+        self.devmem_tool = Devmem(self.kernel)
+
+    @property
+    def user(self):
+        """The logged-in user (the terminal's owner)."""
+        return self.terminal.user
+
+    # -- ps ---------------------------------------------------------------
+
+    @staticmethod
+    def _format_time(cpu_seconds: int) -> str:
+        hours, remainder = divmod(cpu_seconds, 3600)
+        minutes, seconds = divmod(remainder, 60)
+        return f"{hours:02d}:{minutes:02d}:{seconds:02d}"
+
+    def ps_rows(self) -> list[PsRow]:
+        """Structured ``ps -ef``: every process, ascending pid.
+
+        Process *visibility* is not restricted in any configuration
+        (see :meth:`ProcFs.list_pids`); what the hardened kernels
+        protect is memory, not the process list.
+        """
+        rows = []
+        for process in self.kernel.processes():
+            rows.append(
+                PsRow(
+                    uid=process.user.name,
+                    pid=process.pid,
+                    ppid=process.ppid,
+                    c=0,
+                    stime=process.start_time,
+                    tty=process.tty_name(),
+                    time=self._format_time(process.cpu_seconds),
+                    cmd=process.command,
+                )
+            )
+        return rows
+
+    def ps_ef(self) -> str:
+        """The full ``ps -ef`` text, header included."""
+        header = (
+            f"{'UID':<10}{'PID':>7}{'PPID':>7}{'C':>3} "
+            f"{'STIME':>5} {'TTY':<8}{'TIME':>9} CMD"
+        )
+        return "\n".join([header] + [row.render() for row in self.ps_rows()])
+
+    def pgrep(self, pattern: str) -> list[int]:
+        """pids whose command line contains *pattern*."""
+        return [row.pid for row in self.ps_rows() if pattern in row.cmd]
+
+    # -- process control ------------------------------------------------------
+
+    def run(
+        self,
+        cmdline: list[str],
+        device_paths: tuple[str, ...] = ("/dev/dri/renderD128",),
+    ) -> Process:
+        """Launch a program from this terminal (like typing ``./prog``).
+
+        The default device mapping mirrors the DRM render node the
+        Vitis runtime opens (visible in the paper's Fig. 7 maps
+        excerpt).
+        """
+        return self.kernel.spawn(
+            cmdline,
+            user=self.user,
+            terminal=self.terminal,
+            device_paths=device_paths,
+        )
+
+    # -- the figure commands ------------------------------------------------------
+
+    def cat_maps(self, pid: int) -> str:
+        """``cat /proc/<pid>/maps`` (the paper uses vim; same bytes)."""
+        return self.procfs.read_maps(pid, caller=self.user)
+
+    def devmem(self, address: int, width_bits: int = 32) -> str:
+        """``devmem <address>`` — returns the printed line."""
+        return self.devmem_tool.render(address, caller=self.user, width_bits=width_bits)
+
+    @staticmethod
+    def grep(pattern: str, text: str) -> list[str]:
+        """Plain-substring ``grep`` over command output."""
+        return [line for line in text.splitlines() if pattern in line]

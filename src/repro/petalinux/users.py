@@ -1,0 +1,61 @@
+"""Users and pseudo-terminals.
+
+The attack is a *cross-user-space* attack (paper contribution 1): the
+attacker logs into a second terminal as a different user and still
+reads the victim's procfs artifacts.  Users and terminals are therefore
+first-class in the simulation, and every kernel entry point that the
+paper abuses takes the calling user so that the hardened configuration
+can enforce the boundary the insecure default lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class User:
+    """One system account."""
+
+    name: str
+    uid: int
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise ValueError(f"uid must be non-negative, got {self.uid}")
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this account bypasses all isolation checks."""
+        return self.uid == 0
+
+
+ROOT = User("root", 0)
+PETALINUX = User("petalinux", 1000)
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """A pseudo-terminal a user is logged into (``pts/0``, ``pts/1``...).
+
+    The paper runs the victim on one pty and the attacker on another;
+    ``ps -ef`` output shows which is which in the TTY column.
+    """
+
+    name: str
+    user: User
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("terminal name must be non-empty")
+
+
+def default_terminals() -> list[Terminal]:
+    """The two-terminal setup from the paper's §IV.
+
+    ``pts/0`` is the attacker's login, ``pts/1`` the victim's — both
+    regular (non-root) accounts on the single-tenant board.
+    """
+    attacker = User("attacker", 1001)
+    victim = User("victim", 1002)
+    return [Terminal("pts/0", attacker), Terminal("pts/1", victim)]

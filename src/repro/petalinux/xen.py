@@ -1,0 +1,152 @@
+"""The Xen hypervisor layer — and why it didn't help.
+
+Paper §I: "in Xilinx FPGAs, a hypervisor like Xen manages isolation
+between multiple processes running on the FPGA.  However, ... page
+tables are only accessible to the operating system ... We find that,
+unlike in CPUs, a Xilinx debugger has access to memory page tables.
+This is because Xen is not managed by the host OS, but rather
+configured by the user using PetaLinux.  We find this to be a gaping
+security hole."
+
+The model here captures the *configuration* failure: PetaLinux offers
+Xen as a selectable component, and the user-generated default
+configuration passes ``/dev/mem`` straight through to the guest
+domains (``dev_mem_passthrough=True``) — so the hypervisor is present
+but enforces nothing, which is what the paper observed.  A correctly
+administered deployment pins each domain to a physical window and
+rejects cross-domain physical reads; the defense benchmarks show that
+this, unlike the passthrough default, stops the extraction step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PermissionDeniedError
+from repro.petalinux.users import User
+
+
+@dataclass(frozen=True)
+class XenDomain:
+    """One guest domain: who belongs to it, which frames it owns."""
+
+    name: str
+    uids: frozenset[int]
+    frame_start: int
+    frame_end: int
+
+    def __post_init__(self) -> None:
+        if self.frame_end <= self.frame_start:
+            raise ValueError(
+                f"domain {self.name!r} has empty frame range "
+                f"[{self.frame_start}, {self.frame_end})"
+            )
+
+    def owns_user(self, user: User) -> bool:
+        """Whether *user* runs inside this domain."""
+        return user.uid in self.uids
+
+    def owns_frame(self, frame: int) -> bool:
+        """Whether *frame* belongs to this domain's window."""
+        return self.frame_start <= frame < self.frame_end
+
+
+@dataclass
+class XenDeployment:
+    """A Xen configuration as generated through PetaLinux.
+
+    ``dev_mem_passthrough=True`` is the user-default the paper found:
+    guests keep raw physical access and the domain windows are
+    decorative.  Set it to ``False`` for a properly administered
+    deployment that confines each user's physical reads to their own
+    domain (dom0/root is never confined).
+    """
+
+    domains: list[XenDomain] = field(default_factory=list)
+    dev_mem_passthrough: bool = True
+
+    def __post_init__(self) -> None:
+        ordered = sorted(self.domains, key=lambda domain: domain.frame_start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if earlier.frame_end > later.frame_start:
+                raise ValueError(
+                    f"domains {earlier.name!r} and {later.name!r} overlap"
+                )
+
+    def domain_of_user(self, user: User) -> XenDomain | None:
+        """The domain *user* runs in, if any."""
+        for domain in self.domains:
+            if domain.owns_user(user):
+                return domain
+        return None
+
+    def domain_of_frame(self, frame: int) -> XenDomain | None:
+        """The domain owning *frame*, if any."""
+        for domain in self.domains:
+            if domain.owns_frame(frame):
+                return domain
+        return None
+
+    def check_physical_access(self, user: User, frame: int) -> None:
+        """Enforce domain confinement for one physical-frame access.
+
+        No-op under passthrough (the vulnerable default) and for root
+        (dom0).  Otherwise the caller must have a domain and the frame
+        must be inside it.
+        """
+        if self.dev_mem_passthrough or user.is_root:
+            return
+        domain = self.domain_of_user(user)
+        if domain is None:
+            raise PermissionDeniedError(
+                f"user {user.name!r} belongs to no Xen domain"
+            )
+        if not domain.owns_frame(frame):
+            owner = self.domain_of_frame(frame)
+            owner_name = owner.name if owner else "unassigned"
+            raise PermissionDeniedError(
+                f"Xen: domain {domain.name!r} may not access frame "
+                f"{frame:#x} (owner: {owner_name})"
+            )
+
+    def describe(self) -> str:
+        """Human-readable deployment summary."""
+        mode = "passthrough /dev/mem" if self.dev_mem_passthrough else "confined"
+        lines = [f"Xen deployment ({mode}):"]
+        for domain in self.domains:
+            lines.append(
+                f"  {domain.name}: uids {sorted(domain.uids)}, frames "
+                f"[{domain.frame_start:#x}, {domain.frame_end:#x})"
+            )
+        return "\n".join(lines)
+
+
+def two_guest_deployment(
+    attacker_uid: int = 1001,
+    victim_uid: int = 1002,
+    base_frame: int = 0x60000,
+    frames_per_domain: int = 0x8000,
+    dev_mem_passthrough: bool = True,
+) -> XenDeployment:
+    """The evaluation deployment: two guest domains side by side.
+
+    The default keeps /dev/mem passthrough on — the PetaLinux-generated
+    configuration the paper attacked.
+    """
+    return XenDeployment(
+        domains=[
+            XenDomain(
+                name="domU-attacker",
+                uids=frozenset({attacker_uid}),
+                frame_start=base_frame,
+                frame_end=base_frame + frames_per_domain,
+            ),
+            XenDomain(
+                name="domU-victim",
+                uids=frozenset({victim_uid}),
+                frame_start=base_frame + frames_per_domain,
+                frame_end=base_frame + 2 * frames_per_domain,
+            ),
+        ],
+        dev_mem_passthrough=dev_mem_passthrough,
+    )

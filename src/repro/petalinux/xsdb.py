@@ -1,0 +1,124 @@
+"""The Xilinx System Debugger (XSDB) facade.
+
+The paper's contribution 2 is "a novel attack methodology that uses the
+Xilinx system debugger to mount a system-channel attack": the debugger,
+invokable from a second user space, grants "unrestricted access to
+critical process details, including process IDs (pids), virtual address
+spaces, and pagemaps" plus raw memory reads that bypass host-OS access
+control.
+
+This facade packages exactly those privileges behind the XSDB command
+names (``targets``, ``mrd``, ``mwr``) plus the process-inspection
+queries the attack scripts.  Internally everything routes through the
+same procfs/devmem checks as the shell tools — so the hardened kernel
+configurations restrict the debugger the same way they restrict the
+raw tools, and the vulnerable default restricts nothing, as observed
+on the board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mmu.pagemap import ENTRY_SIZE, PagemapEntry, entry_from_bytes
+from repro.mmu.paging import vpn_of
+from repro.petalinux.devmem import Devmem
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.procfs import ProcFs
+from repro.petalinux.users import User
+
+
+@dataclass(frozen=True)
+class DebugTarget:
+    """One debuggable target, as ``targets`` lists them."""
+
+    index: int
+    name: str
+    state: str = "Running"
+
+    def render(self) -> str:
+        """One line of ``targets`` output."""
+        return f"{self.index:>3}  {self.name} ({self.state})"
+
+
+@dataclass
+class XilinxSystemDebugger:
+    """An XSDB session opened by *user* against one booted board."""
+
+    kernel: PetaLinuxKernel
+    user: User
+    procfs: ProcFs = field(init=False)
+    _devmem: Devmem = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.procfs = ProcFs(self.kernel)
+        self._devmem = Devmem(self.kernel)
+
+    # -- targets ------------------------------------------------------------
+
+    def targets(self) -> list[DebugTarget]:
+        """The debuggable hardware targets (APU cores, PMU, PL)."""
+        board = self.kernel.soc.board
+        entries = [DebugTarget(1, f"PS TAP ({board.name})", "Ready")]
+        for core in range(board.apu_cores):
+            entries.append(
+                DebugTarget(2 + core, f"Cortex-A53 #{core}", "Running")
+            )
+        entries.append(DebugTarget(2 + board.apu_cores, "PMU", "Sleeping"))
+        entries.append(DebugTarget(3 + board.apu_cores, "PL", "Ready"))
+        return entries
+
+    def render_targets(self) -> str:
+        """The ``targets`` console listing."""
+        return "\n".join(target.render() for target in self.targets())
+
+    # -- memory access (the system channel) -----------------------------------
+
+    def mrd(self, address: int, count: int = 1) -> list[int]:
+        """``mrd <addr> [count]`` — read 32-bit words of physical memory.
+
+        This is the debugger primitive the attack's step 3 rides on;
+        it bypasses all process-level access control by construction
+        (only the hardened STRICT_DEVMEM configuration refuses).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return self._devmem.read_range(address, count * 4, caller=self.user)
+
+    def render_mrd(self, address: int, count: int = 1) -> str:
+        """The console form, e.g. ``61C6D730:   00000000``."""
+        words = self.mrd(address, count)
+        return "\n".join(
+            f"{address + 4 * index:08X}:   {word:08X}"
+            for index, word in enumerate(words)
+        )
+
+    def mwr(self, address: int, value: int) -> None:
+        """``mwr <addr> <value>`` — write one 32-bit word."""
+        self._devmem._check_access(self.user)
+        self.kernel.soc.write_word(address, value & 0xFFFFFFFF)
+
+    # -- process inspection ------------------------------------------------------
+
+    def pids(self) -> list[int]:
+        """All visible process ids."""
+        return self.procfs.list_pids(caller=self.user)
+
+    def virtual_address_space(self, pid: int) -> str:
+        """The process's maps file — 'virtual address spaces' access."""
+        return self.procfs.read_maps(pid, caller=self.user)
+
+    def pagemap_entry(self, pid: int, virtual_address: int) -> PagemapEntry:
+        """One decoded pagemap entry — 'pagemaps' access."""
+        raw = self.procfs.read_pagemap(
+            pid, vpn_of(virtual_address) * ENTRY_SIZE, ENTRY_SIZE,
+            caller=self.user,
+        )
+        return entry_from_bytes(raw)
+
+    def translate(self, pid: int, virtual_address: int) -> int | None:
+        """VA -> PA through the pagemap (None if not present)."""
+        entry = self.pagemap_entry(pid, virtual_address)
+        if not entry.present:
+            return None
+        return (entry.pfn << 12) | (virtual_address & 0xFFF)

@@ -1,0 +1,33 @@
+"""Low-level helpers shared by every layer of the simulation."""
+
+from repro.utils.bitfield import (
+    bit,
+    extract_bits,
+    insert_bits,
+    mask,
+    sign_extend,
+)
+from repro.utils.hexdump import (
+    HexDump,
+    hexdump_canonical,
+    hexdump_paper_rows,
+    parse_paper_row,
+)
+from repro.utils.strings import extract_strings, find_pattern_offsets
+from repro.utils.units import format_size, parse_size
+
+__all__ = [
+    "bit",
+    "extract_bits",
+    "insert_bits",
+    "mask",
+    "sign_extend",
+    "HexDump",
+    "hexdump_canonical",
+    "hexdump_paper_rows",
+    "parse_paper_row",
+    "extract_strings",
+    "find_pattern_offsets",
+    "format_size",
+    "parse_size",
+]

@@ -1,0 +1,101 @@
+"""Bit-manipulation helpers.
+
+The pagemap encoder/decoder and the DRAM word accessors all need the
+same handful of operations; keeping them here (with explicit argument
+validation) keeps the call sites short and obviously correct.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an integer with the low *width* bits set.
+
+    >>> mask(4)
+    15
+    >>> mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(position: int) -> int:
+    """Return an integer with only *position* set.
+
+    >>> bit(63) == 1 << 63
+    True
+    """
+    if position < 0:
+        raise ValueError(f"position must be non-negative, got {position}")
+    return 1 << position
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Extract *width* bits of *value* starting at bit *low*.
+
+    >>> extract_bits(0b1101_0000, 4, 4)
+    13
+    """
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & mask(width)
+
+
+def insert_bits(value: int, low: int, width: int, field: int) -> int:
+    """Return *value* with bits ``[low, low+width)`` replaced by *field*.
+
+    Raises ``ValueError`` if *field* does not fit in *width* bits.
+
+    >>> hex(insert_bits(0x0, 8, 8, 0xAB))
+    '0xab00'
+    """
+    if field < 0 or field > mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the low *width* bits of *value* to a Python int.
+
+    >>> sign_extend(0xFF, 8)
+    -1
+    >>> sign_extend(0x7F, 8)
+    127
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def bytes_to_words(data: bytes, word_size: int = 4, byteorder: str = "little") -> list[int]:
+    """Split *data* into *word_size*-byte integers.
+
+    The trailing partial word, if any, is zero-padded — matching how the
+    attack's devmem loop reads a heap whose length is not word-aligned.
+    """
+    if word_size <= 0:
+        raise ValueError(f"word_size must be positive, got {word_size}")
+    words = []
+    for offset in range(0, len(data), word_size):
+        chunk = data[offset : offset + word_size]
+        if len(chunk) < word_size:
+            chunk = chunk + b"\x00" * (word_size - len(chunk))
+        words.append(int.from_bytes(chunk, byteorder))
+    return words
+
+
+def words_to_bytes(words: list[int], word_size: int = 4, byteorder: str = "little") -> bytes:
+    """Inverse of :func:`bytes_to_words` (without trimming padding)."""
+    if word_size <= 0:
+        raise ValueError(f"word_size must be positive, got {word_size}")
+    out = bytearray()
+    for word in words:
+        if word < 0 or word > mask(word_size * 8):
+            raise ValueError(f"word {word:#x} does not fit in {word_size} bytes")
+        out += word.to_bytes(word_size, byteorder)
+    return bytes(out)

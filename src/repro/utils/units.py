@@ -1,0 +1,59 @@
+"""Size formatting and parsing (KiB/MiB/GiB) for configs and reports."""
+
+from __future__ import annotations
+
+import re
+
+_UNITS = {
+    "B": 1,
+    "KIB": 1024,
+    "KB": 1024,
+    "K": 1024,
+    "MIB": 1024**2,
+    "MB": 1024**2,
+    "M": 1024**2,
+    "GIB": 1024**3,
+    "GB": 1024**3,
+    "G": 1024**3,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"2GiB"``/``"512K"``/``4096`` into a byte count.
+
+    Binary units throughout (KB == KiB == 1024), matching how board
+    datasheets quote DRAM capacities.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.upper() or "B"
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    total = float(value) * _UNITS[unit]
+    if total != int(total):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(total)
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count with the largest exact-or-rounded binary unit.
+
+    >>> format_size(2 * 1024**3)
+    '2.0GiB'
+    >>> format_size(4096)
+    '4.0KiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    for unit, factor in (("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.1f}{unit}"
+    return f"{num_bytes}B"

@@ -1,0 +1,24 @@
+"""Vitis-AI-runtime twin: xmodels, the model zoo, images, DPU runner."""
+
+from repro.vitis.tensor import QuantizedTensor
+from repro.vitis.image import Image
+from repro.vitis.ops import CompiledSubgraph, LayerSpec
+from repro.vitis.xmodel import XModel
+from repro.vitis.zoo import MODEL_NAMES, build_model, model_install_path
+from repro.vitis.runner import DpuRunner, InferenceResult
+from repro.vitis.app import VictimApplication, VictimRun
+
+__all__ = [
+    "QuantizedTensor",
+    "Image",
+    "CompiledSubgraph",
+    "LayerSpec",
+    "XModel",
+    "MODEL_NAMES",
+    "build_model",
+    "model_install_path",
+    "DpuRunner",
+    "InferenceResult",
+    "VictimApplication",
+    "VictimRun",
+]

@@ -1,0 +1,75 @@
+"""Quantized tensors, the data type the DPU computes on.
+
+The DPUCZDX8G is an INT8 engine; Vitis AI quantizes activations and
+weights to int8 with power-of-two scales.  :class:`QuantizedTensor`
+carries the int8 payload plus its fixed-point position, and provides
+the byte (de)serialization used when tensors cross the heap/DRAM
+boundary — which is exactly where the attack reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8 tensor with a power-of-two scale.
+
+    ``fix_point`` is the number of fractional bits: real value =
+    ``int8_value / 2**fix_point``, matching Vitis AI's fixed-point
+    metadata.
+    """
+
+    values: np.ndarray
+    fix_point: int = 0
+
+    def __post_init__(self) -> None:
+        if self.values.dtype != np.int8:
+            raise TypeError(f"values must be int8, got {self.values.dtype}")
+        if not -32 <= self.fix_point <= 32:
+            raise ValueError(f"fix_point {self.fix_point} out of range")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """The tensor's shape."""
+        return tuple(self.values.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (one byte per element)."""
+        return self.values.size
+
+    def dequantize(self) -> np.ndarray:
+        """Real-valued view: ``values / 2**fix_point`` as float32."""
+        return self.values.astype(np.float32) / (1 << self.fix_point)
+
+    def to_bytes(self) -> bytes:
+        """Row-major int8 payload, as the runtime lays it out in DRAM."""
+        return self.values.tobytes()
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, shape: tuple[int, ...], fix_point: int = 0
+    ) -> "QuantizedTensor":
+        """Rebuild a tensor from raw DRAM bytes.
+
+        This is also what the attack's reconstruction step does once it
+        knows a buffer's shape from offline profiling.
+        """
+        expected = int(np.prod(shape)) if shape else 1
+        if len(data) != expected:
+            raise ValueError(
+                f"need {expected} bytes for shape {shape}, got {len(data)}"
+            )
+        values = np.frombuffer(data, dtype=np.int8).reshape(shape).copy()
+        return cls(values=values, fix_point=fix_point)
+
+    @classmethod
+    def quantize(cls, real: np.ndarray, fix_point: int) -> "QuantizedTensor":
+        """Quantize a real-valued array with saturation."""
+        scaled = np.round(real * (1 << fix_point))
+        clipped = np.clip(scaled, -128, 127).astype(np.int8)
+        return cls(values=clipped, fix_point=fix_point)

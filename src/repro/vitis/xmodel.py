@@ -1,0 +1,190 @@
+"""The xmodel container format.
+
+Vitis AI ships compiled models as ``.xmodel`` files; the runtime reads
+the file into process memory, which is why the paper's Fig. 11 finds
+path fragments like ``ls/resnet50_pt/r`` and ``hvision/resnet50`` in
+the scraped heap.  Our container is a compact binary format (not
+Xilinx's protobuf schema — the attack never parses the real schema,
+it greps the loaded bytes) that preserves the attack-relevant
+properties: embedded model name, install path, framework origin
+strings, a vendor string table, and the int8 weight payloads.
+
+The format round-trips exactly (``parse(serialize(m)) == m``), which
+the property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import XModelFormatError
+from repro.vitis.ops import CompiledSubgraph, LayerSpec
+
+MAGIC = b"XMOD"
+VERSION = 1
+
+_KIND_CODES = {"conv2d": 0, "relu": 1, "maxpool": 2, "resblock": 3, "gap": 4, "fc": 5}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def _pack_str(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise XModelFormatError(f"string too long ({len(encoded)} bytes)")
+    return struct.pack("<H", len(encoded)) + encoded
+
+
+class _Reader:
+    """Cursor over a serialized blob with checked reads."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._cursor = 0
+
+    def take(self, count: int) -> bytes:
+        if self._cursor + count > len(self._blob):
+            raise XModelFormatError(
+                f"truncated xmodel: need {count} bytes at offset {self._cursor}"
+            )
+        chunk = self._blob[self._cursor : self._cursor + count]
+        self._cursor += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def string(self) -> str:
+        length = self.u16()
+        return self.take(length).decode("utf-8")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor == len(self._blob)
+
+
+def _pack_array(array: np.ndarray | None) -> bytes:
+    if array is None:
+        return struct.pack("<B", 0)
+    out = struct.pack("<BB", 1, array.ndim)
+    for dim in array.shape:
+        out += struct.pack("<H", dim)
+    out += array.tobytes()
+    return out
+
+
+def _read_array(reader: _Reader) -> np.ndarray | None:
+    if reader.u8() == 0:
+        return None
+    ndim = reader.u8()
+    shape = tuple(reader.u16() for _ in range(ndim))
+    count = int(np.prod(shape)) if shape else 1
+    payload = reader.take(count)
+    return np.frombuffer(payload, dtype=np.int8).reshape(shape).copy()
+
+
+@dataclass
+class XModel:
+    """A compiled model: metadata strings plus the executable subgraph."""
+
+    name: str
+    framework: str
+    origin: str
+    install_path: str
+    subgraph: CompiledSubgraph
+    string_table: list[str] = field(default_factory=list)
+
+    def weight_nbytes(self) -> int:
+        """Total int8 weight payload across all layers."""
+        return sum(len(layer.weight_bytes()) for layer in self.subgraph.layers)
+
+    def serialize(self) -> bytes:
+        """Produce the .xmodel file bytes the runtime loads into memory."""
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack("<H", VERSION)
+        out += _pack_str(self.name)
+        out += _pack_str(self.framework)
+        out += _pack_str(self.origin)
+        out += _pack_str(self.install_path)
+        out += struct.pack(
+            "<HH", self.subgraph.input_height, self.subgraph.input_width
+        )
+        out += struct.pack("<H", len(self.string_table))
+        for entry in self.string_table:
+            out += _pack_str(entry)
+        out += struct.pack("<H", len(self.subgraph.layers))
+        for layer in self.subgraph.layers:
+            out += struct.pack("<B", _KIND_CODES[layer.kind])
+            out += _pack_str(layer.name)
+            out += struct.pack("<BB", layer.stride, layer.shift)
+            out += _pack_array(layer.weights)
+            out += _pack_array(layer.extra_weights)
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "XModel":
+        """Parse serialized bytes back into an :class:`XModel`.
+
+        Raises :class:`~repro.errors.XModelFormatError` on bad magic,
+        version mismatch, truncation, or trailing garbage.
+        """
+        reader = _Reader(blob)
+        if reader.take(4) != MAGIC:
+            raise XModelFormatError("bad magic; not an xmodel blob")
+        version = reader.u16()
+        if version != VERSION:
+            raise XModelFormatError(f"unsupported xmodel version {version}")
+        name = reader.string()
+        framework = reader.string()
+        origin = reader.string()
+        install_path = reader.string()
+        input_height = reader.u16()
+        input_width = reader.u16()
+        string_table = [reader.string() for _ in range(reader.u16())]
+        layers = []
+        for _ in range(reader.u16()):
+            kind_code = reader.u8()
+            if kind_code not in _CODE_KINDS:
+                raise XModelFormatError(f"unknown layer kind code {kind_code}")
+            layer_name = reader.string()
+            stride = reader.u8()
+            shift = reader.u8()
+            weights = _read_array(reader)
+            extra = _read_array(reader)
+            layers.append(
+                LayerSpec(
+                    kind=_CODE_KINDS[kind_code],
+                    name=layer_name,
+                    weights=weights,
+                    stride=stride,
+                    shift=shift,
+                    extra_weights=extra,
+                )
+            )
+        if not reader.exhausted:
+            raise XModelFormatError("trailing bytes after xmodel payload")
+        subgraph = CompiledSubgraph(
+            input_height=input_height, input_width=input_width, layers=layers
+        )
+        return cls(
+            name=name,
+            framework=framework,
+            origin=origin,
+            install_path=install_path,
+            subgraph=subgraph,
+            string_table=string_table,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XModel):
+            return NotImplemented
+        return self.serialize() == other.serialize()

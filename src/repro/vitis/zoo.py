@@ -1,0 +1,216 @@
+"""The model zoo — the Vitis AI library models the adversary profiles.
+
+The paper's adversary model (§II) assumes access to the same Xilinx
+model library the victim uses, and profiles each model offline.  The
+zoo here provides eight models across two frameworks with realistic
+names, install paths and origin strings (``torchvision/resnet50``
+contains the ``hvision/resnet50`` fragment visible in the paper's
+Fig. 11).
+
+Weights are deterministic per (model, layer) so every run of any
+experiment sees bit-identical model files — the precondition for
+offline profiling transferring to the victim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import UnknownModelError
+from repro.vitis.ops import CompiledSubgraph, LayerSpec
+from repro.vitis.xmodel import XModel
+
+DEFAULT_INPUT_HW = 32
+"""Default input edge in pixels.  Miniature by design: the attack
+observes memory layout, not accuracy, and 32 px keeps inference fast.
+Pass ``input_hw=224`` for the paper-scale footprint."""
+
+NUM_CLASSES = 100
+
+
+def _weights(model: str, layer: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Deterministic small int8 weights for one layer."""
+    digest = hashlib.sha256(f"{model}/{layer}".encode()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return rng.integers(-8, 8, size=shape, dtype=np.int8)
+
+
+def model_install_path(name: str) -> str:
+    """Where Vitis AI installs the model on the board's rootfs."""
+    return f"/usr/share/vitis_ai_library/models/{name}/{name}.xmodel"
+
+
+def _standard_strings(name: str, origin: str, framework: str) -> list[str]:
+    """The vendor strings the runtime drags into memory with the model."""
+    return [
+        model_install_path(name),
+        origin,
+        f"DPUCZDX8G_{name}_kernel_0",
+        f"vitis_ai_library::{framework}::{name}",
+        "subgraph_root/subgraph_quant/subgraph_deploy",
+        "/usr/lib/libvart-runner.so.3.5",
+        "/usr/lib/libxir.so.3.5",
+    ]
+
+
+def _conv(model: str, name: str, kh: int, cin: int, cout: int, stride: int = 1) -> LayerSpec:
+    return LayerSpec(
+        kind="conv2d",
+        name=name,
+        weights=_weights(model, name, (kh, kh, cin, cout)),
+        stride=stride,
+    )
+
+
+def _resblock(model: str, name: str, cin: int, cout: int, stride: int = 1) -> LayerSpec:
+    return LayerSpec(
+        kind="resblock",
+        name=name,
+        weights=_weights(model, name + "/conv1", (3, 3, cin, cout)),
+        extra_weights=_weights(model, name + "/conv2", (3, 3, cout, cout)),
+        stride=stride,
+    )
+
+
+def _fc(model: str, name: str, cin: int, cout: int) -> LayerSpec:
+    return LayerSpec(
+        kind="fc", name=name, weights=_weights(model, name, (cin, cout))
+    )
+
+
+def _resnet_layers(model: str, stem: int, widths: tuple[int, ...]) -> list[LayerSpec]:
+    layers = [
+        _conv(model, "conv1", 7, 3, stem, stride=2),
+        LayerSpec(kind="relu", name="relu1"),
+        LayerSpec(kind="maxpool", name="pool1"),
+    ]
+    previous = stem
+    for index, width in enumerate(widths):
+        stride = 1 if index == 0 else 2
+        layers.append(
+            _resblock(model, f"layer{index + 1}/block0", previous, width, stride)
+        )
+        previous = width
+    layers.append(LayerSpec(kind="gap", name="avgpool"))
+    layers.append(_fc(model, "fc", previous, NUM_CLASSES))
+    return layers
+
+
+def _plain_cnn_layers(
+    model: str, stem_kernel: int, widths: tuple[int, ...], block_prefix: str
+) -> list[LayerSpec]:
+    """A stem + conv/relu stack with architecture-specific block names.
+
+    Block names mirror the real networks' graph node names (``fire`` in
+    SqueezeNet, ``inception`` in GoogLeNet, ...) — they are part of the
+    string footprint a model leaves in memory.
+    """
+    layers = [
+        _conv(model, f"{block_prefix}_stem/conv", stem_kernel, 3, widths[0], stride=2),
+        LayerSpec(kind="relu", name=f"{block_prefix}_stem/relu"),
+        LayerSpec(kind="maxpool", name=f"{block_prefix}_stem/pool"),
+    ]
+    previous = widths[0]
+    for index, width in enumerate(widths[1:], start=1):
+        layers.append(
+            _conv(model, f"{block_prefix}{index + 1}/conv", 3, previous, width)
+        )
+        layers.append(LayerSpec(kind="relu", name=f"{block_prefix}{index + 1}/relu"))
+        previous = width
+    layers.append(LayerSpec(kind="gap", name=f"{block_prefix}_head/gap"))
+    layers.append(_fc(model, f"{block_prefix}_head/logits", previous, NUM_CLASSES))
+    return layers
+
+
+_BUILDERS = {
+    "resnet50_pt": lambda: ("pytorch", "torchvision/resnet50",
+                            lambda m: _resnet_layers(m, 12, (12, 16, 24, 32))),
+    "resnet18_pt": lambda: ("pytorch", "torchvision/resnet18",
+                            lambda m: _resnet_layers(m, 8, (8, 12, 16))),
+    "squeezenet_pt": lambda: ("pytorch", "torchvision/squeezenet1_1",
+                              lambda m: _plain_cnn_layers(m, 3, (10, 12, 14), "fire")),
+    "vgg16_pt": lambda: ("pytorch", "torchvision/vgg16",
+                         lambda m: _plain_cnn_layers(m, 3, (8, 12, 16, 16), "vggblock")),
+    "inception_v1_tf": lambda: ("tensorflow", "tf_slim/inception_v1",
+                                lambda m: _plain_cnn_layers(m, 7, (10, 14, 18), "inception")),
+    "mobilenet_v2_tf": lambda: ("tensorflow", "tf_slim/mobilenet_v2",
+                                lambda m: _plain_cnn_layers(m, 3, (8, 10, 12, 14), "invres")),
+    "yolov3_voc_tf": lambda: ("tensorflow", "darknet/yolov3_voc",
+                              lambda m: _plain_cnn_layers(m, 3, (12, 16, 20, 24), "darkconv")),
+    "densenet121_pt": lambda: ("pytorch", "torchvision/densenet121",
+                               lambda m: _plain_cnn_layers(m, 7, (6, 10, 14, 18), "denseblock")),
+}
+
+MODEL_NAMES = tuple(sorted(_BUILDERS))
+"""Every model the zoo can build."""
+
+
+def fine_tune(model: XModel, seed: int) -> XModel:
+    """A fine-tuned variant: same architecture, private weights.
+
+    Every weight array is redrawn from a seeded RNG, modelling a user
+    who retrained a library model on proprietary data.  The buffer
+    *shapes* — and therefore the runtime's heap layout — are unchanged,
+    which is exactly why the weight-extraction attack transfers.
+    """
+    rng = np.random.default_rng(seed)
+    layers = []
+    for layer in model.subgraph.layers:
+        weights = layer.weights
+        extra = layer.extra_weights
+        if weights is not None:
+            weights = rng.integers(-8, 8, size=weights.shape, dtype=np.int8)
+        if extra is not None:
+            extra = rng.integers(-8, 8, size=extra.shape, dtype=np.int8)
+        layers.append(
+            LayerSpec(
+                kind=layer.kind,
+                name=layer.name,
+                weights=weights,
+                stride=layer.stride,
+                shift=layer.shift,
+                extra_weights=extra,
+            )
+        )
+    subgraph = CompiledSubgraph(
+        input_height=model.subgraph.input_height,
+        input_width=model.subgraph.input_width,
+        layers=layers,
+    )
+    return XModel(
+        name=model.name,
+        framework=model.framework,
+        origin=model.origin,
+        install_path=model.install_path,
+        subgraph=subgraph,
+        string_table=list(model.string_table),
+    )
+
+
+def build_model(name: str, input_hw: int = DEFAULT_INPUT_HW) -> XModel:
+    """Construct the named model with deterministic weights.
+
+    *input_hw* sets the square input edge.  Weight shapes do not
+    depend on it (convolutions are SAME-padded and the head follows a
+    global pool), so profiling done at one size predicts layout at the
+    same size — the experiments always use a single size per scenario.
+    """
+    if name not in _BUILDERS:
+        raise UnknownModelError(name)
+    if input_hw < 8:
+        raise ValueError(f"input_hw must be >= 8, got {input_hw}")
+    framework, origin, layer_builder = _BUILDERS[name]()
+    subgraph = CompiledSubgraph(
+        input_height=input_hw, input_width=input_hw, layers=layer_builder(name)
+    )
+    return XModel(
+        name=name,
+        framework=framework,
+        origin=origin,
+        install_path=model_install_path(name),
+        subgraph=subgraph,
+        string_table=_standard_strings(name, origin, framework),
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures: booted boards, shells, victims, profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.scenarios import BoardSession
+from repro.hw.soc import ZynqMpSoC
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.shell import Shell
+from repro.petalinux.users import default_terminals
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+"""Input edge used throughout the tests (small = fast)."""
+
+
+@pytest.fixture
+def soc() -> ZynqMpSoC:
+    """A powered-up ZCU104 twin."""
+    return ZynqMpSoC()
+
+
+@pytest.fixture
+def kernel(soc: ZynqMpSoC) -> PetaLinuxKernel:
+    """A booted vulnerable-default kernel."""
+    return PetaLinuxKernel(soc)
+
+
+@pytest.fixture
+def shells(kernel: PetaLinuxKernel) -> tuple[Shell, Shell]:
+    """(attacker shell, victim shell) on the standard terminals."""
+    attacker_terminal, victim_terminal = default_terminals()
+    return Shell(kernel, attacker_terminal), Shell(kernel, victim_terminal)
+
+
+@pytest.fixture
+def session() -> BoardSession:
+    """The standard two-terminal board session."""
+    return BoardSession.boot(input_hw=INPUT_HW)
+
+
+@pytest.fixture
+def test_image() -> Image:
+    """The deterministic stand-in for the Xilinx demo JPEG."""
+    return Image.test_pattern(INPUT_HW, INPUT_HW, seed=7)

@@ -1,0 +1,123 @@
+"""Unit tests for attack step 2 — address harvesting."""
+
+import pytest
+
+from repro.attack.addressing import AddressHarvester
+from repro.errors import AddressHarvestError, PermissionDeniedError
+from repro.evaluation.scenarios import BoardSession
+from repro.mmu.paging import PAGE_SIZE
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.procfs import ProcFs
+from repro.vitis.app import VictimApplication
+
+
+@pytest.fixture
+def harvester_and_run(shells):
+    attacker_shell, victim_shell = shells
+    run = VictimApplication(victim_shell).launch("resnet50_pt")
+    harvester = AddressHarvester(attacker_shell.procfs, caller=attacker_shell.user)
+    return harvester, run
+
+
+class TestHeapRange:
+    def test_reads_paper_heap_base(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        start, end = harvester.read_heap_range(run.pid)
+        assert start == 0xAAAA_EE77_5000
+        assert end > start
+        assert (end - start) % PAGE_SIZE == 0
+
+    def test_no_heap_raises_harvest_error(self, shells, kernel):
+        attacker_shell, _ = shells
+        harvester = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        )
+        # init (pid 1) has no VMAs at all.
+        with pytest.raises(AddressHarvestError):
+            harvester.read_heap_range(1)
+
+
+class TestVirtualToPhysical:
+    def test_offset_preserved_within_page(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        heap_start, _ = harvester.read_heap_range(run.pid)
+        physical = harvester.virtual_to_physical(run.pid, heap_start + 0x123)
+        assert physical is not None
+        assert physical % PAGE_SIZE == 0x123
+
+    def test_unmapped_va_returns_none(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        assert harvester.virtual_to_physical(run.pid, 0x1234_5000) is None
+
+    def test_matches_ground_truth_translation(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        address = run.runner.input_address
+        physical = harvester.virtual_to_physical(run.pid, address)
+        soc = run.kernel.soc
+        expected = soc.dram_frame_to_physical(
+            run.process.address_space.translate(address) >> 12
+        ) + (address & 0xFFF)
+        assert physical == expected
+
+
+class TestHarvest:
+    def test_covers_whole_heap(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        harvested = harvester.harvest(run.pid)
+        assert harvested.length == harvested.heap_end - harvested.heap_start
+        assert len(harvested.translations) == harvested.length // PAGE_SIZE
+        assert len(harvested.present_pages()) == len(harvested.translations)
+
+    def test_translations_point_into_user_dram(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        harvested = harvester.harvest(run.pid)
+        for entry in harvested.present_pages():
+            assert entry.physical_page_address >= 0x6000_0000
+
+    def test_physical_of_interior_address(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        harvested = harvester.harvest(run.pid)
+        address = harvested.heap_start + 2 * PAGE_SIZE + 7
+        physical = harvested.physical_of(address)
+        assert physical % PAGE_SIZE == 7
+
+    def test_physical_of_unsnapshotted_address_raises(self, harvester_and_run):
+        harvester, run = harvester_and_run
+        harvested = harvester.harvest(run.pid)
+        with pytest.raises(AddressHarvestError):
+            harvested.physical_of(harvested.heap_end + PAGE_SIZE)
+
+    def test_hardened_kernel_blocks_harvest(self):
+        session = BoardSession.boot(config=KernelConfig().hardened())
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        harvester = AddressHarvester(
+            session.attacker_shell.procfs, caller=session.attacker_shell.user
+        )
+        with pytest.raises(PermissionDeniedError):
+            harvester.harvest(run.pid)
+
+    def test_pagemap_lockdown_alone_blocks_harvest(self):
+        session = BoardSession.boot(
+            config=KernelConfig(pagemap_world_readable=False)
+        )
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        harvester = AddressHarvester(
+            session.attacker_shell.procfs, caller=session.attacker_shell.user
+        )
+        # maps is still readable...
+        start, _ = harvester.read_heap_range(run.pid)
+        assert start
+        # ...but the PFN disclosure is gone.
+        with pytest.raises(PermissionDeniedError):
+            harvester.harvest(run.pid)
+
+    def test_victim_can_harvest_itself_under_procfs_lockdown(self):
+        session = BoardSession.boot(
+            config=KernelConfig(procfs_world_readable=False)
+        )
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        own_harvester = AddressHarvester(
+            session.victim_shell.procfs, caller=session.victim_shell.user
+        )
+        harvested = own_harvester.harvest(run.pid)
+        assert harvested.present_pages()

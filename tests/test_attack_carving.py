@@ -1,0 +1,190 @@
+"""Tests for dump characterization (region carving)."""
+
+import pytest
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.carving import (
+    DumpCartographer,
+    Region,
+    RegionKind,
+    printable_fraction,
+    shannon_entropy,
+)
+from repro.attack.extraction import MemoryScraper
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_is_zero_entropy(self):
+        assert shannon_entropy(b"\xaa" * 100) == 0.0
+
+    def test_two_symbols_equal_split(self):
+        assert shannon_entropy(b"\x00\xff" * 50) == pytest.approx(1.0)
+
+    def test_uniform_bytes_near_eight_bits(self):
+        assert shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+
+class TestPrintableFraction:
+    def test_all_text(self):
+        assert printable_fraction(b"hello world") == 1.0
+
+    def test_binary(self):
+        assert printable_fraction(bytes([0x01, 0x02, 0x9F, 0xFF])) == 0.0
+
+    def test_nul_counts_as_stringish(self):
+        # NUL terminators ride along with C strings in memory.
+        assert printable_fraction(b"path\x00") == 1.0
+
+
+class TestClassifyWindow:
+    def setup_method(self):
+        self.cartographer = DumpCartographer(window=64)
+
+    def test_zero(self):
+        assert self.cartographer.classify_window(b"\x00" * 64) is RegionKind.ZERO
+
+    def test_constant_marker(self):
+        assert (
+            self.cartographer.classify_window(b"\xff" * 64)
+            is RegionKind.CONSTANT
+        )
+
+    def test_text(self):
+        window = b"/usr/share/vitis_ai_library/models/resnet50_pt\x00" * 2
+        assert self.cartographer.classify_window(window[:64]) is RegionKind.TEXT
+
+    def test_random(self):
+        import hashlib
+
+        window = b"".join(
+            hashlib.sha256(bytes([i])).digest() for i in range(4)
+        )
+        assert self.cartographer.classify_window(window) is RegionKind.RANDOM
+
+    def test_quantized_weights(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        window = rng.integers(-8, 8, size=256, dtype=np.int8).tobytes()
+        assert self.cartographer.classify_window(window) is RegionKind.QUANTIZED
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DumpCartographer(window=8)
+
+
+class TestMapDump:
+    def test_merges_adjacent_windows(self):
+        cartographer = DumpCartographer(window=64)
+        data = b"\x00" * 256 + b"\xff" * 256
+        regions = cartographer.map_dump(data)
+        assert len(regions) == 2
+        assert regions[0] == Region(0, 256, RegionKind.ZERO)
+        assert regions[1] == Region(256, 512, RegionKind.CONSTANT)
+
+    def test_kind_totals(self):
+        cartographer = DumpCartographer(window=64)
+        regions = cartographer.map_dump(b"\x00" * 128 + b"\xff" * 64)
+        totals = cartographer.kind_totals(regions)
+        assert totals[RegionKind.ZERO] == 128
+        assert totals[RegionKind.CONSTANT] == 64
+
+    def test_region_at(self):
+        cartographer = DumpCartographer(window=64)
+        regions = cartographer.map_dump(b"\x00" * 128)
+        assert cartographer.region_at(regions, 100).kind is RegionKind.ZERO
+        with pytest.raises(ValueError):
+            cartographer.region_at(regions, 500)
+
+    def test_render_table(self):
+        cartographer = DumpCartographer(window=64)
+        regions = cartographer.map_dump(b"\x00" * 64 + b"\xff" * 64)
+        text = cartographer.render(regions)
+        assert "zero" in text
+        assert "constant" in text
+
+
+class TestOnRealDump:
+    """Characterize an actual victim dump against ground truth."""
+
+    @pytest.fixture()
+    def dump_and_offsets(self, shells):
+        attacker_shell, victim_shell = shells
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7).corrupted(0.3)
+        run = VictimApplication(victim_shell, input_hw=INPUT_HW).launch(
+            "resnet50_pt", image=secret
+        )
+        harvester = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        )
+        harvested = harvester.harvest(run.pid)
+        # Ground-truth offsets must be read before the teardown.
+        heap_start = run.process.address_space.heap().start
+        offsets = {
+            "weights": run.runner.weight_addresses[0] - heap_start,
+            "image": run.runner.input_heap_offset,
+        }
+        run.terminate()
+        dump = MemoryScraper(
+            attacker_shell.devmem_tool, attacker_shell.user
+        ).scrape(harvested)
+        return dump, offsets
+
+    def test_model_string_area_is_text(self, dump_and_offsets):
+        dump, _ = dump_and_offsets
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(dump.data)
+        name_offset = dump.data.find(b"/usr/share/vitis_ai_library")
+        region = cartographer.region_at(regions, name_offset)
+        assert region.kind in (RegionKind.TEXT, RegionKind.MIXED)
+
+    @staticmethod
+    def _aligned_probe(offset: int, window: int = 256) -> int:
+        """First window-aligned offset fully past *offset* (plus slack).
+
+        Windows sit at absolute multiples of the window size, so a
+        buffer that starts mid-window shares its first window with the
+        preceding buffer; probing one window boundary later guarantees
+        the probe window holds only the target buffer's bytes.
+        """
+        return ((offset // window) + 1) * window + window // 4
+
+    def test_weight_buffer_is_quantized(self, dump_and_offsets):
+        dump, offsets = dump_and_offsets
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(dump.data)
+        region = cartographer.region_at(
+            regions, self._aligned_probe(offsets["weights"])
+        )
+        assert region.kind is RegionKind.QUANTIZED
+
+    def test_corrupted_band_is_constant(self, dump_and_offsets):
+        dump, offsets = dump_and_offsets
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(dump.data)
+        region = cartographer.region_at(
+            regions, self._aligned_probe(offsets["image"])
+        )
+        assert region.kind is RegionKind.CONSTANT
+
+    def test_runtime_blob_is_random(self, dump_and_offsets):
+        dump, _ = dump_and_offsets
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(dump.data)
+        # Deep inside the runtime metadata blob, past the embedded strings.
+        region = cartographer.region_at(regions, 32 * 1024)
+        assert region.kind is RegionKind.RANDOM
+
+    def test_slack_pages_are_zero(self, dump_and_offsets):
+        dump, _ = dump_and_offsets
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(dump.data)
+        totals = cartographer.kind_totals(regions)
+        assert totals[RegionKind.ZERO] > 0

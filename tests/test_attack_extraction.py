@@ -1,0 +1,136 @@
+"""Unit tests for attack step 3 — post-termination extraction."""
+
+import pytest
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper
+from repro.errors import ExtractionError
+from repro.evaluation.scenarios import BoardSession
+from repro.mmu.paging import PAGE_SIZE
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.sanitizer import SanitizePolicy
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+def _harvest_and_kill(shells, image=None):
+    attacker_shell, victim_shell = shells
+    app = VictimApplication(victim_shell, input_hw=INPUT_HW)
+    image = image or Image.test_pattern(INPUT_HW, INPUT_HW, seed=7)
+    run = app.launch("resnet50_pt", image=image)
+    harvester = AddressHarvester(attacker_shell.procfs, caller=attacker_shell.user)
+    harvested = harvester.harvest(run.pid)
+    ground_truth = run.process.address_space.read_virtual(
+        harvested.heap_start, harvested.length
+    )
+    run.terminate()
+    return attacker_shell, harvested, ground_truth, run
+
+
+class TestScrape:
+    def test_dump_matches_victim_heap_exactly(self, shells):
+        attacker_shell, harvested, ground_truth, _ = _harvest_and_kill(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(harvested)
+        assert dump.data == ground_truth
+
+    def test_word_reads_counted(self, shells):
+        attacker_shell, harvested, _, _ = _harvest_and_kill(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(harvested)
+        assert dump.devmem_reads == dump.pages_read * (PAGE_SIZE // 4)
+
+    def test_bulk_mode_same_bytes_fewer_calls(self, shells):
+        attacker_shell, harvested, ground_truth, _ = _harvest_and_kill(shells)
+        config = AttackConfig(bulk_reads=True)
+        scraper = MemoryScraper(
+            attacker_shell.devmem_tool, attacker_shell.user, config
+        )
+        dump = scraper.scrape(harvested)
+        assert dump.data == ground_truth
+        assert dump.devmem_reads == dump.pages_read
+
+    def test_dump_offsets_map_back_to_heap_vas(self, shells):
+        attacker_shell, harvested, _, _ = _harvest_and_kill(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(harvested)
+        assert dump.virtual_address_of(0) == harvested.heap_start
+        assert dump.virtual_address_of(PAGE_SIZE) == harvested.heap_start + PAGE_SIZE
+
+    def test_bad_dump_offset_rejected(self, shells):
+        attacker_shell, harvested, _, _ = _harvest_and_kill(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(harvested)
+        with pytest.raises(ValueError):
+            dump.virtual_address_of(dump.nbytes)
+
+    def test_spot_check_reads_one_word(self, shells):
+        attacker_shell, harvested, ground_truth, _ = _harvest_and_kill(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        word = scraper.spot_check(harvested, harvested.heap_start)
+        assert word == int.from_bytes(ground_truth[:4], "little")
+
+
+class TestScrapeUnderDefenses:
+    def test_zero_on_free_yields_zeroed_dump(self):
+        session = BoardSession.boot(
+            config=KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+            input_hw=INPUT_HW,
+        )
+        run = session.victim_application().launch("resnet50_pt")
+        harvester = AddressHarvester(
+            session.attacker_shell.procfs, caller=session.attacker_shell.user
+        )
+        harvested = harvester.harvest(run.pid)
+        run.terminate()
+        scraper = MemoryScraper(
+            session.attacker_shell.devmem_tool, session.attacker_shell.user
+        )
+        dump = scraper.scrape(harvested)
+        assert dump.data == b"\x00" * dump.nbytes
+
+    def test_strict_devmem_raises_extraction_error(self):
+        session = BoardSession.boot(
+            config=KernelConfig(devmem_unrestricted=False), input_hw=INPUT_HW
+        )
+        run = session.victim_application().launch("resnet50_pt")
+        harvester = AddressHarvester(
+            session.attacker_shell.procfs, caller=session.attacker_shell.user
+        )
+        harvested = harvester.harvest(run.pid)
+        run.terminate()
+        scraper = MemoryScraper(
+            session.attacker_shell.devmem_tool, session.attacker_shell.user
+        )
+        with pytest.raises(ExtractionError):
+            scraper.scrape(harvested)
+
+    def test_scrub_pool_window_of_vulnerability(self):
+        """Scraping inside the scrub window still recovers data."""
+        session = BoardSession.boot(
+            config=KernelConfig(
+                sanitize_policy=SanitizePolicy.SCRUB_POOL,
+                scrub_rate_per_tick=1,
+            ),
+            input_hw=INPUT_HW,
+        )
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7)
+        run = session.victim_application().launch("resnet50_pt", image=secret)
+        harvester = AddressHarvester(
+            session.attacker_shell.procfs, caller=session.attacker_shell.user
+        )
+        harvested = harvester.harvest(run.pid)
+        run.terminate()
+        # Scrape immediately (no ticks): most pages still dirty.
+        scraper = MemoryScraper(
+            session.attacker_shell.devmem_tool, session.attacker_shell.user
+        )
+        immediate = scraper.scrape(harvested)
+        assert immediate.data.count(0) < immediate.nbytes
+        # Drain the scrubber: now the same scrape comes back clean.
+        session.kernel.sanitizer.drain()
+        later = scraper.scrape(harvested)
+        assert later.data == b"\x00" * later.nbytes

@@ -1,0 +1,167 @@
+"""Unit tests for attack steps 4a (identification) and 4b (reconstruction)."""
+
+import pytest
+
+from repro.attack.identify import ModelIdentifier, SignatureDatabase
+from repro.attack.profiling import ModelProfile, OfflineProfiler, ProfileStore
+from repro.attack.reconstruct import ImageReconstructor
+from repro.attack.addressing import AddressHarvester
+from repro.attack.extraction import MemoryScraper
+from repro.attack.config import AttackConfig
+from repro.errors import IdentificationError, ReconstructionError
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+@pytest.fixture
+def profiles(shells) -> ProfileStore:
+    attacker_shell, _ = shells
+    profiler = OfflineProfiler(attacker_shell, input_hw=INPUT_HW)
+    return profiler.profile_library(
+        ["resnet50_pt", "squeezenet_pt", "inception_v1_tf"]
+    )
+
+
+def _scrape_victim(shells, model_name: str, image: Image):
+    attacker_shell, victim_shell = shells
+    run = VictimApplication(victim_shell, input_hw=INPUT_HW).launch(
+        model_name, image=image
+    )
+    harvester = AddressHarvester(attacker_shell.procfs, caller=attacker_shell.user)
+    harvested = harvester.harvest(run.pid)
+    run.terminate()
+    scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+    return scraper.scrape(harvested)
+
+
+class TestSignatureDatabase:
+    def test_distinctive_tokens_exclude_shared_strings(self, profiles):
+        database = SignatureDatabase.from_profiles(profiles)
+        resnet_tokens = database.signature("resnet50_pt").tokens
+        squeeze_tokens = database.signature("squeezenet_pt").tokens
+        assert not resnet_tokens & squeeze_tokens
+        # Shared runtime library paths must not be signatures.
+        assert not any("libvart" in token for token in resnet_tokens)
+
+    def test_signatures_contain_model_specific_strings(self, profiles):
+        database = SignatureDatabase.from_profiles(profiles)
+        tokens = database.signature("resnet50_pt").tokens
+        assert any("resnet50" in token for token in tokens)
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureDatabase.from_profiles(ProfileStore())
+
+    def test_match_scores_all_models(self, shells, profiles):
+        dump = _scrape_victim(
+            shells, "resnet50_pt", Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        database = SignatureDatabase.from_profiles(profiles)
+        scores = database.match(dump.data)
+        assert set(scores) == {"resnet50_pt", "squeezenet_pt", "inception_v1_tf"}
+        assert scores["resnet50_pt"][0] > scores["squeezenet_pt"][0]
+
+
+class TestIdentification:
+    def test_identifies_the_running_model(self, shells, profiles):
+        dump = _scrape_victim(
+            shells, "resnet50_pt", Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        identifier = ModelIdentifier(SignatureDatabase.from_profiles(profiles))
+        result = identifier.identify(dump)
+        assert result.best_model == "resnet50_pt"
+        assert result.confident
+        assert result.matched_tokens
+
+    def test_identifies_each_profiled_model(self, shells, profiles):
+        for name in ("squeezenet_pt", "inception_v1_tf"):
+            dump = _scrape_victim(
+                shells, name, Image.test_pattern(INPUT_HW, INPUT_HW)
+            )
+            identifier = ModelIdentifier(SignatureDatabase.from_profiles(profiles))
+            assert identifier.identify(dump).best_model == name
+
+    def test_grep_hits_show_model_name_rows(self, shells, profiles):
+        dump = _scrape_victim(
+            shells, "resnet50_pt", Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        identifier = ModelIdentifier(SignatureDatabase.from_profiles(profiles))
+        result = identifier.identify(dump)
+        assert any("resnet50" in hit.row_text for hit in result.grep_hits)
+
+    def test_zeroed_dump_fails_identification(self, profiles):
+        from repro.attack.extraction import ScrapedDump
+
+        dump = ScrapedDump(
+            pid=1, heap_start=0, data=b"\x00" * 4096,
+            pages_read=1, pages_skipped=0, devmem_reads=1024,
+        )
+        identifier = ModelIdentifier(SignatureDatabase.from_profiles(profiles))
+        with pytest.raises(IdentificationError):
+            identifier.identify(dump)
+
+    def test_describe_mentions_model(self, shells, profiles):
+        dump = _scrape_victim(
+            shells, "resnet50_pt", Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        identifier = ModelIdentifier(SignatureDatabase.from_profiles(profiles))
+        assert "resnet50_pt" in identifier.identify(dump).describe()
+
+
+class TestReconstruction:
+    def test_recovers_exact_image(self, shells, profiles):
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=11)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        reconstructor = ImageReconstructor()
+        result = reconstructor.reconstruct(dump, profiles.get("resnet50_pt"))
+        assert result.image.pixel_match_rate(secret) == 1.0
+
+    def test_recovers_arbitrary_uncorrupted_image(self, shells, profiles):
+        """No marker needed — the offset alone suffices."""
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=23)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        result = ImageReconstructor().reconstruct(
+            dump, profiles.get("resnet50_pt")
+        )
+        assert not result.corruption_marker_seen
+        assert result.image.pixel_match_rate(secret) == 1.0
+
+    def test_marker_rows_found_for_corrupted_image(self, shells, profiles):
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=11).corrupted(0.2)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        result = ImageReconstructor().reconstruct(
+            dump, profiles.get("resnet50_pt")
+        )
+        assert result.corruption_marker_seen
+        expected_rows = int(INPUT_HW * 0.2) * INPUT_HW * 3 // 16
+        assert abs(len(result.marker_rows) - expected_rows) <= 2
+
+    def test_profile_exceeding_dump_rejected(self, shells, profiles):
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        oversized = ModelProfile(
+            model_name="resnet50_pt",
+            image_offset=dump.nbytes - 10,
+            image_height=INPUT_HW, image_width=INPUT_HW,
+            heap_size=dump.nbytes,
+        )
+        with pytest.raises(ReconstructionError):
+            ImageReconstructor().reconstruct(dump, oversized)
+
+    def test_non_grayscale_marker_rejected(self, shells, profiles):
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        config = AttackConfig(corruption_marker=(255, 0, 0))
+        reconstructor = ImageReconstructor(config)
+        with pytest.raises(ReconstructionError):
+            reconstructor.find_marker_rows(dump)
+
+    def test_describe_mentions_offset(self, shells, profiles):
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW)
+        dump = _scrape_victim(shells, "resnet50_pt", secret)
+        result = ImageReconstructor().reconstruct(
+            dump, profiles.get("resnet50_pt")
+        )
+        assert hex(result.image_offset) in result.describe()

@@ -1,0 +1,139 @@
+"""Unit and integration tests for the end-to-end attack pipeline."""
+
+import pytest
+
+from repro.attack.config import AttackConfig
+from repro.attack.pipeline import AttackPhase, MemoryScrapingAttack
+from repro.attack.profiling import OfflineProfiler
+from repro.errors import AttackError
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+@pytest.fixture
+def attack_setup(shells):
+    attacker_shell, victim_shell = shells
+    profiler = OfflineProfiler(attacker_shell, input_hw=INPUT_HW)
+    profiles = profiler.profile_library(["resnet50_pt", "squeezenet_pt"])
+    attack = MemoryScrapingAttack(attacker_shell, profiles)
+    application = VictimApplication(victim_shell, input_hw=INPUT_HW)
+    return attack, application
+
+
+class TestPhaseDiscipline:
+    def test_initial_phase(self, attack_setup):
+        attack, _ = attack_setup
+        assert attack.phase is AttackPhase.IDLE
+
+    def test_harvest_before_observe_rejected(self, attack_setup):
+        attack, _ = attack_setup
+        with pytest.raises(AttackError):
+            attack.harvest_addresses()
+
+    def test_extract_before_harvest_rejected(self, attack_setup):
+        attack, application = attack_setup
+        application.launch("resnet50_pt", infer=False)
+        attack.observe_victim("resnet50_pt")
+        with pytest.raises(AttackError):
+            attack.extract()
+
+    def test_analyze_before_extract_rejected(self, attack_setup):
+        attack, application = attack_setup
+        application.launch("resnet50_pt", infer=False)
+        attack.observe_victim("resnet50_pt")
+        attack.harvest_addresses()
+        with pytest.raises(AttackError):
+            attack.analyze()
+
+    def test_phases_advance_in_order(self, attack_setup):
+        attack, application = attack_setup
+        run = application.launch("resnet50_pt")
+        attack.observe_victim("resnet50_pt")
+        assert attack.phase is AttackPhase.VICTIM_OBSERVED
+        attack.harvest_addresses()
+        assert attack.phase is AttackPhase.ADDRESSES_HARVESTED
+        run.terminate()
+        attack.extract()
+        assert attack.phase is AttackPhase.EXTRACTED
+        attack.analyze()
+        assert attack.phase is AttackPhase.ANALYZED
+
+
+class TestFullAttack:
+    def test_execute_recovers_everything(self, attack_setup):
+        attack, application = attack_setup
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=7).corrupted(0.2)
+        run = application.launch("resnet50_pt", image=secret)
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+        assert report.succeeded
+        assert report.identification.best_model == "resnet50_pt"
+        assert report.reconstruction is not None
+        assert report.reconstruction.image.pixel_match_rate(secret) == 1.0
+        assert report.reconstruction.corruption_marker_seen
+
+    def test_report_contains_figure_artifacts(self, attack_setup):
+        attack, application = attack_setup
+        run = application.launch("resnet50_pt")
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+        # Fig. 5/6/9 artifacts:
+        assert "resnet50_pt" not in report.ps_before
+        assert "resnet50_pt" in report.ps_during
+        assert "resnet50_pt" not in report.ps_after
+
+    def test_render_mentions_all_steps(self, attack_setup):
+        attack, application = attack_setup
+        run = application.launch("resnet50_pt")
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+        text = report.render()
+        for fragment in ("Step 1", "Step 2", "Step 3", "Step 4a", "Step 4b"):
+            assert fragment in text
+
+    def test_attack_against_unprofiled_model_still_identifies_nothing(
+        self, attack_setup
+    ):
+        """A model outside the signature DB cannot be attributed."""
+        from repro.errors import IdentificationError
+
+        attack, application = attack_setup
+        run = application.launch("vgg16_pt")
+        attack.observe_victim("vgg16_pt")
+        attack.harvest_addresses()
+        run.terminate()
+        attack.extract()
+        with pytest.raises(IdentificationError):
+            attack.analyze()
+
+    def test_squeezenet_victim_identified_as_squeezenet(self, attack_setup):
+        attack, application = attack_setup
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=3)
+        run = application.launch("squeezenet_pt", image=secret)
+        report = attack.execute("squeezenet_pt", terminate_victim=run.terminate)
+        assert report.identification.best_model == "squeezenet_pt"
+        assert report.reconstruction.image.pixel_match_rate(secret) == 1.0
+
+    def test_dump_statistics_reported(self, attack_setup):
+        attack, application = attack_setup
+        run = application.launch("resnet50_pt")
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+        assert report.dump.pages_read == len(report.harvested.present_pages())
+        assert report.dump.nbytes == report.harvested.length
+        assert report.termination_polls >= 1
+
+    def test_word_and_bulk_modes_agree(self, shells):
+        attacker_shell, victim_shell = shells
+        profiler = OfflineProfiler(attacker_shell, input_hw=INPUT_HW)
+        profiles = profiler.profile_library(["resnet50_pt"])
+        application = VictimApplication(victim_shell, input_hw=INPUT_HW)
+        dumps = {}
+        for label, bulk in (("word", False), ("bulk", True)):
+            attack = MemoryScrapingAttack(
+                attacker_shell, profiles, config=AttackConfig(bulk_reads=bulk)
+            )
+            run = application.launch("resnet50_pt")
+            report = attack.execute(
+                "resnet50_pt", terminate_victim=run.terminate
+            )
+            dumps[label] = report.dump.data
+        assert dumps["word"] == dumps["bulk"]

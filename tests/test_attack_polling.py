@@ -1,0 +1,83 @@
+"""Unit tests for attack step 1 — pid polling."""
+
+import pytest
+
+from repro.attack.polling import PidPoller
+from repro.errors import VictimNotFoundError
+from repro.vitis.app import VictimApplication
+
+
+class TestFindVictim:
+    def test_sees_victim_from_other_user_space(self, shells):
+        attacker_shell, victim_shell = shells
+        app = VictimApplication(victim_shell)
+        run = app.launch("resnet50_pt", infer=False)
+        poller = PidPoller(attacker_shell)
+        sighting = poller.find_victim("resnet50_pt")
+        assert sighting is not None
+        assert sighting.pid == run.pid
+        assert sighting.uid == "victim"
+        assert "resnet50_pt.xmodel" in sighting.cmdline
+
+    def test_absent_victim_returns_none(self, shells):
+        attacker_shell, _ = shells
+        assert PidPoller(attacker_shell).find_victim("resnet50_pt") is None
+
+    def test_wait_for_victim_already_running(self, shells):
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell).launch("resnet50_pt", infer=False)
+        sighting = PidPoller(attacker_shell).wait_for_victim("resnet50_pt")
+        assert sighting.pid == run.pid
+
+    def test_wait_for_victim_times_out(self, shells):
+        attacker_shell, _ = shells
+        poller = PidPoller(attacker_shell, poll_limit=5)
+        with pytest.raises(VictimNotFoundError):
+            poller.wait_for_victim("ghost_model")
+        assert poller.polls_performed == 5
+
+    def test_waiting_advances_kernel_clock(self, shells):
+        attacker_shell, _ = shells
+        ticks_before = attacker_shell.kernel.clock_ticks
+        poller = PidPoller(attacker_shell, poll_limit=5)
+        with pytest.raises(VictimNotFoundError):
+            poller.wait_for_victim("ghost_model")
+        assert attacker_shell.kernel.clock_ticks == ticks_before + 5
+
+    def test_sighting_describe(self, shells):
+        attacker_shell, victim_shell = shells
+        VictimApplication(victim_shell).launch("resnet50_pt", infer=False)
+        sighting = PidPoller(attacker_shell).find_victim("resnet50_pt")
+        text = sighting.describe()
+        assert str(sighting.pid) in text
+        assert "victim" in text
+
+
+class TestTermination:
+    def test_is_alive_tracks_process_table(self, shells):
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell).launch("resnet50_pt", infer=False)
+        poller = PidPoller(attacker_shell)
+        assert poller.is_alive(run.pid)
+        run.terminate()
+        assert not poller.is_alive(run.pid)
+
+    def test_wait_for_termination_returns_poll_count(self, shells):
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell).launch("resnet50_pt", infer=False)
+        run.terminate()
+        polls = PidPoller(attacker_shell).wait_for_termination(run.pid)
+        assert polls == 1
+
+    def test_wait_for_termination_times_out_on_live_pid(self, shells):
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell).launch("resnet50_pt", infer=False)
+        poller = PidPoller(attacker_shell, poll_limit=3)
+        with pytest.raises(VictimNotFoundError):
+            poller.wait_for_termination(run.pid)
+
+    def test_snapshot_is_full_ps_output(self, shells):
+        attacker_shell, _ = shells
+        snapshot = PidPoller(attacker_shell).snapshot()
+        assert "UID" in snapshot
+        assert "kworker" in snapshot

@@ -1,0 +1,197 @@
+"""Tests for the pagemap-free attack variants."""
+
+import pytest
+
+from repro.attack.identify import SignatureDatabase
+from repro.attack.polling import PidPoller
+from repro.attack.variants import (
+    FullScanAttack,
+    ProfiledPhysicalAttack,
+    profile_physical_layout,
+)
+from repro.errors import ExtractionError
+from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.aslr import LayoutRandomization
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.sanitizer import SanitizePolicy
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+def _reference_knowledge():
+    """Profile layout + signatures on a board the adversary controls."""
+    reference = BoardSession.boot(input_hw=INPUT_HW)
+    profiles = reference.profile(["resnet50_pt", "squeezenet_pt"])
+    database = SignatureDatabase.from_profiles(profiles)
+    # Physical layout must come from a pristine boot (same state the
+    # target board will be in when the victim launches).
+    pristine = BoardSession.boot(input_hw=INPUT_HW)
+    layout = profile_physical_layout(
+        pristine.attacker_shell, "resnet50_pt", input_hw=INPUT_HW
+    )
+    return profiles, database, layout
+
+
+@pytest.fixture(scope="module")
+def knowledge():
+    return _reference_knowledge()
+
+
+def _run_victim(session, image):
+    run = session.victim_application().launch("resnet50_pt", image=image)
+    run.terminate()
+    PidPoller(session.attacker_shell).wait_for_termination(run.pid)
+
+
+class TestProfiledPhysicalAttack:
+    def test_recovers_image_without_pagemap(self, knowledge):
+        _, database, layout = knowledge
+        target = BoardSession.boot(input_hw=INPUT_HW)
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13)
+        _run_victim(target, secret)
+        attack = ProfiledPhysicalAttack(
+            target.attacker_shell, layout, database
+        )
+        outcome = attack.run()
+        assert outcome.leaked
+        assert outcome.identification.best_model == "resnet50_pt"
+        assert outcome.image.pixel_match_rate(secret) == 1.0
+
+    def test_works_under_pagemap_lockdown(self, knowledge):
+        """The defense that kills the paper attack does not kill this."""
+        _, database, layout = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(
+                pagemap_world_readable=False, procfs_world_readable=False
+            ),
+            input_hw=INPUT_HW,
+        )
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13)
+        _run_victim(target, secret)
+        outcome = ProfiledPhysicalAttack(
+            target.attacker_shell, layout, database
+        ).run()
+        assert outcome.leaked
+        assert outcome.image.pixel_match_rate(secret) == 1.0
+
+    def test_defeated_by_physical_aslr(self, knowledge):
+        _, database, layout = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(
+                randomization=LayoutRandomization(physical=True, seed=99)
+            ),
+            input_hw=INPUT_HW,
+        )
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13)
+        _run_victim(target, secret)
+        outcome = ProfiledPhysicalAttack(
+            target.attacker_shell, layout, database
+        ).run()
+        # The profiled addresses now point at unrelated (mostly
+        # untouched) frames: no model strings, no attribution.
+        assert outcome.identification is None
+        assert outcome.image is None
+        assert not outcome.leaked
+
+    def test_defeated_by_zero_on_free(self, knowledge):
+        _, database, layout = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+            input_hw=INPUT_HW,
+        )
+        _run_victim(target, Image.test_pattern(INPUT_HW, INPUT_HW))
+        outcome = ProfiledPhysicalAttack(
+            target.attacker_shell, layout, database
+        ).run()
+        assert not outcome.leaked
+
+    def test_defeated_by_strict_devmem(self, knowledge):
+        _, database, layout = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(devmem_unrestricted=False), input_hw=INPUT_HW
+        )
+        _run_victim(target, Image.test_pattern(INPUT_HW, INPUT_HW))
+        with pytest.raises(ExtractionError):
+            ProfiledPhysicalAttack(
+                target.attacker_shell, layout, database
+            ).run()
+
+
+class TestFullScanAttack:
+    def test_identifies_model_with_no_procfs(self, knowledge):
+        profiles, database, _ = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(
+                pagemap_world_readable=False, procfs_world_readable=False
+            ),
+            input_hw=INPUT_HW,
+        )
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13).corrupted(0.2)
+        _run_victim(target, secret)
+        attack = FullScanAttack(target.attacker_shell, database, profiles)
+        outcome = attack.run()
+        assert outcome.identification.best_model == "resnet50_pt"
+
+    def test_recovers_marker_corrupted_image(self, knowledge):
+        profiles, database, _ = knowledge
+        target = BoardSession.boot(input_hw=INPUT_HW)
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13).corrupted(0.2)
+        _run_victim(target, secret)
+        outcome = FullScanAttack(
+            target.attacker_shell, database, profiles
+        ).run()
+        assert outcome.image is not None
+        assert outcome.image.pixel_match_rate(secret) == 1.0
+
+    def test_uncorrupted_image_not_recovered_by_scan(self, knowledge):
+        """Honest capability limit: the sweep needs the marker."""
+        profiles, database, _ = knowledge
+        target = BoardSession.boot(input_hw=INPUT_HW)
+        _run_victim(target, Image.test_pattern(INPUT_HW, INPUT_HW, seed=13))
+        outcome = FullScanAttack(
+            target.attacker_shell, database, profiles
+        ).run()
+        assert outcome.identification is not None
+        assert outcome.image is None
+
+    def test_survives_physical_aslr(self, knowledge):
+        """Scanning doesn't care where the pages are."""
+        profiles, database, _ = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(
+                randomization=LayoutRandomization(physical=True, seed=99)
+            ),
+            input_hw=INPUT_HW,
+        )
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=13).corrupted(0.2)
+        _run_victim(target, secret)
+        # Physical ASLR scatters frames across the whole 512 MiB user
+        # pool, so sweep all of it (windowed, early-stopping).
+        scan_length = 512 * 1024 * 1024
+        outcome = FullScanAttack(
+            target.attacker_shell, database, profiles,
+            scan_length=scan_length, window=16 * 1024 * 1024,
+        ).run()
+        assert outcome.identification is not None
+        assert outcome.identification.best_model == "resnet50_pt"
+
+    def test_defeated_only_by_sanitization(self, knowledge):
+        profiles, database, _ = knowledge
+        target = BoardSession.boot(
+            config=KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+            input_hw=INPUT_HW,
+        )
+        _run_victim(target, Image.test_pattern(INPUT_HW, INPUT_HW).corrupted(0.2))
+        outcome = FullScanAttack(
+            target.attacker_shell, database, profiles
+        ).run()
+        assert not outcome.leaked
+
+    def test_bad_scan_length_rejected(self, knowledge):
+        profiles, database, _ = knowledge
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        with pytest.raises(ValueError):
+            FullScanAttack(
+                session.attacker_shell, database, profiles, scan_length=100
+            )

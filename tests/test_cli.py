@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.model == "resnet50_pt"
+        assert args.input_hw == 32
+        assert args.board == "ZCU104"
+
+    def test_bad_board_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--board", "VCK190"])
+
+
+class TestCommands:
+    def test_boards_lists_both(self, capsys):
+        assert main(["boards"]) == 0
+        output = capsys.readouterr().out
+        assert "ZCU104" in output
+        assert "ZCU102" in output
+
+    def test_zoo_lists_models(self, capsys):
+        assert main(["zoo", "--input-hw", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "resnet50_pt" in output
+        assert "pytorch" in output
+        assert "tensorflow" in output
+
+    def test_demo_succeeds_on_vulnerable_board(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "Step 4a" in output
+        assert "resnet50_pt" in output
+        assert "100.0% pixel match" in output
+
+    def test_demo_other_model(self, capsys):
+        assert main(["demo", "--model", "squeezenet_pt"]) == 0
+        assert "squeezenet_pt" in capsys.readouterr().out
+
+    def test_figures_all_pass(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "fig04" in output
+        assert "fig12" in output
+        assert "[FAIL]" not in output
+
+    def test_defenses_matrix(self, capsys):
+        assert main(["defenses"]) == 0
+        output = capsys.readouterr().out
+        assert "vulnerable-default" in output
+        assert "fully-hardened" in output
+        assert "YES" in output
+        assert "no" in output
+
+    def test_profile_to_stdout(self, capsys):
+        assert main(["profile", "resnet50_pt"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "resnet50_pt" in payload
+        assert payload["resnet50_pt"]["image_offset"] > 0
+
+    def test_profile_to_file(self, tmp_path, capsys):
+        target = tmp_path / "notebook.json"
+        assert main(
+            ["profile", "resnet50_pt", "squeezenet_pt", "-o", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"resnet50_pt", "squeezenet_pt"}

@@ -1,0 +1,200 @@
+"""Error-hierarchy guarantees and failure-injection edge cases."""
+
+import pytest
+
+from repro import errors
+from repro.attack.addressing import HarvestedRange, PageTranslation
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper
+from repro.attack.pipeline import AttackReport
+from repro.mmu.paging import PAGE_SIZE
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+
+INPUT_HW = 32
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        error_classes = [
+            value
+            for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        for error_class in error_classes:
+            assert issubclass(error_class, errors.ReproError), error_class
+
+    def test_layer_bases(self):
+        assert issubclass(errors.BusError, errors.HardwareError)
+        assert issubclass(errors.TranslationFault, errors.MmuError)
+        assert issubclass(errors.NoSuchProcessError, errors.OsError)
+        assert issubclass(errors.PermissionDeniedError, errors.OsError)
+        assert issubclass(errors.XModelFormatError, errors.VitisError)
+        assert issubclass(errors.ExtractionError, errors.AttackError)
+
+    def test_bus_error_carries_address(self):
+        error = errors.BusError(0xF000_0000)
+        assert error.address == 0xF000_0000
+        assert "0xf0000000" in str(error)
+
+    def test_translation_fault_carries_va_and_pid(self):
+        error = errors.TranslationFault(0xDEAD_B000, pid=42)
+        assert error.virtual_address == 0xDEAD_B000
+        assert "42" in str(error)
+
+    def test_no_such_process_carries_pid(self):
+        assert errors.NoSuchProcessError(1391).pid == 1391
+
+    def test_unknown_model_carries_name(self):
+        assert errors.UnknownModelError("alexnet").name == "alexnet"
+
+    def test_catching_the_base_class_works_across_layers(self):
+        for error in (
+            errors.BusError(0),
+            errors.OutOfMemoryError("full"),
+            errors.VictimNotFoundError("gone"),
+        ):
+            with pytest.raises(errors.ReproError):
+                raise error
+
+
+class TestAttackConfigValidation:
+    def test_defaults_valid(self):
+        config = AttackConfig()
+        assert config.word_bits == 32
+        assert not config.bulk_reads
+
+    def test_bad_word_width_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(word_bits=24)
+
+    def test_bad_poll_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(poll_limit=0)
+
+    def test_bad_string_length_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(string_min_length=0)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            AttackConfig().word_bits = 64
+
+
+class TestNonPresentPageHandling:
+    """Failure injection: harvest snapshots with holes."""
+
+    def _synthetic_harvest(self, shells):
+        """A real harvest with one translation flipped to non-present."""
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell, input_hw=INPUT_HW).launch(
+            "resnet50_pt", image=Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        from repro.attack.addressing import AddressHarvester
+
+        harvested = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        ).harvest(run.pid)
+        run.terminate()
+        holed = HarvestedRange(
+            pid=harvested.pid,
+            heap_start=harvested.heap_start,
+            heap_end=harvested.heap_end,
+            translations=[
+                PageTranslation(t.virtual_page_address, 0, present=False)
+                if index == 1
+                else t
+                for index, t in enumerate(harvested.translations)
+            ],
+        )
+        return attacker_shell, holed
+
+    def test_scrape_zero_fills_missing_pages(self, shells):
+        attacker_shell, holed = self._synthetic_harvest(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(holed)
+        assert dump.pages_skipped == 1
+        assert dump.nbytes == holed.length
+        assert dump.data[PAGE_SIZE : 2 * PAGE_SIZE] == b"\x00" * PAGE_SIZE
+
+    def test_offsets_stay_congruent_despite_holes(self, shells):
+        """The profiled image offset must survive missing pages."""
+        attacker_shell, holed = self._synthetic_harvest(shells)
+        scraper = MemoryScraper(attacker_shell.devmem_tool, attacker_shell.user)
+        dump = scraper.scrape(holed)
+        assert dump.virtual_address_of(3 * PAGE_SIZE) == (
+            holed.heap_start + 3 * PAGE_SIZE
+        )
+
+    def test_physical_of_refuses_non_present_page(self, shells):
+        _, holed = self._synthetic_harvest(shells)
+        missing_va = holed.translations[1].virtual_page_address
+        with pytest.raises(errors.AddressHarvestError):
+            holed.physical_of(missing_va)
+
+    def test_all_absent_harvest_rejected_at_source(self, shells):
+        attacker_shell, _ = shells
+        from repro.attack.addressing import AddressHarvester
+
+        harvester = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        )
+        # init has no heap at all -> harvest error, not a silent empty.
+        with pytest.raises(errors.AddressHarvestError):
+            harvester.harvest(1)
+
+
+class TestWordWidthVariants:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_scrape_is_width_invariant(self, shells, word_bits):
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell, input_hw=INPUT_HW).launch(
+            "resnet50_pt", image=Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        from repro.attack.addressing import AddressHarvester
+
+        harvested = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        ).harvest(run.pid)
+        ground_truth = run.process.address_space.read_virtual(
+            harvested.heap_start, PAGE_SIZE
+        )
+        run.terminate()
+        scraper = MemoryScraper(
+            attacker_shell.devmem_tool,
+            attacker_shell.user,
+            AttackConfig(word_bits=word_bits),
+        )
+        dump = scraper.scrape(harvested)
+        assert dump.data[:PAGE_SIZE] == ground_truth
+
+
+class TestReportRendering:
+    def test_render_with_failed_analysis(self, shells):
+        """A report whose steps 4a/4b failed still renders cleanly."""
+        attacker_shell, victim_shell = shells
+        run = VictimApplication(victim_shell, input_hw=INPUT_HW).launch(
+            "resnet50_pt", image=Image.test_pattern(INPUT_HW, INPUT_HW)
+        )
+        from repro.attack.addressing import AddressHarvester
+        from repro.attack.polling import PidPoller
+
+        poller = PidPoller(attacker_shell)
+        sighting = poller.find_victim("resnet50_pt")
+        harvested = AddressHarvester(
+            attacker_shell.procfs, caller=attacker_shell.user
+        ).harvest(sighting.pid)
+        run.terminate()
+        dump = MemoryScraper(
+            attacker_shell.devmem_tool, attacker_shell.user
+        ).scrape(harvested)
+        report = AttackReport(
+            sighting=sighting,
+            harvested=harvested,
+            termination_polls=1,
+            dump=dump,
+        )
+        text = report.render()
+        assert "identification FAILED" in text
+        assert "reconstruction FAILED" in text
+        assert not report.succeeded

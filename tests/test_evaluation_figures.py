@@ -1,0 +1,63 @@
+"""Tests that every regenerated paper figure's claims hold."""
+
+import pytest
+
+from repro.evaluation.figures import (
+    FigureArtifact,
+    generate_all_figures,
+    render_figure_report,
+)
+
+EXPECTED_FIGURES = (
+    "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12",
+)
+
+
+@pytest.fixture(scope="module")
+def figures() -> dict[str, FigureArtifact]:
+    """One shared scenario run for all figure checks (module-scoped)."""
+    return generate_all_figures(input_hw=32)
+
+
+class TestFigureSet:
+    def test_all_nine_figures_present(self, figures):
+        assert sorted(figures) == sorted(EXPECTED_FIGURES)
+
+    @pytest.mark.parametrize("figure_id", EXPECTED_FIGURES)
+    def test_every_claim_holds(self, figures, figure_id):
+        artifact = figures[figure_id]
+        failing = [claim for claim, held in artifact.claims.items() if not held]
+        assert not failing, f"{figure_id} failing claims: {failing}"
+
+    def test_render_includes_all_ids(self, figures):
+        text = render_figure_report(figures)
+        for figure_id in EXPECTED_FIGURES:
+            assert figure_id in text
+
+
+class TestFigureContent:
+    def test_fig06_shows_xmodel_cmdline(self, figures):
+        assert "resnet50_pt.xmodel" in figures["fig06"].body
+
+    def test_fig07_heap_line_format(self, figures):
+        assert "[heap]" in figures["fig07"].body
+        assert "rw-p" in figures["fig07"].body
+        assert "aaaaee775000" in figures["fig07"].body
+
+    def test_fig08_shows_virtual_to_physical_invocations(self, figures):
+        assert "./virtual_to_physical.out" in figures["fig08"].body
+
+    def test_fig10_shows_marker_word(self, figures):
+        assert "0xFFFFFFFF" in figures["fig10"].body
+
+    def test_fig11_grep_rows_contain_model_name(self, figures):
+        assert "resnet50" in figures["fig11"].body
+
+    def test_fig12_reports_profiled_row(self, figures):
+        assert "hexdump row" in figures["fig12"].body
+
+    def test_artifact_render_marks_ok(self, figures):
+        rendered = figures["fig04"].render()
+        assert "[ok]" in rendered
+        assert "[FAIL]" not in rendered

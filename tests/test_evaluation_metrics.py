@@ -1,0 +1,82 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    byte_recovery_rate,
+    identification_accuracy,
+    image_fidelity,
+    residue_survival,
+)
+from repro.mmu.frame_alloc import FrameAllocator
+from repro.vitis.image import Image
+
+
+class TestByteRecoveryRate:
+    def test_identical(self):
+        assert byte_recovery_rate(b"abcd", b"abcd") == 1.0
+
+    def test_disjoint(self):
+        assert byte_recovery_rate(b"\x01\x02", b"\x03\x04") == 0.0
+
+    def test_partial(self):
+        assert byte_recovery_rate(b"ab__", b"abcd") == 0.5
+
+    def test_empty(self):
+        assert byte_recovery_rate(b"", b"") == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            byte_recovery_rate(b"ab", b"abc")
+
+
+class TestImageFidelity:
+    def test_exact(self):
+        image = Image.test_pattern(8, 8)
+        fidelity = image_fidelity(image, image)
+        assert fidelity.is_exact
+        assert fidelity.psnr_db == float("inf")
+
+    def test_inexact(self):
+        image = Image.solid(8, 8, (100, 100, 100))
+        other = Image.solid(8, 8, (110, 100, 100))
+        fidelity = image_fidelity(other, image)
+        assert not fidelity.is_exact
+        assert fidelity.pixel_match_rate == 0.0
+        assert fidelity.psnr_db > 20
+
+
+class TestIdentificationAccuracy:
+    def test_all_correct(self):
+        assert identification_accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half_correct(self):
+        assert identification_accuracy(["a", "x"], ["a", "b"]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            identification_accuracy([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            identification_accuracy(["a"], ["a", "b"])
+
+
+class TestResidueSurvival:
+    def test_all_free_frames_survive(self):
+        allocator = FrameAllocator(total_frames=16)
+        frames = allocator.allocate(4, owner=1)
+        allocator.free(frames)
+        assert residue_survival(allocator, frames) == 1.0
+
+    def test_reused_frames_do_not_survive(self):
+        allocator = FrameAllocator(total_frames=16)
+        frames = allocator.allocate(4, owner=1)
+        allocator.free(frames)
+        allocator.allocate(2, owner=2)
+        assert residue_survival(allocator, frames) == 0.5
+
+    def test_empty_frame_list_rejected(self):
+        allocator = FrameAllocator(total_frames=16)
+        with pytest.raises(ValueError):
+            residue_survival(allocator, [])

@@ -1,0 +1,112 @@
+"""Tests for the canned experiment scenarios."""
+
+import pytest
+
+from repro.evaluation.scenarios import (
+    BoardSession,
+    attack_under_config,
+    multi_tenant_scrub_experiment,
+    reuse_decay_experiment,
+    run_paper_attack,
+)
+from repro.hw.board import ZCU102
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.sanitizer import SanitizePolicy
+
+INPUT_HW = 32
+
+
+class TestBoardSession:
+    def test_boot_defaults_to_zcu104(self, session):
+        assert session.soc.board.name == "ZCU104"
+
+    def test_boot_zcu102(self):
+        session = BoardSession.boot(board=ZCU102, input_hw=INPUT_HW)
+        assert session.soc.board.name == "ZCU102"
+        assert session.kernel.allocator.total_frames == (4 * 1024**3) // 4096
+
+    def test_two_distinct_users(self, session):
+        assert session.attacker_shell.user.uid != session.victim_shell.user.uid
+
+    def test_add_tenant(self, session):
+        shell = session.add_tenant("guest_b", 1003, "pts/2")
+        assert shell.user.name == "guest_b"
+        assert shell.kernel is session.kernel
+
+
+class TestRunPaperAttack:
+    def test_vulnerable_default_leaks_everything(self, session):
+        outcome = run_paper_attack(session)
+        assert outcome.model_identified_correctly
+        assert outcome.image_recovered_exactly
+        assert outcome.report.reconstruction.corruption_marker_seen
+
+    def test_different_victim_model(self):
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        outcome = run_paper_attack(session, victim_model="mobilenet_v2_tf")
+        assert outcome.model_identified_correctly
+
+    def test_supplied_profile_store_reused(self, session):
+        profiles = session.profile(["resnet50_pt", "squeezenet_pt"])
+        outcome = run_paper_attack(session, profiles=profiles)
+        assert outcome.model_identified_correctly
+
+
+class TestAttackUnderConfig:
+    def test_vulnerable_config_succeeds(self):
+        outcome = attack_under_config(KernelConfig(), "vulnerable")
+        assert outcome.attack_succeeded
+        assert outcome.steps_completed == 4
+        assert outcome.failed_step is None
+
+    def test_zero_on_free_defeats_analysis(self):
+        outcome = attack_under_config(
+            KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+            "zero-on-free",
+        )
+        assert not outcome.attack_succeeded
+        assert outcome.failed_step == "step 4 (analysis)"
+
+    def test_pagemap_lockdown_defeats_harvest(self):
+        outcome = attack_under_config(
+            KernelConfig(pagemap_world_readable=False), "pagemap-lockdown"
+        )
+        assert not outcome.attack_succeeded
+        assert outcome.failed_step == "step 2 (address harvest)"
+
+    def test_strict_devmem_defeats_extraction(self):
+        outcome = attack_under_config(
+            KernelConfig(devmem_unrestricted=False), "strict-devmem"
+        )
+        assert not outcome.attack_succeeded
+        assert outcome.failed_step == "step 3 (extraction)"
+
+    def test_hardened_defeats_attack_early(self):
+        outcome = attack_under_config(KernelConfig().hardened(), "hardened")
+        assert not outcome.attack_succeeded
+        assert outcome.steps_completed < 4
+
+
+class TestReuseDecay:
+    def test_recovery_decays_with_fillers(self):
+        points = reuse_decay_experiment([0, 8], input_hw=INPUT_HW)
+        assert points[0].image_recovery_rate > 0.99
+        assert points[1].image_recovery_rate < points[0].image_recovery_rate
+        assert points[1].frames_surviving_fraction < 1.0
+
+    def test_zero_fillers_full_survival(self):
+        points = reuse_decay_experiment([0], input_hw=INPUT_HW)
+        assert points[0].frames_surviving_fraction == 1.0
+
+
+class TestMultiTenantScrub:
+    def test_contiguous_scrub_corrupts_cotenant(self):
+        outcomes = {o.strategy: o for o in multi_tenant_scrub_experiment(INPUT_HW)}
+        contiguous = outcomes["contiguous_range"]
+        per_page = outcomes["per_page"]
+        # Both strategies clear the victim residue...
+        assert contiguous.victim_residue_cleared
+        assert per_page.victim_residue_cleared
+        # ...but only per-page scrubbing spares the live co-tenant.
+        assert not contiguous.cotenant_data_intact
+        assert per_page.cotenant_data_intact

@@ -1,0 +1,99 @@
+"""Unit tests for board specs and the SoC bus routing."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.board import BOARDS, ZCU102, ZCU104, BoardSpec, board_by_name
+from repro.hw.dram import PAGE_SIZE
+from repro.hw.soc import ZynqMpSoC
+
+
+class TestBoards:
+    def test_zcu104_matches_paper_description(self):
+        assert ZCU104.apu == "ARM Cortex-A53"
+        assert ZCU104.apu_cores == 4
+        assert ZCU104.gpu == "Mali-400 MP2"
+        assert ZCU104.process_node == "16nm FinFET+"
+        assert ZCU104.dram_size == 2 * 1024**3
+
+    def test_zcu102_is_the_generalizability_board(self):
+        assert ZCU102.name == "ZCU102"
+        assert ZCU102.family == ZCU104.family
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert board_by_name("zcu104") is ZCU104
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(ValueError):
+            board_by_name("VCK190")
+
+    def test_describe_mentions_key_components(self):
+        text = ZCU104.describe()
+        assert "Cortex-A53" in text
+        assert "Mali-400" in text
+
+    def test_registry_complete(self):
+        assert set(BOARDS) == {"ZCU104", "ZCU102"}
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            BoardSpec(
+                name="X", family="F", dram_size=0, apu="A", apu_cores=4,
+                rpu="R", gpu="G", process_node="16nm",
+            )
+
+
+class TestSocRouting:
+    def test_dram_read_write_through_bus(self):
+        soc = ZynqMpSoC()
+        soc.write_physical(0x6000_0000, b"payload")
+        assert soc.read_physical(0x6000_0000, 7) == b"payload"
+
+    def test_word_access(self):
+        soc = ZynqMpSoC()
+        soc.write_word(0x6000_0100, 0xDEADBEEF)
+        assert soc.read_word(0x6000_0100) == 0xDEADBEEF
+
+    def test_ocm_is_separate_from_dram(self):
+        soc = ZynqMpSoC()
+        soc.write_physical(0xFFFC_0000, b"ocm")
+        assert soc.read_physical(0xFFFC_0000, 3) == b"ocm"
+        assert soc.read_physical(0x0, 3) == b"\x00\x00\x00"
+
+    def test_unbacked_region_faults(self):
+        soc = ZynqMpSoC()
+        with pytest.raises(BusError):
+            soc.read_physical(0x8000_0000, 4)  # PL window
+
+    def test_unmapped_hole_faults(self):
+        soc = ZynqMpSoC()
+        with pytest.raises(BusError):
+            soc.read_physical(0xF000_0000, 4)
+
+    def test_frame_to_physical_identity_in_ddr_low(self):
+        soc = ZynqMpSoC()
+        assert soc.dram_frame_to_physical(0x60025) == 0x60025000
+
+    def test_physical_to_frame_roundtrip(self):
+        soc = ZynqMpSoC()
+        for frame in (0, 1, 0x60000, 0x7FFFF):
+            assert soc.physical_to_dram_frame(soc.dram_frame_to_physical(frame)) == frame
+
+    def test_ddr_high_routing_on_4gib_board(self):
+        soc = ZynqMpSoC(board=ZCU102)
+        high_frame = (2 * 1024**3) // PAGE_SIZE  # first frame past DDR_LOW
+        physical = soc.dram_frame_to_physical(high_frame)
+        assert physical == 0x8_0000_0000
+        soc.write_physical(physical, b"high")
+        assert soc.read_physical(physical, 4) == b"high"
+        assert soc.physical_to_dram_frame(physical) == high_frame
+
+    def test_ocm_address_is_not_a_dram_frame(self):
+        soc = ZynqMpSoC()
+        with pytest.raises(BusError):
+            soc.physical_to_dram_frame(0xFFFC_0000)
+
+    def test_describe_includes_board_and_map(self):
+        text = ZynqMpSoC().describe()
+        assert "ZCU104" in text
+        assert "DDR_LOW" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the DPU gather/execute/scatter engine."""
+
+import pytest
+
+from repro.hw.dpu import DpuCore, DpuJob
+from repro.hw.soc import ZynqMpSoC
+
+
+class EchoKernel:
+    """Test kernel: returns its input reversed."""
+
+    macs = 1000
+
+    def execute(self, input_blob: bytes) -> bytes:
+        return input_blob[::-1]
+
+
+class OversizeKernel:
+    """Test kernel that produces more output than any scatter list."""
+
+    macs = 1
+
+    def execute(self, input_blob: bytes) -> bytes:
+        return b"\xab" * (len(input_blob) + 100)
+
+
+@pytest.fixture
+def soc() -> ZynqMpSoC:
+    return ZynqMpSoC()
+
+
+@pytest.fixture
+def dpu(soc: ZynqMpSoC) -> DpuCore:
+    return DpuCore(soc)
+
+
+class TestDpuJob:
+    def test_lengths(self):
+        job = DpuJob(EchoKernel(), [(0, 100), (4096, 50)], [(8192, 200)])
+        assert job.input_length() == 150
+        assert job.output_capacity() == 200
+
+
+class TestDpuRun:
+    def test_gather_execute_scatter(self, soc, dpu):
+        soc.write_physical(0x6000_0000, b"abcd")
+        job = DpuJob(EchoKernel(), [(0x6000_0000, 4)], [(0x6100_0000, 4)])
+        result = dpu.run(job)
+        assert result.output == b"dcba"
+        assert soc.read_physical(0x6100_0000, 4) == b"dcba"
+
+    def test_scattered_input_gathered_in_order(self, soc, dpu):
+        soc.write_physical(0x6000_0000, b"AB")
+        soc.write_physical(0x6200_0000, b"CD")
+        job = DpuJob(
+            EchoKernel(),
+            [(0x6000_0000, 2), (0x6200_0000, 2)],
+            [(0x6300_0000, 4)],
+        )
+        assert dpu.run(job).output == b"DCBA"
+
+    def test_output_split_across_segments(self, soc, dpu):
+        soc.write_physical(0x6000_0000, b"wxyz")
+        job = DpuJob(
+            EchoKernel(),
+            [(0x6000_0000, 4)],
+            [(0x6100_0000, 2), (0x6200_0000, 2)],
+        )
+        dpu.run(job)
+        assert soc.read_physical(0x6100_0000, 2) == b"zy"
+        assert soc.read_physical(0x6200_0000, 2) == b"xw"
+
+    def test_oversized_output_rejected(self, soc, dpu):
+        job = DpuJob(OversizeKernel(), [(0x6000_0000, 4)], [(0x6100_0000, 4)])
+        with pytest.raises(ValueError):
+            dpu.run(job)
+
+    def test_phase_callback_order(self, soc, dpu):
+        phases = []
+        job = DpuJob(EchoKernel(), [(0x6000_0000, 4)], [(0x6100_0000, 4)])
+        dpu.run(job, on_phase=phases.append)
+        assert phases == ["gather", "execute", "scatter"]
+
+    def test_cycle_estimate_uses_peak_macs(self, soc):
+        dpu = DpuCore(soc, peak_macs_per_cycle=100)
+        job = DpuJob(EchoKernel(), [(0x6000_0000, 4)], [(0x6100_0000, 4)])
+        assert dpu.run(job).estimated_cycles == 10
+
+    def test_stats_accumulate(self, soc, dpu):
+        job = DpuJob(EchoKernel(), [(0x6000_0000, 4)], [(0x6100_0000, 4)])
+        dpu.run(job)
+        dpu.run(job)
+        assert dpu.stats.jobs_completed == 2
+        assert dpu.stats.bytes_gathered == 8
+        assert dpu.stats.bytes_scattered == 8
+        assert dpu.stats.total_macs == 2000
+
+    def test_input_residue_left_in_dram(self, soc, dpu):
+        """The DPU does not clear its buffers either — residue persists."""
+        soc.write_physical(0x6000_0000, b"tensor-bytes")
+        job = DpuJob(EchoKernel(), [(0x6000_0000, 12)], [(0x6100_0000, 12)])
+        dpu.run(job)
+        assert soc.read_physical(0x6000_0000, 12) == b"tensor-bytes"

@@ -1,0 +1,106 @@
+"""Unit tests for the Zynq UltraScale+ address map."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.memmap import (
+    DDR_HIGH_BASE,
+    DDR_LOW_SIZE,
+    OCM_BASE,
+    AddressMap,
+    Region,
+    zynqmp_address_map,
+)
+
+
+class TestRegion:
+    def test_contains_boundaries(self):
+        region = Region("R", 0x1000, 0x1000)
+        assert region.contains(0x1000)
+        assert region.contains(0x1FFF)
+        assert not region.contains(0x2000)
+        assert not region.contains(0xFFF)
+
+    def test_offset_of(self):
+        region = Region("R", 0x1000, 0x1000)
+        assert region.offset_of(0x1800) == 0x800
+
+    def test_end(self):
+        assert Region("R", 0, 0x100).end == 0x100
+
+
+class TestAddressMap:
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap([Region("A", 0, 0x2000), Region("B", 0x1000, 0x2000)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap([Region("A", 0, 0x1000), Region("A", 0x2000, 0x1000)])
+
+    def test_decode_hits_right_region(self):
+        amap = AddressMap([Region("A", 0, 0x1000), Region("B", 0x2000, 0x1000)])
+        region, offset = amap.decode(0x2010)
+        assert region.name == "B"
+        assert offset == 0x10
+
+    def test_decode_hole_raises_bus_error(self):
+        amap = AddressMap([Region("A", 0, 0x1000)])
+        with pytest.raises(BusError) as excinfo:
+            amap.decode(0x5000)
+        assert excinfo.value.address == 0x5000
+
+    def test_region_lookup_by_name(self):
+        amap = AddressMap([Region("OCM", OCM_BASE, 0x1000)])
+        assert amap.region("OCM").base == OCM_BASE
+
+    def test_unknown_region_name(self):
+        amap = AddressMap([Region("A", 0, 0x1000)])
+        with pytest.raises(KeyError):
+            amap.region("NOPE")
+
+    def test_regions_sorted(self):
+        amap = AddressMap([Region("B", 0x2000, 0x1000), Region("A", 0, 0x1000)])
+        assert [region.name for region in amap.regions] == ["A", "B"]
+
+    def test_render_mentions_all_regions(self):
+        amap = zynqmp_address_map(2 * 1024**3)
+        rendered = amap.render()
+        for name in ("DDR_LOW", "PL_LPD", "QSPI", "OCM"):
+            assert name in rendered
+
+
+class TestZynqMpMap:
+    def test_2gib_board_has_no_ddr_high(self):
+        amap = zynqmp_address_map(2 * 1024**3)
+        with pytest.raises(KeyError):
+            amap.region("DDR_HIGH")
+
+    def test_4gib_board_splits_across_windows(self):
+        amap = zynqmp_address_map(4 * 1024**3)
+        assert amap.region("DDR_LOW").size == DDR_LOW_SIZE
+        assert amap.region("DDR_HIGH").base == DDR_HIGH_BASE
+        assert amap.region("DDR_HIGH").size == 2 * 1024**3
+
+    def test_small_board_ddr_low_only(self):
+        amap = zynqmp_address_map(512 * 1024**2)
+        assert amap.region("DDR_LOW").size == 512 * 1024**2
+
+    def test_paper_devmem_address_is_ddr_low(self):
+        # 0x61c6d730 is the physical address in the paper's Fig. 8.
+        amap = zynqmp_address_map(2 * 1024**3)
+        region, offset = amap.decode(0x61C6D730)
+        assert region.name == "DDR_LOW"
+        assert offset == 0x61C6D730
+
+    def test_pl_region_is_not_backed(self):
+        amap = zynqmp_address_map(2 * 1024**3)
+        assert not amap.region("PL_LPD").backed
+
+    def test_zero_dram_rejected(self):
+        with pytest.raises(ValueError):
+            zynqmp_address_map(0)
+
+    def test_oversized_dram_rejected(self):
+        with pytest.raises(ValueError):
+            zynqmp_address_map(64 * 1024**3)

@@ -1,0 +1,162 @@
+"""End-to-end integration tests: the paper's experiment, variations, defenses."""
+
+import pytest
+
+from repro.attack.pipeline import MemoryScrapingAttack
+from repro.evaluation.metrics import byte_recovery_rate
+from repro.evaluation.scenarios import BoardSession, run_paper_attack
+from repro.hw.board import ZCU102
+from repro.petalinux.kernel import KernelConfig
+from repro.vitis.app import VictimApplication
+from repro.vitis.image import Image
+from repro.vitis.zoo import MODEL_NAMES
+
+INPUT_HW = 32
+
+
+class TestPaperExperiment:
+    """The §IV/§V experiment, asserted quantitatively."""
+
+    def test_full_attack_on_zcu104(self):
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        outcome = run_paper_attack(session)
+        assert outcome.model_identified_correctly
+        assert outcome.image_recovered_exactly
+        report = outcome.report
+        assert report.dump.pages_skipped == 0
+        assert report.dump.nbytes == report.harvested.length
+
+    def test_full_attack_on_zcu102(self):
+        """The paper's generalizability claim (§I-C)."""
+        session = BoardSession.boot(board=ZCU102, input_hw=INPUT_HW)
+        outcome = run_paper_attack(session)
+        assert outcome.model_identified_correctly
+        assert outcome.image_recovered_exactly
+
+    def test_whole_heap_recovered_bit_exact(self):
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = session.profile(["resnet50_pt"])
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=5)
+        run = session.victim_application().launch("resnet50_pt", image=secret)
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        attack.observe_victim("resnet50_pt")
+        harvested = attack.harvest_addresses()
+        ground_truth = run.process.address_space.read_virtual(
+            harvested.heap_start, harvested.length
+        )
+        run.terminate()
+        dump = attack.extract()
+        assert byte_recovery_rate(dump.data, ground_truth) == 1.0
+
+    def test_model_weights_recovered(self):
+        """'revealing sensitive information such as input images and
+        weights' — the weights land in the dump too."""
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = session.profile(["resnet50_pt"])
+        run = session.victim_application().launch("resnet50_pt")
+        weight_bytes = run.model.subgraph.layers[0].weight_bytes()
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+        assert weight_bytes in report.dump.data
+
+    def test_attack_works_for_every_zoo_model(self):
+        """Identification generalizes across the whole library."""
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = session.profile(list(MODEL_NAMES))
+        for name in MODEL_NAMES:
+            victim = session.victim_application().launch(name)
+            attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+            report = attack.execute(name, terminate_victim=victim.terminate)
+            assert report.identification.best_model == name, name
+            assert report.reconstruction is not None, name
+
+
+class TestAttackerVariations:
+    def test_second_attack_on_same_board_still_works(self):
+        """Back-to-back victims: LIFO reuse hands the second victim the
+        first's frames, but each attack snapshots its own translations."""
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = session.profile(["resnet50_pt", "squeezenet_pt"])
+        for name, seed in (("resnet50_pt", 3), ("squeezenet_pt", 4)):
+            secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=seed)
+            victim = session.victim_application().launch(name, image=secret)
+            attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+            report = attack.execute(name, terminate_victim=victim.terminate)
+            assert report.identification.best_model == name
+            assert report.reconstruction.image.pixel_match_rate(secret) == 1.0
+
+    def test_victim_with_multiple_inferences(self):
+        """Only the last input is recoverable — the buffer is reused."""
+        session = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = session.profile(["resnet50_pt"])
+        first = Image.test_pattern(INPUT_HW, INPUT_HW, seed=1)
+        last = Image.test_pattern(INPUT_HW, INPUT_HW, seed=2)
+        victim = session.victim_application().launch("resnet50_pt", image=first)
+        victim.infer(last)
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        report = attack.execute("resnet50_pt", terminate_victim=victim.terminate)
+        recovered = report.reconstruction.image
+        assert recovered.pixel_match_rate(last) == 1.0
+        assert recovered.pixel_match_rate(first) < 1.0
+
+    def test_profiles_serialized_between_sessions(self, tmp_path):
+        """The adversary's notebook survives across boards."""
+        from repro.attack.profiling import ProfileStore
+
+        reference = BoardSession.boot(input_hw=INPUT_HW)
+        profiles = reference.profile(["resnet50_pt", "squeezenet_pt"])
+        notebook = tmp_path / "profiles.json"
+        notebook.write_text(profiles.to_json())
+
+        target = BoardSession.boot(input_hw=INPUT_HW)
+        loaded = ProfileStore.from_json(notebook.read_text())
+        secret = Image.test_pattern(INPUT_HW, INPUT_HW, seed=9)
+        victim = target.victim_application().launch("resnet50_pt", image=secret)
+        attack = MemoryScrapingAttack(target.attacker_shell, loaded)
+        report = attack.execute("resnet50_pt", terminate_victim=victim.terminate)
+        assert report.reconstruction.image.pixel_match_rate(secret) == 1.0
+
+
+class TestDefenseMatrix:
+    """Which single defense kills which step (paper §VI discussion)."""
+
+    @pytest.mark.parametrize(
+        "config_kwargs, expected_leak",
+        [
+            (dict(), True),
+            (dict(procfs_world_readable=False), False),
+            (dict(pagemap_world_readable=False), False),
+            (dict(devmem_unrestricted=False), False),
+        ],
+    )
+    def test_single_knob_outcomes(self, config_kwargs, expected_leak):
+        from repro.evaluation.scenarios import attack_under_config
+
+        outcome = attack_under_config(
+            KernelConfig(**config_kwargs), str(config_kwargs), input_hw=INPUT_HW
+        )
+        assert outcome.attack_succeeded == expected_leak
+
+    def test_physical_aslr_alone_does_not_stop_the_paper_attack(self):
+        """Pagemap-assisted translation defeats physical randomization."""
+        from repro.petalinux.aslr import LayoutRandomization
+        from repro.evaluation.scenarios import attack_under_config
+
+        outcome = attack_under_config(
+            KernelConfig(randomization=LayoutRandomization(physical=True, seed=3)),
+            "physical-aslr",
+            input_hw=INPUT_HW,
+        )
+        assert outcome.attack_succeeded
+
+    def test_virtual_aslr_alone_does_not_stop_the_paper_attack(self):
+        """maps leaks the slid heap base, so the offset math still works."""
+        from repro.petalinux.aslr import LayoutRandomization
+        from repro.evaluation.scenarios import attack_under_config
+
+        outcome = attack_under_config(
+            KernelConfig(randomization=LayoutRandomization(virtual=True, seed=3)),
+            "virtual-aslr",
+            input_hw=INPUT_HW,
+        )
+        assert outcome.attack_succeeded

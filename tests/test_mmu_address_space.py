@@ -1,0 +1,193 @@
+"""Unit tests for VMAs and address spaces."""
+
+import pytest
+
+from repro.errors import TranslationFault, VmaError
+from repro.hw.dram import DramDevice
+from repro.mmu.address_space import AddressSpace, Vma, VmaKind
+from repro.mmu.frame_alloc import FrameAllocator
+from repro.mmu.paging import PAGE_SIZE
+
+HEAP_BASE = 0xAAAA_EE77_5000
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    dram = DramDevice(capacity=1024 * PAGE_SIZE)
+    allocator = FrameAllocator(total_frames=1024)
+    return AddressSpace(allocator=allocator, memory=dram, owner=1391)
+
+
+class TestVma:
+    def test_unaligned_rejected(self):
+        with pytest.raises(VmaError):
+            Vma(0x1001, 0x2000, "rw-p", VmaKind.ANON)
+
+    def test_empty_rejected(self):
+        with pytest.raises(VmaError):
+            Vma(0x1000, 0x1000, "rw-p", VmaKind.ANON)
+
+    def test_bad_perms_rejected(self):
+        with pytest.raises(VmaError):
+            Vma(0x1000, 0x2000, "rwZp", VmaKind.ANON)
+
+    def test_maps_line_matches_paper_format(self):
+        vma = Vma(0xAAAAEE775000, 0xAAAAEFD8A000, "rw-p", VmaKind.HEAP, "[heap]")
+        line = vma.maps_line()
+        assert line.startswith("aaaaee775000-aaaaefd8a000 rw-p 00000000 00:00 0")
+        assert line.endswith("[heap]")
+
+    def test_maps_line_anonymous_has_no_name(self):
+        vma = Vma(0x1000, 0x2000, "rw-p", VmaKind.ANON)
+        assert vma.maps_line().endswith(" 0")
+
+    def test_overlaps(self):
+        vma = Vma(0x2000, 0x4000, "rw-p", VmaKind.ANON)
+        assert vma.overlaps(0x3000, 0x5000)
+        assert vma.overlaps(0x1000, 0x2001)
+        assert not vma.overlaps(0x4000, 0x5000)
+        assert not vma.overlaps(0x1000, 0x2000)
+
+
+class TestAddVma:
+    def test_add_backs_pages_eagerly(self, space):
+        vma = space.add_vma(0x10000, 3 * PAGE_SIZE, "rw-p", VmaKind.ANON)
+        assert vma.length == 3 * PAGE_SIZE
+        assert len(space.page_table) == 3
+
+    def test_length_rounds_up_to_page(self, space):
+        vma = space.add_vma(0x10000, 100, "rw-p", VmaKind.ANON)
+        assert vma.length == PAGE_SIZE
+
+    def test_overlap_rejected(self, space):
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+        with pytest.raises(VmaError):
+            space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+
+    def test_vmas_sorted_by_start(self, space):
+        space.add_vma(0x30000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+        starts = [vma.start for vma in space.vmas()]
+        assert starts == sorted(starts)
+
+    def test_find_vma(self, space):
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+        assert space.find_vma(0x10800) is not None
+        assert space.find_vma(0x20000) is None
+
+    def test_vma_by_name(self, space):
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.HEAP, name="[heap]")
+        assert space.vma_by_name("[heap]") is not None
+        assert space.vma_by_name("[stack]") is None
+
+
+class TestHeap:
+    def test_create_heap(self, space):
+        heap = space.create_heap(HEAP_BASE)
+        assert heap.name == "[heap]"
+        assert heap.start == HEAP_BASE
+
+    def test_second_heap_rejected(self, space):
+        space.create_heap(HEAP_BASE)
+        with pytest.raises(VmaError):
+            space.create_heap(HEAP_BASE + 0x100000)
+
+    def test_brk_grows_heap(self, space):
+        space.create_heap(HEAP_BASE)
+        space.brk(HEAP_BASE + 5 * PAGE_SIZE)
+        heap = space.heap()
+        assert heap.end == HEAP_BASE + 5 * PAGE_SIZE
+        assert len(space.page_table) == 5
+
+    def test_brk_below_current_end_is_noop(self, space):
+        space.create_heap(HEAP_BASE, 4 * PAGE_SIZE)
+        space.brk(HEAP_BASE + PAGE_SIZE)
+        assert space.heap().end == HEAP_BASE + 4 * PAGE_SIZE
+
+    def test_brk_without_heap_rejected(self, space):
+        with pytest.raises(VmaError):
+            space.brk(0x1000)
+
+    def test_grown_heap_is_writable(self, space):
+        space.create_heap(HEAP_BASE)
+        space.brk(HEAP_BASE + 3 * PAGE_SIZE)
+        address = HEAP_BASE + 2 * PAGE_SIZE + 17
+        space.write_virtual(address, b"deep")
+        assert space.read_virtual(address, 4) == b"deep"
+
+
+class TestVirtualIO:
+    def test_roundtrip_within_page(self, space):
+        space.create_heap(HEAP_BASE)
+        space.write_virtual(HEAP_BASE + 10, b"hello")
+        assert space.read_virtual(HEAP_BASE + 10, 5) == b"hello"
+
+    def test_roundtrip_across_pages(self, space):
+        space.create_heap(HEAP_BASE, 3 * PAGE_SIZE)
+        payload = bytes(range(256)) * 24
+        space.write_virtual(HEAP_BASE + PAGE_SIZE - 100, payload)
+        assert space.read_virtual(HEAP_BASE + PAGE_SIZE - 100, len(payload)) == payload
+
+    def test_unmapped_read_faults(self, space):
+        with pytest.raises(TranslationFault):
+            space.read_virtual(0xDEAD0000, 4)
+
+    def test_translate_preserves_offset(self, space):
+        space.create_heap(HEAP_BASE)
+        physical = space.translate(HEAP_BASE + 0x123)
+        assert physical % PAGE_SIZE == 0x123
+
+    def test_physical_segments_coalesce_adjacent_frames(self, space):
+        # Fresh allocator hands out ascending frames -> one segment.
+        space.create_heap(HEAP_BASE, 4 * PAGE_SIZE)
+        segments = space.physical_segments(HEAP_BASE, 4 * PAGE_SIZE)
+        assert len(segments) == 1
+        assert segments[0][1] == 4 * PAGE_SIZE
+
+    def test_physical_segments_split_on_scatter(self, space):
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)  # takes frame 0
+        space.create_heap(HEAP_BASE, PAGE_SIZE)  # frame 1
+        space.brk(HEAP_BASE + 2 * PAGE_SIZE)  # frame 2 - contiguous with 1
+        segments = space.physical_segments(HEAP_BASE, 2 * PAGE_SIZE)
+        assert len(segments) == 1  # frames 1,2 still adjacent
+        total = sum(length for _, length in segments)
+        assert total == 2 * PAGE_SIZE
+
+
+class TestTeardown:
+    def test_teardown_returns_all_frames(self, space):
+        space.create_heap(HEAP_BASE, 2 * PAGE_SIZE)
+        space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+        frames = space.teardown()
+        assert len(frames) == 3
+        assert space.torn_down
+        assert len(space.page_table) == 0
+
+    def test_teardown_does_not_free_frames(self, space):
+        """The kernel owns the free decision — that is where sanitize hooks."""
+        space.create_heap(HEAP_BASE)
+        frames = space.teardown()
+        assert space.allocator.is_allocated(frames[0])
+
+    def test_operations_after_teardown_rejected(self, space):
+        space.create_heap(HEAP_BASE)
+        space.teardown()
+        with pytest.raises(VmaError):
+            space.add_vma(0x10000, PAGE_SIZE, "rw-p", VmaKind.ANON)
+
+    def test_remove_foreign_vma_rejected(self, space):
+        foreign = Vma(0x50000, 0x51000, "rw-p", VmaKind.ANON)
+        with pytest.raises(VmaError):
+            space.remove_vma(foreign)
+
+
+class TestRenderMaps:
+    def test_render_contains_heap_line(self, space):
+        space.create_heap(HEAP_BASE)
+        rendered = space.render_maps()
+        assert "[heap]" in rendered
+        assert f"{HEAP_BASE:08x}" in rendered
+
+    def test_resident_bytes(self, space):
+        space.create_heap(HEAP_BASE, 3 * PAGE_SIZE)
+        assert space.resident_bytes() == 3 * PAGE_SIZE

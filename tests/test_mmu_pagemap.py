@@ -1,0 +1,96 @@
+"""Unit tests for the bit-exact Linux pagemap encoding."""
+
+import pytest
+
+from repro.mmu.pagemap import (
+    ENTRY_SIZE,
+    PM_FILE_BIT,
+    PM_PRESENT_BIT,
+    PM_SWAP_BIT,
+    PagemapEntry,
+    absent_entry,
+    decode_entry,
+    encode_entry,
+    entry_from_bytes,
+    entry_to_bytes,
+)
+
+
+class TestEntryValidation:
+    def test_pfn_must_fit_55_bits(self):
+        with pytest.raises(ValueError):
+            PagemapEntry(present=True, pfn=1 << 55)
+
+    def test_negative_pfn_rejected(self):
+        with pytest.raises(ValueError):
+            PagemapEntry(present=True, pfn=-1)
+
+    def test_present_and_swapped_exclusive(self):
+        with pytest.raises(ValueError):
+            PagemapEntry(present=True, pfn=1, swapped=True)
+
+
+class TestEncode:
+    def test_present_sets_bit_63(self):
+        value = encode_entry(PagemapEntry(present=True, pfn=0x60025))
+        assert value >> PM_PRESENT_BIT == 1
+
+    def test_pfn_in_low_bits(self):
+        value = encode_entry(PagemapEntry(present=True, pfn=0x60025))
+        assert value & ((1 << 55) - 1) == 0x60025
+
+    def test_absent_encodes_to_zero(self):
+        assert encode_entry(absent_entry()) == 0
+
+    def test_swap_bit(self):
+        value = encode_entry(PagemapEntry(present=False, pfn=0, swapped=True))
+        assert value >> PM_SWAP_BIT & 1 == 1
+
+    def test_file_bit(self):
+        value = encode_entry(PagemapEntry(present=True, pfn=1, file_page=True))
+        assert value >> PM_FILE_BIT & 1 == 1
+
+
+class TestDecode:
+    def test_roundtrip_full_entry(self):
+        entry = PagemapEntry(
+            present=True, pfn=0x7FFFF, file_page=True, soft_dirty=True,
+            exclusive=True,
+        )
+        assert decode_entry(encode_entry(entry)) == entry
+
+    def test_pfn_hidden_for_absent_pages(self):
+        # A non-present entry with stale PFN bits decodes as pfn 0,
+        # matching the kernel's PFN hiding.
+        assert decode_entry(0x60025).pfn == 0
+
+    def test_non_u64_rejected(self):
+        with pytest.raises(ValueError):
+            decode_entry(1 << 64)
+        with pytest.raises(ValueError):
+            decode_entry(-1)
+
+    def test_paper_attack_parsing(self):
+        """The exact arithmetic of the paper's virtual_to_physical tool."""
+        value = encode_entry(PagemapEntry(present=True, pfn=0x60025))
+        # attacker side: mask PFN, shift, add page offset
+        pfn = value & ((1 << 55) - 1)
+        physical = (pfn << 12) | 0x123
+        assert physical == 0x60025123
+
+
+class TestWireFormat:
+    def test_entry_is_8_bytes_little_endian(self):
+        entry = PagemapEntry(present=True, pfn=1)
+        wire = entry_to_bytes(entry)
+        assert len(wire) == ENTRY_SIZE
+        assert wire[0] == 1
+        assert wire[7] == 0x80  # present bit in the top byte
+
+    def test_bytes_roundtrip(self):
+        entry = PagemapEntry(present=True, pfn=0x12345, exclusive=True)
+        assert entry_from_bytes(entry_to_bytes(entry)) == entry
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            entry_from_bytes(b"\x00" * 7)

@@ -1,0 +1,74 @@
+"""Unit tests for page constants and alignment helpers."""
+
+import pytest
+
+from repro.mmu.paging import (
+    PAGE_SIZE,
+    align_down,
+    align_up,
+    is_page_aligned,
+    page_count,
+    page_offset,
+    page_span,
+    vpn_of,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234) == 0x1000
+        assert align_down(0x1000) == 0x1000
+
+    def test_align_up(self):
+        assert align_up(0x1001) == 0x2000
+        assert align_up(0x1000) == 0x1000
+        assert align_up(0) == 0
+
+    def test_is_page_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(0x3000)
+        assert not is_page_aligned(0x3001)
+
+    def test_page_offset(self):
+        assert page_offset(0xAAAA_EE77_5123) == 0x123
+
+    def test_vpn_of(self):
+        assert vpn_of(0xAAAA_EE77_5000) == 0xAAAA_EE77_5000 >> 12
+
+
+class TestPageCount:
+    def test_exact(self):
+        assert page_count(PAGE_SIZE) == 1
+        assert page_count(3 * PAGE_SIZE) == 3
+
+    def test_rounds_up(self):
+        assert page_count(1) == 1
+        assert page_count(PAGE_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert page_count(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_count(-1)
+
+
+class TestPageSpan:
+    def test_single_page(self):
+        span = page_span(0x1000, 0x1800)
+        assert list(span) == [1]
+
+    def test_crossing_boundary(self):
+        span = page_span(0x1800, 0x2800)
+        assert list(span) == [1, 2]
+
+    def test_exact_page_end_not_included(self):
+        span = page_span(0x1000, 0x2000)
+        assert list(span) == [1]
+
+    def test_empty_range(self):
+        assert list(page_span(0x1000, 0x1000)) == []
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            page_span(0x2000, 0x1000)

@@ -1,0 +1,215 @@
+"""Unit tests for the PetaLinux kernel twin — lifecycle and residue."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError, ProcessStateError
+from repro.hw.soc import ZynqMpSoC
+from repro.mmu.frame_alloc import ReusePolicy
+from repro.petalinux.kernel import (
+    DEFAULT_RESERVED_FRAMES,
+    KernelConfig,
+    PetaLinuxKernel,
+)
+from repro.petalinux.process import DEFAULT_HEAP_BASE
+from repro.petalinux.sanitizer import SanitizePolicy
+from repro.petalinux.users import ROOT, Terminal, User
+
+
+@pytest.fixture
+def kernel() -> PetaLinuxKernel:
+    return PetaLinuxKernel(ZynqMpSoC())
+
+
+def _victim_user() -> User:
+    return User("victim", 1002)
+
+
+class TestBoot:
+    def test_init_and_kthreadd_present(self, kernel):
+        pids = [process.pid for process in kernel.processes()]
+        assert 1 in pids
+        assert 2 in pids
+
+    def test_kworker_spawned(self, kernel):
+        commands = [process.command for process in kernel.processes()]
+        assert any("kworker" in command for command in commands)
+
+    def test_user_allocations_start_above_reserved_frames(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        physical = kernel.soc.dram_frame_to_physical(
+            process.address_space.page_table.frames()[0]
+        )
+        assert physical >= DEFAULT_RESERVED_FRAMES * 4096 == 0x6000_0000
+
+
+class TestSpawn:
+    def test_pids_ascend(self, kernel):
+        first = kernel.spawn(["./a"], user=_victim_user())
+        second = kernel.spawn(["./b"], user=_victim_user())
+        assert second.pid == first.pid + 1
+
+    def test_empty_cmdline_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.spawn([], user=_victim_user())
+
+    def test_spawn_creates_heap_arena(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        assert process.heap_arena is not None
+
+    def test_heap_at_default_base_without_aslr(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        assert process.address_space.heap().start == DEFAULT_HEAP_BASE
+
+    def test_device_paths_mapped(self, kernel):
+        process = kernel.spawn(
+            ["./app"], user=_victim_user(),
+            device_paths=("/dev/dri/renderD128",),
+        )
+        assert process.address_space.vma_by_name("/dev/dri/renderD128") is not None
+
+    def test_terminal_recorded(self, kernel):
+        terminal = Terminal("pts/1", _victim_user())
+        process = kernel.spawn(["./app"], user=_victim_user(), terminal=terminal)
+        assert process.tty_name() == "pts/1"
+
+
+class TestExit:
+    def test_pid_leaves_process_table(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.exit_process(process.pid)
+        assert not kernel.has_process(process.pid)
+        with pytest.raises(NoSuchProcessError):
+            kernel.find_process(process.pid)
+
+    def test_frames_return_to_allocator(self, kernel):
+        free_before = kernel.allocator.free_frames()
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.exit_process(process.pid)
+        assert kernel.allocator.free_frames() == free_before
+
+    def test_double_exit_rejected(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.exit_process(process.pid)
+        with pytest.raises((NoSuchProcessError, ProcessStateError)):
+            kernel.exit_process(process.pid)
+
+    def test_kill_records_exit_code(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.kill(process.pid)
+        reaped = kernel.reaped_process(process.pid)
+        assert reaped is not None
+        assert reaped.exit_code == 137
+
+    def test_residue_survives_exit_on_default_config(self, kernel):
+        """The paper's core finding, at kernel level."""
+        process = kernel.spawn(["./app"], user=_victim_user())
+        arena = process.heap_arena
+        address = arena.allocate_and_write(b"PRIVATE_VICTIM_BYTES")
+        physical = kernel.soc.dram_frame_to_physical(
+            process.address_space.translate(address) >> 12
+        ) + (address & 0xFFF)
+        kernel.exit_process(process.pid)
+        assert kernel.soc.read_physical(physical, 20) == b"PRIVATE_VICTIM_BYTES"
+
+    def test_zero_on_free_scrubs_residue(self):
+        kernel = PetaLinuxKernel(
+            ZynqMpSoC(),
+            KernelConfig(sanitize_policy=SanitizePolicy.ZERO_ON_FREE),
+        )
+        process = kernel.spawn(["./app"], user=_victim_user())
+        address = process.heap_arena.allocate_and_write(b"PRIVATE")
+        physical = kernel.soc.dram_frame_to_physical(
+            process.address_space.translate(address) >> 12
+        ) + (address & 0xFFF)
+        kernel.exit_process(process.pid)
+        assert kernel.soc.read_physical(physical, 7) == b"\x00" * 7
+
+
+class TestClockAndTicks:
+    def test_wall_clock_starts_at_boot_time(self, kernel):
+        assert kernel.wall_clock() == "03:51"
+
+    def test_tick_advances_minutes(self, kernel):
+        kernel.tick(120)
+        assert kernel.wall_clock() == "03:53"
+
+    def test_tick_accumulates_cpu_time(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.tick(5)
+        assert process.cpu_seconds == 5
+
+    def test_negative_ticks_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.tick(-1)
+
+    def test_scrub_pool_drains_on_ticks(self):
+        kernel = PetaLinuxKernel(
+            ZynqMpSoC(),
+            KernelConfig(
+                sanitize_policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=4
+            ),
+        )
+        process = kernel.spawn(["./app"], user=_victim_user())
+        kernel.exit_process(process.pid)
+        pending_before = kernel.sanitizer.pending
+        assert pending_before > 0
+        kernel.tick(2)
+        assert kernel.sanitizer.pending == pending_before - 8
+
+
+class TestConfig:
+    def test_hardened_flips_every_knob(self):
+        hardened = KernelConfig().hardened()
+        assert hardened.sanitize_policy is SanitizePolicy.ZERO_ON_FREE
+        assert not hardened.pagemap_world_readable
+        assert not hardened.procfs_world_readable
+        assert not hardened.devmem_unrestricted
+        assert hardened.randomization.physical
+        assert hardened.randomization.virtual
+
+    def test_physical_randomization_overrides_allocator_policy(self):
+        from repro.petalinux.aslr import LayoutRandomization
+
+        kernel = PetaLinuxKernel(
+            ZynqMpSoC(),
+            KernelConfig(randomization=LayoutRandomization(physical=True)),
+        )
+        assert kernel.allocator.policy is ReusePolicy.RANDOM
+
+    def test_virtual_aslr_slides_heap(self):
+        from repro.petalinux.aslr import LayoutRandomization
+
+        kernel = PetaLinuxKernel(
+            ZynqMpSoC(),
+            KernelConfig(randomization=LayoutRandomization(virtual=True, seed=5)),
+        )
+        first = kernel.spawn(["./a"], user=_victim_user())
+        second = kernel.spawn(["./b"], user=_victim_user())
+        bases = {
+            first.address_space.heap().start,
+            second.address_space.heap().start,
+        }
+        assert DEFAULT_HEAP_BASE not in bases or len(bases) == 2
+
+
+class TestPagemapBackend:
+    def test_entry_for_mapped_page(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        heap = process.address_space.heap()
+        entry = kernel.pagemap_entry(process.pid, heap.start >> 12)
+        assert entry.present
+        physical = entry.pfn << 12
+        assert physical >= 0x6000_0000
+
+    def test_entry_for_unmapped_page_absent(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        entry = kernel.pagemap_entry(process.pid, 0x12345)
+        assert not entry.present
+        assert entry.pfn == 0
+
+    def test_pagemap_entry_matches_soc_contents(self, kernel):
+        process = kernel.spawn(["./app"], user=_victim_user())
+        address = process.heap_arena.allocate_and_write(b"check me")
+        entry = kernel.pagemap_entry(process.pid, address >> 12)
+        physical = (entry.pfn << 12) | (address & 0xFFF)
+        assert kernel.soc.read_physical(physical, 8) == b"check me"

@@ -1,0 +1,170 @@
+"""Unit tests for processes, layout, and the heap arena."""
+
+import pytest
+
+from repro.errors import ProcessStateError, VmaError
+from repro.hw.dram import DramDevice
+from repro.mmu.address_space import AddressSpace, VmaKind
+from repro.mmu.frame_alloc import FrameAllocator
+from repro.mmu.paging import PAGE_SIZE
+from repro.petalinux.process import (
+    DEFAULT_HEAP_BASE,
+    HeapArena,
+    Process,
+    ProcessState,
+    ProgramImage,
+    align_up_to,
+    layout_process_memory,
+)
+from repro.petalinux.users import Terminal, User
+
+
+def _make_process(pid: int = 1391, with_layout: bool = True) -> Process:
+    dram = DramDevice(capacity=4096 * PAGE_SIZE)
+    allocator = FrameAllocator(total_frames=4096)
+    space = AddressSpace(allocator=allocator, memory=dram, owner=pid)
+    if with_layout:
+        layout_process_memory(space, ProgramImage(path="./resnet50_pt"))
+    user = User("victim", 1002)
+    process = Process(
+        pid=pid,
+        ppid=1,
+        user=user,
+        terminal=Terminal("pts/1", user),
+        cmdline=["./resnet50_pt", "model.xmodel", "001.jpg"],
+        address_space=space,
+    )
+    if with_layout:
+        process.heap_arena = HeapArena(process)
+    return process
+
+
+class TestProgramImage:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramImage(path="")
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramImage(path="x", text_size=0)
+
+
+class TestLayout:
+    def test_heap_at_paper_address(self):
+        process = _make_process()
+        heap = process.address_space.heap()
+        assert heap.start == DEFAULT_HEAP_BASE == 0xAAAA_EE77_5000
+
+    def test_standard_vmas_present(self):
+        process = _make_process()
+        kinds = {vma.kind for vma in process.address_space.vmas()}
+        assert {VmaKind.TEXT, VmaKind.DATA, VmaKind.HEAP, VmaKind.STACK} <= kinds
+
+    def test_text_is_executable_not_writable(self):
+        process = _make_process()
+        text = next(
+            vma for vma in process.address_space.vmas() if vma.kind is VmaKind.TEXT
+        )
+        assert text.perms == "r-xp"
+
+    def test_device_mapping_named_like_drm_node(self):
+        dram = DramDevice(capacity=4096 * PAGE_SIZE)
+        space = AddressSpace(
+            allocator=FrameAllocator(total_frames=4096), memory=dram, owner=1
+        )
+        layout_process_memory(
+            space, ProgramImage(path="./app"),
+            device_paths=("/dev/dri/renderD128",),
+        )
+        assert space.vma_by_name("/dev/dri/renderD128") is not None
+
+    def test_text_data_collision_with_heap_rejected(self):
+        dram = DramDevice(capacity=4096 * PAGE_SIZE)
+        space = AddressSpace(
+            allocator=FrameAllocator(total_frames=4096), memory=dram, owner=1
+        )
+        with pytest.raises(VmaError):
+            layout_process_memory(
+                space,
+                ProgramImage(path="./app", text_size=0x100000),
+                heap_base=0xAAAA_EE76_0000,
+            )
+
+
+class TestProcess:
+    def test_command_joins_cmdline(self):
+        process = _make_process()
+        assert process.command.startswith("./resnet50_pt model.xmodel")
+
+    def test_tty_name(self):
+        process = _make_process()
+        assert process.tty_name() == "pts/1"
+        process.terminal = None
+        assert process.tty_name() == "?"
+
+    def test_is_alive_by_state(self):
+        process = _make_process()
+        assert process.is_alive
+        process.state = ProcessState.DEAD
+        assert not process.is_alive
+
+    def test_require_alive_raises_when_dead(self):
+        process = _make_process()
+        process.state = ProcessState.ZOMBIE
+        with pytest.raises(ProcessStateError):
+            process.require_alive()
+
+
+class TestHeapArena:
+    def test_allocations_are_16_byte_aligned(self):
+        process = _make_process()
+        arena = process.heap_arena
+        arena.allocate(10)
+        second = arena.allocate(10)
+        assert second % 16 == 0
+
+    def test_allocations_are_deterministic(self):
+        first = _make_process().heap_arena
+        second = _make_process().heap_arena
+        sequence = [100, 4096, 37, 65536]
+        offsets_a = [first.allocate(size) for size in sequence]
+        offsets_b = [second.allocate(size) for size in sequence]
+        assert offsets_a == offsets_b
+
+    def test_allocation_grows_heap_via_brk(self):
+        process = _make_process()
+        heap_before = process.address_space.heap().end
+        process.heap_arena.allocate(10 * PAGE_SIZE)
+        assert process.address_space.heap().end > heap_before
+
+    def test_write_and_read(self):
+        process = _make_process()
+        arena = process.heap_arena
+        address = arena.allocate_and_write(b"model bytes")
+        assert arena.read(address, 11) == b"model bytes"
+
+    def test_zero_size_rejected(self):
+        process = _make_process()
+        with pytest.raises(ValueError):
+            process.heap_arena.allocate(0)
+
+    def test_arena_requires_heap(self):
+        process = _make_process(with_layout=False)
+        with pytest.raises(VmaError):
+            HeapArena(process)
+
+    def test_dead_process_cannot_allocate(self):
+        process = _make_process()
+        process.state = ProcessState.DEAD
+        with pytest.raises(ProcessStateError):
+            process.heap_arena.allocate(16)
+
+
+class TestAlignUpTo:
+    def test_basic(self):
+        assert align_up_to(17, 16) == 32
+        assert align_up_to(16, 16) == 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_up_to(10, 12)

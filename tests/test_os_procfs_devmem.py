@@ -1,0 +1,165 @@
+"""Unit tests for procfs and devmem — the leaked interfaces."""
+
+import pytest
+
+from repro.errors import BusError, NoSuchProcessError, PermissionDeniedError
+from repro.hw.soc import ZynqMpSoC
+from repro.mmu.pagemap import ENTRY_SIZE, entry_from_bytes
+from repro.petalinux.devmem import Devmem
+from repro.petalinux.kernel import KernelConfig, PetaLinuxKernel
+from repro.petalinux.procfs import ProcFs
+from repro.petalinux.users import ROOT, User
+
+ATTACKER = User("attacker", 1001)
+VICTIM = User("victim", 1002)
+
+
+@pytest.fixture
+def kernel() -> PetaLinuxKernel:
+    return PetaLinuxKernel(ZynqMpSoC())
+
+
+@pytest.fixture
+def hardened_kernel() -> PetaLinuxKernel:
+    return PetaLinuxKernel(ZynqMpSoC(), KernelConfig().hardened())
+
+
+class TestProcFsVulnerableDefault:
+    """On the paper's board, everything is world-readable."""
+
+    def test_cross_user_maps_read(self, kernel):
+        victim = kernel.spawn(["./resnet50_pt"], user=VICTIM)
+        maps = ProcFs(kernel).read_maps(victim.pid, caller=ATTACKER)
+        assert "[heap]" in maps
+
+    def test_cross_user_pagemap_read(self, kernel):
+        victim = kernel.spawn(["./resnet50_pt"], user=VICTIM)
+        heap = victim.address_space.heap()
+        raw = ProcFs(kernel).read_pagemap(
+            victim.pid, (heap.start >> 12) * ENTRY_SIZE, ENTRY_SIZE,
+            caller=ATTACKER,
+        )
+        assert entry_from_bytes(raw).present
+
+    def test_cross_user_cmdline_read(self, kernel):
+        victim = kernel.spawn(["./resnet50_pt", "m.xmodel"], user=VICTIM)
+        cmdline = ProcFs(kernel).read_cmdline(victim.pid, caller=ATTACKER)
+        assert cmdline == b"./resnet50_pt\x00m.xmodel\x00"
+
+    def test_status_fields(self, kernel):
+        victim = kernel.spawn(["./resnet50_pt"], user=VICTIM)
+        status = ProcFs(kernel).read_status(victim.pid, caller=ATTACKER)
+        assert "Name:\tresnet50_pt" in status
+        assert f"Pid:\t{victim.pid}" in status
+        assert "VmRSS:" in status
+
+    def test_list_pids(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        assert victim.pid in ProcFs(kernel).list_pids(caller=ATTACKER)
+
+    def test_dead_pid_raises(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        kernel.exit_process(victim.pid)
+        with pytest.raises(NoSuchProcessError):
+            ProcFs(kernel).read_maps(victim.pid, caller=ATTACKER)
+
+
+class TestProcFsHardened:
+    def test_cross_user_maps_blocked(self, hardened_kernel):
+        victim = hardened_kernel.spawn(["./a"], user=VICTIM)
+        with pytest.raises(PermissionDeniedError):
+            ProcFs(hardened_kernel).read_maps(victim.pid, caller=ATTACKER)
+
+    def test_own_process_still_readable(self, hardened_kernel):
+        own = hardened_kernel.spawn(["./a"], user=ATTACKER)
+        maps = ProcFs(hardened_kernel).read_maps(own.pid, caller=ATTACKER)
+        assert "[heap]" in maps
+
+    def test_root_bypasses(self, hardened_kernel):
+        victim = hardened_kernel.spawn(["./a"], user=VICTIM)
+        maps = ProcFs(hardened_kernel).read_maps(victim.pid, caller=ROOT)
+        assert "[heap]" in maps
+
+    def test_pagemap_blocked_even_for_owner_without_root(self):
+        config = KernelConfig(pagemap_world_readable=False)
+        kernel = PetaLinuxKernel(ZynqMpSoC(), config)
+        own = kernel.spawn(["./a"], user=ATTACKER)
+        with pytest.raises(PermissionDeniedError):
+            ProcFs(kernel).read_pagemap(own.pid, 0, ENTRY_SIZE, caller=ATTACKER)
+
+    def test_pid_listing_still_visible(self, hardened_kernel):
+        victim = hardened_kernel.spawn(["./a"], user=VICTIM)
+        assert victim.pid in ProcFs(hardened_kernel).list_pids(caller=ATTACKER)
+
+
+class TestPagemapReads:
+    def test_unaligned_offset_rejected(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        with pytest.raises(ValueError):
+            ProcFs(kernel).read_pagemap(victim.pid, 3, 8, caller=ATTACKER)
+
+    def test_unaligned_length_rejected(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        with pytest.raises(ValueError):
+            ProcFs(kernel).read_pagemap(victim.pid, 0, 5, caller=ATTACKER)
+
+    def test_unmapped_range_reads_absent_entries(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        raw = ProcFs(kernel).read_pagemap(victim.pid, 0, 16, caller=ATTACKER)
+        assert raw == b"\x00" * 16
+
+    def test_batched_read_spans_heap(self, kernel):
+        victim = kernel.spawn(["./a"], user=VICTIM)
+        heap = victim.address_space.heap()
+        pages = (heap.end - heap.start) // 4096
+        raw = ProcFs(kernel).read_pagemap(
+            victim.pid, (heap.start >> 12) * ENTRY_SIZE, pages * ENTRY_SIZE,
+            caller=ATTACKER,
+        )
+        entries = [
+            entry_from_bytes(raw[index : index + ENTRY_SIZE])
+            for index in range(0, len(raw), ENTRY_SIZE)
+        ]
+        assert all(entry.present for entry in entries)
+
+
+class TestDevmem:
+    def test_read_returns_word(self, kernel):
+        kernel.soc.write_word(0x6100_0000, 0xF7F5F8FD)
+        value = Devmem(kernel).read(0x6100_0000, caller=ATTACKER)
+        assert value == 0xF7F5F8FD
+
+    def test_render_matches_paper_format(self, kernel):
+        kernel.soc.write_word(0x6100_0000, 0xF7F5F8FD)
+        line = Devmem(kernel).render(0x6100_0000, caller=ATTACKER)
+        assert line == "0xF7F5F8FD"
+
+    def test_read_range_word_sequence(self, kernel):
+        kernel.soc.write_physical(0x6100_0000, bytes(range(16)))
+        words = Devmem(kernel).read_range(0x6100_0000, 16, caller=ATTACKER)
+        assert len(words) == 4
+        assert words[0] == int.from_bytes(bytes(range(4)), "little")
+
+    def test_strict_devmem_blocks_user(self):
+        config = KernelConfig(devmem_unrestricted=False)
+        kernel = PetaLinuxKernel(ZynqMpSoC(), config)
+        with pytest.raises(PermissionDeniedError):
+            Devmem(kernel).read(0x6100_0000, caller=ATTACKER)
+
+    def test_strict_devmem_allows_root(self):
+        config = KernelConfig(devmem_unrestricted=False)
+        kernel = PetaLinuxKernel(ZynqMpSoC(), config)
+        assert Devmem(kernel).read(0x6100_0000, caller=ROOT) == 0
+
+    def test_unmapped_address_bus_errors(self, kernel):
+        with pytest.raises(BusError):
+            Devmem(kernel).read(0xF000_0000, caller=ATTACKER)
+
+    def test_bad_width_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Devmem(kernel).read(0x6100_0000, caller=ATTACKER, width_bits=24)
+
+    def test_read_bytes_bulk(self, kernel):
+        kernel.soc.write_physical(0x6100_0000, b"bulk-read")
+        data = Devmem(kernel).read_bytes(0x6100_0000, 9, caller=ATTACKER)
+        assert data == b"bulk-read"

@@ -1,0 +1,199 @@
+"""Tests for the root filesystem and the XSDB debugger facade."""
+
+import pytest
+
+from repro.errors import PermissionDeniedError
+from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.rootfs import (
+    FileNotFoundOsError,
+    RootFs,
+    install_vitis_ai,
+    normalize_path,
+)
+from repro.petalinux.users import ROOT, User
+from repro.petalinux.xsdb import XilinxSystemDebugger
+from repro.vitis.xmodel import XModel
+from repro.vitis.zoo import MODEL_NAMES, model_install_path
+
+ALICE = User("alice", 1001)
+BOB = User("bob", 1002)
+
+
+class TestNormalizePath:
+    def test_identity(self):
+        assert normalize_path("/usr/share") == "/usr/share"
+
+    def test_collapses_dots_and_slashes(self):
+        assert normalize_path("/usr//share/./x/../y") == "/usr/share/y"
+
+    def test_root(self):
+        assert normalize_path("/") == "/"
+
+    def test_parent_of_root_clamps(self):
+        assert normalize_path("/../etc") == "/etc"
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_path("usr/share")
+
+
+class TestRootFs:
+    def test_write_read_roundtrip(self):
+        fs = RootFs()
+        fs.write_file("/etc/issue", b"PetaLinux 2022.2")
+        assert fs.read_file("/etc/issue", ALICE) == b"PetaLinux 2022.2"
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundOsError):
+            RootFs().read_file("/nope", ALICE)
+
+    def test_owner_only_file_blocked_for_others(self):
+        fs = RootFs()
+        fs.write_file("/home/bob/secret", b"x", owner_uid=BOB.uid,
+                      world_readable=False)
+        assert fs.read_file("/home/bob/secret", BOB) == b"x"
+        assert fs.read_file("/home/bob/secret", ROOT) == b"x"
+        with pytest.raises(PermissionDeniedError):
+            fs.read_file("/home/bob/secret", ALICE)
+
+    def test_exists_and_is_dir(self):
+        fs = RootFs()
+        fs.write_file("/usr/share/models/a.xmodel", b"x")
+        assert fs.exists("/usr/share/models/a.xmodel")
+        assert fs.exists("/usr/share")
+        assert fs.is_dir("/usr/share")
+        assert not fs.is_dir("/usr/share/models/a.xmodel")
+        assert not fs.exists("/var")
+
+    def test_list_dir(self):
+        fs = RootFs()
+        fs.write_file("/models/a/a.xmodel", b"x")
+        fs.write_file("/models/b/b.xmodel", b"y")
+        assert fs.list_dir("/models") == ["a", "b"]
+        assert fs.list_dir("/models/a") == ["a.xmodel"]
+
+    def test_list_missing_dir(self):
+        with pytest.raises(FileNotFoundOsError):
+            RootFs().list_dir("/ghost")
+
+    def test_overwrite_replaces(self):
+        fs = RootFs()
+        fs.write_file("/f", b"one")
+        fs.write_file("/f", b"two")
+        assert fs.read_file("/f", ALICE) == b"two"
+        assert fs.file_count() == 1
+
+    def test_chmod_world_bit(self):
+        fs = RootFs()
+        fs.write_file("/lib.so", b"x")
+        fs.set_world_readable("/lib.so", False)
+        with pytest.raises(PermissionDeniedError):
+            fs.read_file("/lib.so", ALICE)
+
+    def test_file_size(self):
+        fs = RootFs()
+        fs.write_file("/f", b"12345")
+        assert fs.file_size("/f") == 5
+
+
+class TestVitisInstallation:
+    def test_installs_every_zoo_model(self):
+        fs = RootFs()
+        installed = install_vitis_ai(fs, input_hw=16)
+        assert len(installed) == len(MODEL_NAMES)
+        for name in MODEL_NAMES:
+            blob = fs.read_file(model_install_path(name), ALICE)
+            assert XModel.parse(blob).name == name
+
+    def test_library_is_world_readable(self):
+        """The adversary-access premise of paper §II."""
+        fs = RootFs()
+        install_vitis_ai(fs, input_hw=16)
+        blob = fs.read_file(model_install_path("resnet50_pt"), ALICE)
+        assert blob.startswith(b"XMOD")
+
+    def test_session_boot_installs_library(self, session):
+        path = model_install_path("resnet50_pt")
+        blob = session.kernel.rootfs.read_file(
+            path, session.attacker_shell.user
+        )
+        model = XModel.parse(blob)
+        assert model.subgraph.input_height == session.input_hw
+
+    def test_victim_app_loads_file_bytes_into_heap(self, session):
+        """The heap blob IS the installed file — byte for byte."""
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        file_blob = session.kernel.rootfs.read_file(
+            model_install_path("resnet50_pt"), session.victim_shell.user
+        )
+        heap_blob = run.process.heap_arena.read(
+            run.runner.model_blob_address, len(file_blob)
+        )
+        assert heap_blob == file_blob
+
+
+class TestXsdb:
+    def test_targets_list_apu_cores(self, session):
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        listing = xsdb.render_targets()
+        assert "Cortex-A53 #0" in listing
+        assert "Cortex-A53 #3" in listing
+        assert "ZCU104" in listing
+
+    def test_mrd_reads_physical_memory(self, session):
+        session.soc.write_word(0x6180_0000, 0xF7F5F8FD)
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        assert xsdb.mrd(0x6180_0000) == [0xF7F5F8FD]
+
+    def test_mrd_render_format(self, session):
+        session.soc.write_word(0x6180_0000, 0xDEADBEEF)
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        assert xsdb.render_mrd(0x6180_0000) == "61800000:   DEADBEEF"
+
+    def test_mrd_count_rejected_nonpositive(self, session):
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        with pytest.raises(ValueError):
+            xsdb.mrd(0x6180_0000, count=0)
+
+    def test_mwr_roundtrip(self, session):
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        xsdb.mwr(0x6180_0010, 0x12345678)
+        assert xsdb.mrd(0x6180_0010) == [0x12345678]
+
+    def test_debugger_reads_cross_user_pagemap(self, session):
+        """Contribution 2: pids, address spaces, pagemaps — cross-user."""
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        assert run.pid in xsdb.pids()
+        assert "[heap]" in xsdb.virtual_address_space(run.pid)
+        heap = run.process.address_space.heap()
+        physical = xsdb.translate(run.pid, heap.start + 0x40)
+        assert physical is not None
+        assert physical % 4096 == 0x40
+
+    def test_debugger_reads_residue_after_termination(self, session):
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        address = run.process.heap_arena.allocate_and_write(b"XSDB SEES THIS")
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        physical = xsdb.translate(run.pid, address)
+        run.terminate()
+        words = xsdb.mrd(physical, count=4)
+        recovered = b"".join(word.to_bytes(4, "little") for word in words)
+        assert recovered.startswith(b"XSDB SEES THIS"[:14])
+
+    def test_hardened_board_restricts_debugger_too(self):
+        hardened = BoardSession.boot(config=KernelConfig().hardened())
+        run = hardened.victim_application().launch("resnet50_pt", infer=False)
+        xsdb = XilinxSystemDebugger(
+            hardened.kernel, hardened.attacker_shell.user
+        )
+        with pytest.raises(PermissionDeniedError):
+            xsdb.virtual_address_space(run.pid)
+        with pytest.raises(PermissionDeniedError):
+            xsdb.mrd(0x6180_0000)
+
+    def test_translate_unmapped_returns_none(self, session):
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        xsdb = XilinxSystemDebugger(session.kernel, session.attacker_shell.user)
+        assert xsdb.translate(run.pid, 0x1234_0000) is None

@@ -1,0 +1,124 @@
+"""Unit tests for the sanitizer policies and layout randomization."""
+
+import pytest
+
+from repro.hw.dram import PAGE_SIZE, DramDevice
+from repro.petalinux.aslr import LayoutRandomization
+from repro.petalinux.sanitizer import SanitizePolicy, Sanitizer
+
+
+@pytest.fixture
+def dram() -> DramDevice:
+    device = DramDevice(capacity=64 * PAGE_SIZE)
+    for page in range(8):
+        device.write(page * PAGE_SIZE, b"RESIDUE!" * 8)
+    return device
+
+
+class TestPolicyNone:
+    def test_on_free_leaves_residue(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.NONE)
+        sanitizer.on_free(list(range(8)))
+        assert dram.read(0, 8) == b"RESIDUE!"
+
+    def test_tick_is_noop(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.NONE)
+        sanitizer.on_free([0])
+        assert sanitizer.tick() == 0
+
+
+class TestZeroOnFree:
+    def test_scrubs_immediately(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.ZERO_ON_FREE)
+        sanitizer.on_free([0, 1])
+        assert dram.read(0, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+        assert dram.read(PAGE_SIZE, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+    def test_untouched_pages_keep_data(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.ZERO_ON_FREE)
+        sanitizer.on_free([0])
+        assert dram.read(PAGE_SIZE, 8) == b"RESIDUE!"
+
+    def test_custom_pattern(self, dram):
+        sanitizer = Sanitizer(
+            dram, policy=SanitizePolicy.ZERO_ON_FREE, pattern=0xA5
+        )
+        sanitizer.on_free([0])
+        assert dram.read(0, 4) == b"\xa5" * 4
+
+    def test_stats(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.ZERO_ON_FREE)
+        sanitizer.on_free([0, 1, 2])
+        assert sanitizer.stats.frames_scrubbed_sync == 3
+
+
+class TestScrubPool:
+    def test_frames_queue_until_ticks(self, dram):
+        sanitizer = Sanitizer(
+            dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=2
+        )
+        sanitizer.on_free([0, 1, 2, 3])
+        assert sanitizer.pending == 4
+        assert dram.read(0, 8) == b"RESIDUE!"  # window of vulnerability
+
+    def test_tick_scrubs_at_rate(self, dram):
+        sanitizer = Sanitizer(
+            dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=2
+        )
+        sanitizer.on_free([0, 1, 2, 3])
+        assert sanitizer.tick() == 2
+        assert sanitizer.pending == 2
+        assert dram.read(0, 8) == b"\x00" * 8
+        assert dram.read(2 * PAGE_SIZE, 8) == b"RESIDUE!"
+
+    def test_drain_clears_queue(self, dram):
+        sanitizer = Sanitizer(
+            dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=1
+        )
+        sanitizer.on_free(list(range(8)))
+        assert sanitizer.drain() == 8
+        assert sanitizer.pending == 0
+        assert dram.read(7 * PAGE_SIZE, 8) == b"\x00" * 8
+
+    def test_max_queue_depth_recorded(self, dram):
+        sanitizer = Sanitizer(dram, policy=SanitizePolicy.SCRUB_POOL)
+        sanitizer.on_free([0, 1])
+        sanitizer.on_free([2, 3, 4])
+        assert sanitizer.stats.max_queue_depth == 5
+
+
+class TestLayoutRandomization:
+    def test_off_means_zero_slide(self):
+        randomization = LayoutRandomization()
+        assert randomization.heap_slide(1391) == 0
+
+    def test_virtual_slide_is_page_aligned(self):
+        randomization = LayoutRandomization(virtual=True, seed=1)
+        slide = randomization.heap_slide(1391)
+        assert slide % PAGE_SIZE == 0
+
+    def test_slide_deterministic_per_pid_and_seed(self):
+        randomization = LayoutRandomization(virtual=True, seed=1)
+        assert randomization.heap_slide(1391) == randomization.heap_slide(1391)
+
+    def test_slide_varies_across_pids(self):
+        randomization = LayoutRandomization(virtual=True, seed=1)
+        slides = {randomization.heap_slide(pid) for pid in range(100, 140)}
+        assert len(slides) > 30
+
+    def test_slide_varies_across_seeds(self):
+        first = LayoutRandomization(virtual=True, seed=1)
+        second = LayoutRandomization(virtual=True, seed=2)
+        assert first.heap_slide(1391) != second.heap_slide(1391)
+
+    def test_slide_bounded_by_entropy(self):
+        randomization = LayoutRandomization(
+            virtual=True, seed=1, virtual_entropy_pages=16
+        )
+        for pid in range(50):
+            assert randomization.heap_slide(pid) < 16 * PAGE_SIZE
+
+    def test_describe(self):
+        text = LayoutRandomization(physical=True).describe()
+        assert "physical ASLR: on" in text
+        assert "virtual ASLR: off" in text

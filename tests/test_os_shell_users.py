@@ -1,0 +1,121 @@
+"""Unit tests for shells, users and terminals."""
+
+import pytest
+
+from repro.hw.soc import ZynqMpSoC
+from repro.petalinux.kernel import PetaLinuxKernel
+from repro.petalinux.shell import Shell
+from repro.petalinux.users import ROOT, Terminal, User, default_terminals
+
+
+@pytest.fixture
+def kernel() -> PetaLinuxKernel:
+    return PetaLinuxKernel(ZynqMpSoC())
+
+
+@pytest.fixture
+def shells(kernel) -> tuple[Shell, Shell]:
+    attacker_terminal, victim_terminal = default_terminals()
+    return Shell(kernel, attacker_terminal), Shell(kernel, victim_terminal)
+
+
+class TestUsers:
+    def test_root_is_root(self):
+        assert ROOT.is_root
+        assert not User("bob", 1000).is_root
+
+    def test_negative_uid_rejected(self):
+        with pytest.raises(ValueError):
+            User("bad", -1)
+
+    def test_default_terminals_are_two_different_users(self):
+        attacker_terminal, victim_terminal = default_terminals()
+        assert attacker_terminal.user.uid != victim_terminal.user.uid
+        assert attacker_terminal.name != victim_terminal.name
+
+    def test_empty_terminal_name_rejected(self):
+        with pytest.raises(ValueError):
+            Terminal("", ROOT)
+
+
+class TestPsEf:
+    def test_header_columns(self, shells):
+        attacker, _ = shells
+        header = attacker.ps_ef().splitlines()[0]
+        for column in ("UID", "PID", "PPID", "STIME", "TTY", "TIME", "CMD"):
+            assert column in header
+
+    def test_kernel_threads_shown_with_question_mark_tty(self, shells):
+        attacker, _ = shells
+        kworker_row = next(
+            row for row in attacker.ps_rows() if "kworker" in row.cmd
+        )
+        assert kworker_row.tty == "?"
+
+    def test_other_users_processes_visible(self, shells):
+        attacker, victim = shells
+        process = victim.run(["./resnet50_pt", "model.xmodel", "img.jpg"])
+        rows = attacker.ps_rows()
+        assert any(row.pid == process.pid for row in rows)
+
+    def test_cmdline_arguments_visible_cross_user(self, shells):
+        attacker, victim = shells
+        victim.run(["./resnet50_pt", "/usr/share/.../resnet50_pt.xmodel"])
+        assert "resnet50_pt.xmodel" in attacker.ps_ef()
+
+    def test_rows_sorted_by_pid(self, shells):
+        attacker, victim = shells
+        victim.run(["./b"])
+        victim.run(["./a"])
+        pids = [row.pid for row in attacker.ps_rows()]
+        assert pids == sorted(pids)
+
+    def test_time_column_format(self, shells):
+        attacker, _ = shells
+        attacker.kernel.tick(3661)
+        row = next(row for row in attacker.ps_rows() if row.pid == 1)
+        assert row.time.count(":") == 2
+
+
+class TestPgrep:
+    def test_finds_matching_pid(self, shells):
+        attacker, victim = shells
+        process = victim.run(["./resnet50_pt", "x"])
+        assert attacker.pgrep("resnet50") == [process.pid]
+
+    def test_empty_for_no_match(self, shells):
+        attacker, _ = shells
+        assert attacker.pgrep("nonexistent_program") == []
+
+
+class TestRunAndTools:
+    def test_run_spawns_under_shell_user_and_tty(self, shells):
+        _, victim = shells
+        process = victim.run(["./app"])
+        assert process.user == victim.user
+        assert process.tty_name() == victim.terminal.name
+
+    def test_run_maps_drm_node_by_default(self, shells):
+        _, victim = shells
+        process = victim.run(["./app"])
+        assert process.address_space.vma_by_name("/dev/dri/renderD128") is not None
+
+    def test_cat_maps_shows_heap(self, shells):
+        attacker, victim = shells
+        process = victim.run(["./app"])
+        assert "[heap]" in attacker.cat_maps(process.pid)
+
+    def test_devmem_command_renders_hex(self, shells):
+        attacker, _ = shells
+        attacker.kernel.soc.write_word(0x6180_0000, 0xDEADBEEF)
+        assert attacker.devmem(0x6180_0000) == "0xDEADBEEF"
+
+    def test_grep_filters_lines(self, shells):
+        attacker, _ = shells
+        text = "alpha\nbeta resnet50 gamma\ndelta"
+        assert attacker.grep("resnet50", text) == ["beta resnet50 gamma"]
+
+    def test_user_property(self, shells):
+        attacker, victim = shells
+        assert attacker.user.name == "attacker"
+        assert victim.user.name == "victim"

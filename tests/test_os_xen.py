@@ -1,0 +1,147 @@
+"""Tests for the Xen hypervisor layer and domain confinement."""
+
+import pytest
+
+from repro.errors import PermissionDeniedError
+from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.kernel import KernelConfig
+from repro.petalinux.users import ROOT, User
+from repro.petalinux.xen import XenDeployment, XenDomain, two_guest_deployment
+
+ATTACKER = User("attacker", 1001)
+VICTIM = User("victim", 1002)
+
+
+class TestXenDomain:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            XenDomain("d", frozenset({1}), 10, 10)
+
+    def test_ownership_queries(self):
+        domain = XenDomain("d", frozenset({1001}), 0x100, 0x200)
+        assert domain.owns_user(ATTACKER)
+        assert not domain.owns_user(VICTIM)
+        assert domain.owns_frame(0x100)
+        assert domain.owns_frame(0x1FF)
+        assert not domain.owns_frame(0x200)
+
+
+class TestXenDeployment:
+    def test_overlapping_domains_rejected(self):
+        with pytest.raises(ValueError):
+            XenDeployment(
+                domains=[
+                    XenDomain("a", frozenset({1}), 0x100, 0x300),
+                    XenDomain("b", frozenset({2}), 0x200, 0x400),
+                ]
+            )
+
+    def test_lookup_by_user_and_frame(self):
+        deployment = two_guest_deployment()
+        assert deployment.domain_of_user(ATTACKER).name == "domU-attacker"
+        assert deployment.domain_of_user(VICTIM).name == "domU-victim"
+        assert deployment.domain_of_user(ROOT) is None
+        assert deployment.domain_of_frame(0x60000).name == "domU-attacker"
+        assert deployment.domain_of_frame(0x68000).name == "domU-victim"
+
+    def test_passthrough_enforces_nothing(self):
+        """The PetaLinux user-default: Xen present, /dev/mem wide open."""
+        deployment = two_guest_deployment(dev_mem_passthrough=True)
+        deployment.check_physical_access(ATTACKER, 0x68000)  # victim frame
+
+    def test_confined_blocks_cross_domain(self):
+        deployment = two_guest_deployment(dev_mem_passthrough=False)
+        deployment.check_physical_access(ATTACKER, 0x60000)  # own frame
+        with pytest.raises(PermissionDeniedError):
+            deployment.check_physical_access(ATTACKER, 0x68000)
+
+    def test_confined_root_is_dom0(self):
+        deployment = two_guest_deployment(dev_mem_passthrough=False)
+        deployment.check_physical_access(ROOT, 0x68000)
+
+    def test_confined_domainless_user_blocked(self):
+        deployment = two_guest_deployment(dev_mem_passthrough=False)
+        with pytest.raises(PermissionDeniedError):
+            deployment.check_physical_access(User("nobody", 1234), 0x60000)
+
+    def test_describe_mentions_mode(self):
+        assert "passthrough" in two_guest_deployment().describe()
+        assert "confined" in two_guest_deployment(
+            dev_mem_passthrough=False
+        ).describe()
+
+
+class TestXenKernelIntegration:
+    def _session(self, passthrough: bool) -> BoardSession:
+        return BoardSession.boot(
+            config=KernelConfig(
+                xen=two_guest_deployment(dev_mem_passthrough=passthrough)
+            ),
+            input_hw=32,
+        )
+
+    def test_domain_processes_allocate_in_their_window(self):
+        session = self._session(passthrough=True)
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        frames = run.process.address_space.page_table.frames()
+        deployment = session.kernel.config.xen
+        victim_domain = deployment.domain_of_user(session.victim_shell.user)
+        assert all(victim_domain.owns_frame(frame) for frame in frames)
+
+    def test_attack_succeeds_under_passthrough_xen(self):
+        """The paper's finding: Xen being present changed nothing."""
+        from repro.evaluation.scenarios import run_paper_attack
+
+        session = self._session(passthrough=True)
+        outcome = run_paper_attack(session)
+        assert outcome.model_identified_correctly
+        assert outcome.image_recovered_exactly
+
+    def test_confined_xen_blocks_cross_domain_devmem(self):
+        session = self._session(passthrough=False)
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        victim_frame = run.process.address_space.page_table.frames()[0]
+        physical = session.soc.dram_frame_to_physical(victim_frame)
+        with pytest.raises(PermissionDeniedError):
+            session.attacker_shell.devmem_tool.read(
+                physical, caller=session.attacker_shell.user
+            )
+
+    def test_confined_xen_still_allows_own_domain_reads(self):
+        session = self._session(passthrough=False)
+        own = session.kernel.spawn(
+            ["./own"], user=session.attacker_shell.user
+        )
+        own_frame = own.address_space.page_table.frames()[0]
+        physical = session.soc.dram_frame_to_physical(own_frame)
+        value = session.attacker_shell.devmem_tool.read(
+            physical, caller=session.attacker_shell.user
+        )
+        assert isinstance(value, int)
+
+    def test_confined_xen_defeats_extraction_step(self):
+        """Full pipeline dies at step 3 under proper confinement."""
+        from repro.attack.pipeline import MemoryScrapingAttack
+        from repro.errors import ExtractionError
+
+        reference = BoardSession.boot(input_hw=32)
+        profiles = reference.profile(["resnet50_pt"])
+
+        session = self._session(passthrough=False)
+        run = session.victim_application().launch("resnet50_pt")
+        attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+        attack.observe_victim("resnet50_pt")
+        attack.harvest_addresses()
+        run.terminate()
+        with pytest.raises(ExtractionError):
+            attack.extract()
+
+    def test_frames_return_to_domain_allocator(self):
+        session = self._session(passthrough=True)
+        deployment = session.kernel.config.xen
+        victim_domain = deployment.domain_of_user(session.victim_shell.user)
+        allocator = session.kernel._domain_allocators[victim_domain.name]
+        free_before = allocator.free_frames()
+        run = session.victim_application().launch("resnet50_pt", infer=False)
+        run.terminate()
+        assert allocator.free_frames() == free_before

@@ -1,0 +1,174 @@
+"""Second round of property-based tests: OS-level invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.dram import PAGE_SIZE, DramDevice
+from repro.mmu.address_space import AddressSpace, VmaKind
+from repro.mmu.frame_alloc import FrameAllocator
+from repro.petalinux.sanitizer import SanitizePolicy, Sanitizer
+from repro.petalinux.xen import XenDeployment, XenDomain
+
+
+def _space() -> AddressSpace:
+    dram = DramDevice(capacity=512 * PAGE_SIZE)
+    return AddressSpace(
+        allocator=FrameAllocator(total_frames=512), memory=dram, owner=1
+    )
+
+
+# -- address-space I/O invariants ------------------------------------------------
+
+@given(
+    offsets_and_payloads=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6 * PAGE_SIZE),
+            st.binary(min_size=1, max_size=128),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=40)
+def test_virtual_io_matches_shadow_model(offsets_and_payloads):
+    """read_virtual/write_virtual behave like a flat bytearray."""
+    space = _space()
+    heap_base = 0xAAAA_EE77_5000
+    space.create_heap(heap_base, 8 * PAGE_SIZE)
+    shadow = bytearray(8 * PAGE_SIZE)
+    for offset, payload in offsets_and_payloads:
+        space.write_virtual(heap_base + offset, payload)
+        shadow[offset : offset + len(payload)] = payload
+    assert space.read_virtual(heap_base, len(shadow)) == bytes(shadow)
+
+
+@given(
+    lengths=st.lists(
+        st.integers(min_value=1, max_value=3 * PAGE_SIZE),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40)
+def test_physical_segments_cover_exactly_the_request(lengths):
+    """Scatter lists tile the VA range with no gaps or overlaps."""
+    space = _space()
+    heap_base = 0xAAAA_EE77_5000
+    total = sum(lengths)
+    space.create_heap(heap_base, total + PAGE_SIZE)
+    cursor = heap_base
+    for length in lengths:
+        segments = space.physical_segments(cursor, length)
+        assert sum(seg_len for _, seg_len in segments) == length
+        assert all(seg_len > 0 for _, seg_len in segments)
+        cursor += length
+
+
+# -- sanitizer invariants -----------------------------------------------------------
+
+@given(
+    frame_groups=st.lists(
+        st.lists(st.integers(min_value=0, max_value=63), unique=True,
+                 min_size=1, max_size=16),
+        min_size=1,
+        max_size=6,
+    ),
+    rate=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=40)
+def test_scrub_pool_eventually_scrubs_everything(frame_groups, rate):
+    dram = DramDevice(capacity=64 * PAGE_SIZE)
+    for page in range(64):
+        dram.write(page * PAGE_SIZE, b"\xaa" * 64)
+    sanitizer = Sanitizer(
+        dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=rate
+    )
+    freed: set[int] = set()
+    for group in frame_groups:
+        fresh = [frame for frame in group if frame not in freed]
+        sanitizer.on_free(fresh)
+        freed |= set(fresh)
+    while sanitizer.pending:
+        assert sanitizer.tick() > 0
+    for frame in freed:
+        assert dram.read(frame * PAGE_SIZE, 64) == b"\x00" * 64
+
+
+@given(
+    frames=st.lists(st.integers(min_value=0, max_value=63), unique=True,
+                    min_size=1, max_size=32)
+)
+@settings(max_examples=40)
+def test_zero_on_free_touches_only_freed_frames(frames):
+    dram = DramDevice(capacity=64 * PAGE_SIZE)
+    for page in range(64):
+        dram.write(page * PAGE_SIZE, b"\xbb" * 32)
+    Sanitizer(dram, policy=SanitizePolicy.ZERO_ON_FREE).on_free(frames)
+    for page in range(64):
+        expected = b"\x00" * 32 if page in frames else b"\xbb" * 32
+        assert dram.read(page * PAGE_SIZE, 32) == expected
+
+
+# -- Xen domain invariants -------------------------------------------------------------
+
+@st.composite
+def disjoint_domains(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    boundaries = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0x100, max_value=0x10000),
+                min_size=count + 1,
+                max_size=count + 1,
+                unique=True,
+            )
+        )
+    )
+    return [
+        XenDomain(
+            name=f"dom{i}",
+            uids=frozenset({1000 + i}),
+            frame_start=boundaries[i],
+            frame_end=boundaries[i + 1],
+        )
+        for i in range(count)
+    ]
+
+
+@given(domains=disjoint_domains(), frame=st.integers(min_value=0, max_value=0x10000))
+@settings(max_examples=60)
+def test_every_frame_has_at_most_one_domain(domains, frame):
+    deployment = XenDeployment(domains=domains)
+    owners = [domain for domain in domains if domain.owns_frame(frame)]
+    assert len(owners) <= 1
+    resolved = deployment.domain_of_frame(frame)
+    if owners:
+        assert resolved is owners[0]
+    else:
+        assert resolved is None
+
+
+# -- heap arena determinism --------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=8192),
+                   min_size=1, max_size=20)
+)
+@settings(max_examples=40)
+def test_heap_arena_layout_is_a_pure_function_of_sizes(sizes):
+    """The determinism the whole profiling methodology rests on."""
+    from repro.hw.soc import ZynqMpSoC
+    from repro.petalinux.kernel import PetaLinuxKernel
+    from repro.petalinux.users import User
+
+    layouts = []
+    for _ in range(2):
+        kernel = PetaLinuxKernel(ZynqMpSoC())
+        process = kernel.spawn(["./app"], user=User("u", 1001))
+        arena = process.heap_arena
+        layouts.append([arena.allocate(size) for size in sizes])
+    assert layouts[0] == layouts[1]
+    # Allocations never overlap.
+    spans = sorted(zip(layouts[0], sizes))
+    for (start_a, size_a), (start_b, _) in zip(spans, spans[1:]):
+        assert start_a + size_a <= start_b

@@ -1,0 +1,114 @@
+"""Unit tests for repro.utils.bitfield."""
+
+import pytest
+
+from repro.utils.bitfield import (
+    bit,
+    bytes_to_words,
+    extract_bits,
+    insert_bits,
+    mask,
+    sign_extend,
+    words_to_bytes,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(8) == 0xFF
+
+    def test_pagemap_pfn_width(self):
+        assert mask(55) == (1 << 55) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBit:
+    def test_bit_zero(self):
+        assert bit(0) == 1
+
+    def test_present_bit_position(self):
+        assert bit(63) == 1 << 63
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit(-3)
+
+
+class TestExtractInsert:
+    def test_extract_low_nibble(self):
+        assert extract_bits(0xAB, 0, 4) == 0xB
+
+    def test_extract_high_nibble(self):
+        assert extract_bits(0xAB, 4, 4) == 0xA
+
+    def test_extract_beyond_value_is_zero(self):
+        assert extract_bits(0xFF, 8, 8) == 0
+
+    def test_insert_into_zero(self):
+        assert insert_bits(0, 8, 8, 0xCD) == 0xCD00
+
+    def test_insert_replaces_existing_field(self):
+        assert insert_bits(0xFFFF, 4, 8, 0x00) == 0xF00F
+
+    def test_insert_field_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            insert_bits(0, 0, 4, 0x10)
+
+    def test_roundtrip(self):
+        value = insert_bits(0, 3, 10, 0x2A5)
+        assert extract_bits(value, 3, 10) == 0x2A5
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 4)
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative_extends(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x80, 8) == -128
+
+    def test_wide_value_masked_first(self):
+        assert sign_extend(0x1FF, 8) == -1
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+
+
+class TestWordConversion:
+    def test_bytes_to_words_little_endian(self):
+        assert bytes_to_words(b"\x01\x00\x00\x00\xff\xff\xff\xff") == [1, 0xFFFFFFFF]
+
+    def test_partial_trailing_word_zero_padded(self):
+        assert bytes_to_words(b"\xab") == [0xAB]
+
+    def test_words_to_bytes_roundtrip(self):
+        data = bytes(range(16))
+        assert words_to_bytes(bytes_to_words(data)) == data
+
+    def test_word_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([1 << 32])
+
+    def test_negative_word_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes([-1])
+
+    def test_bad_word_size_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"abcd", word_size=0)
+
+    def test_word64(self):
+        assert bytes_to_words(b"\x01" + b"\x00" * 7, word_size=8) == [1]

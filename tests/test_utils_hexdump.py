@@ -1,0 +1,147 @@
+"""Unit tests for repro.utils.hexdump — the paper's hexdump format."""
+
+import pytest
+
+from repro.utils.hexdump import (
+    HexDump,
+    format_devmem_words,
+    hexdump_canonical,
+    hexdump_paper_rows,
+    parse_paper_row,
+)
+
+
+class TestPaperRows:
+    def test_paper_fig11_layout(self):
+        # The exact bytes behind the paper's Fig. 11 first row:
+        # "6c73 2f72 6573 6e65 7435 305f 7074 2f72  ls/resnet50_pt/r"
+        data = b"ls/resnet50_pt/r"
+        row = hexdump_paper_rows(data)[0]
+        assert row == "6c73 2f72 6573 6e65 7435 305f 7074 2f72 ls/resnet50_pt/r"
+
+    def test_groups_are_memory_order_byte_pairs(self):
+        row = hexdump_paper_rows(b"\x01\x02" + b"\x00" * 14)[0]
+        assert row.startswith("0102 ")
+
+    def test_nonprintable_bytes_become_dots(self):
+        row = hexdump_paper_rows(b"\x00\x1f\x7fA" + b"B" * 12)[0]
+        assert row.endswith("...ABBBBBBBBBBBB")
+
+    def test_partial_row_pads_hex_not_ascii(self):
+        row = hexdump_paper_rows(b"AB")[0]
+        assert row.split()[0] == "4142"
+        assert row.endswith(" AB")
+
+    def test_empty_data_gives_no_rows(self):
+        assert hexdump_paper_rows(b"") == []
+
+    def test_row_count(self):
+        assert len(hexdump_paper_rows(b"\x00" * 160)) == 10
+
+
+class TestParsePaperRow:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert parse_paper_row(hexdump_paper_rows(data)[0]) == data
+
+    def test_roundtrip_with_text(self):
+        data = b"resnet50_pt.xmod"
+        assert parse_paper_row(hexdump_paper_rows(data)[0]) == data
+
+    def test_too_few_groups_rejected(self):
+        with pytest.raises(ValueError):
+            parse_paper_row("6c73 2f72")
+
+    def test_malformed_group_rejected(self):
+        with pytest.raises(ValueError):
+            parse_paper_row("zzzz " * 8)
+
+
+class TestCanonical:
+    def test_offset_column(self):
+        rows = hexdump_canonical(b"\x00" * 32)
+        assert rows[0].startswith("00000000  ")
+        assert rows[1].startswith("00000010  ")
+
+    def test_base_offset_applied(self):
+        rows = hexdump_canonical(b"\x00" * 16, base_offset=0x1000)
+        assert rows[0].startswith("00001000")
+
+    def test_ascii_column_bracketed(self):
+        row = hexdump_canonical(b"A" * 16)[0]
+        assert row.endswith("|AAAAAAAAAAAAAAAA|")
+
+
+class TestFormatDevmemWords:
+    def test_eight_nibbles_per_row(self):
+        text = format_devmem_words([0xF7F5F8FD, 0])
+        assert text.splitlines() == ["f7f5f8fd", "00000000"]
+
+    def test_masks_to_32_bits(self):
+        assert format_devmem_words([0x1_0000_0001]) == "00000001"
+
+
+class TestHexDumpGrep:
+    def test_grep_finds_model_name(self):
+        dump = HexDump(b"\x00" * 64 + b"/models/resnet50_pt/" + b"\x00" * 64)
+        hits = dump.grep("resnet50")
+        assert hits
+        assert any("resnet50" in hit.row_text for hit in hits)
+
+    def test_grep_reports_row_numbers(self):
+        dump = HexDump(b"\x00" * 32 + b"needle" + b"\x00" * 26)
+        hits = dump.grep("needle")
+        assert hits[0].row_number == 2
+
+    def test_grep_match_spanning_rows(self):
+        # Place the needle across a 16-byte boundary.
+        dump = HexDump(b"\x00" * 12 + b"longneedle" + b"\x00" * 10)
+        rows = {hit.row_number for hit in dump.grep("longneedle")}
+        assert rows == {0, 1}
+
+    def test_grep_absent_pattern(self):
+        assert HexDump(b"\x00" * 64).grep("ghost") == []
+
+    def test_grep_empty_needle(self):
+        assert HexDump(b"abc").grep("") == []
+
+    def test_grep_results_sorted_and_unique(self):
+        dump = HexDump(b"spamspamspam" + b"\x00" * 20)
+        rows = [hit.row_number for hit in dump.grep("spam")]
+        assert rows == sorted(set(rows))
+
+
+class TestHexDumpMarkers:
+    def test_first_row_of(self):
+        dump = HexDump(b"\x00" * 48 + b"\x55" * 16)
+        assert dump.first_row_of(b"\x55" * 16) == 3
+
+    def test_first_row_of_absent(self):
+        assert HexDump(b"\x00" * 32).first_row_of(b"\xff") == -1
+
+    def test_marker_run_rows_finds_solid_rows(self):
+        data = b"\x00" * 16 + b"\xff" * 48 + b"\x00" * 16
+        rows = HexDump(data).marker_run_rows(0xFFFFFFFF)
+        assert rows == [1, 2, 3]
+
+    def test_marker_run_rows_filters_short_runs(self):
+        data = b"\xff" * 16 + b"\x00" * 16 + b"\xff" * 32
+        rows = HexDump(data).marker_run_rows(0xFFFFFFFF, minimum_rows=2)
+        assert rows == [2, 3]
+
+    def test_marker_run_rows_minimum_one_keeps_singles(self):
+        data = b"\xff" * 16 + b"\x00" * 16
+        assert HexDump(data).marker_run_rows(0xFFFFFFFF, minimum_rows=1) == [0]
+
+    def test_partial_marker_row_not_matched(self):
+        data = b"\xff" * 15 + b"\x00" + b"\xff" * 16
+        assert HexDump(data).marker_run_rows(0xFFFFFFFF, minimum_rows=1) == [1]
+
+    def test_len_and_data(self):
+        dump = HexDump(b"abc")
+        assert len(dump) == 3
+        assert dump.data == b"abc"
+
+    def test_rows_cached(self):
+        dump = HexDump(b"A" * 32)
+        assert dump.rows() is dump.rows()

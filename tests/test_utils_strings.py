@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.strings — the strings(1) equivalent."""
+
+import pytest
+
+from repro.utils.strings import (
+    extract_strings,
+    find_pattern_offsets,
+    longest_common_token,
+)
+
+
+class TestExtractStrings:
+    def test_finds_embedded_path(self):
+        data = b"\x00\x01/usr/share/vitis_ai_library\xff\xfe"
+        hits = extract_strings(data)
+        assert hits[0].text == "/usr/share/vitis_ai_library"
+        assert hits[0].offset == 2
+
+    def test_minimum_length_filters(self):
+        data = b"ab\x00abcd\x00"
+        assert [hit.text for hit in extract_strings(data, 4)] == ["abcd"]
+        assert [hit.text for hit in extract_strings(data, 2)] == ["ab", "abcd"]
+
+    def test_run_at_end_of_data(self):
+        hits = extract_strings(b"\x00tail")
+        assert hits[-1].text == "tail"
+
+    def test_whole_buffer_printable(self):
+        hits = extract_strings(b"entire")
+        assert len(hits) == 1
+        assert hits[0].offset == 0
+
+    def test_no_strings_in_binary(self):
+        assert extract_strings(bytes(range(0, 32)) * 4) == []
+
+    def test_tab_and_newline_break_runs(self):
+        hits = extract_strings(b"abcd\nefgh")
+        assert [hit.text for hit in hits] == ["abcd", "efgh"]
+
+    def test_bad_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            extract_strings(b"x", minimum_length=0)
+
+    def test_empty_data(self):
+        assert extract_strings(b"") == []
+
+
+class TestFindPatternOffsets:
+    def test_multiple_occurrences(self):
+        assert find_pattern_offsets(b"abXabXab", b"ab") == [0, 3, 6]
+
+    def test_overlapping_occurrences(self):
+        assert find_pattern_offsets(b"aaaa", b"aa") == [0, 1, 2]
+
+    def test_limit(self):
+        assert find_pattern_offsets(b"aaaa", b"a", limit=2) == [0, 1]
+
+    def test_absent(self):
+        assert find_pattern_offsets(b"abc", b"zz") == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            find_pattern_offsets(b"abc", b"")
+
+
+class TestLongestCommonToken:
+    def test_picks_repeated_path_token(self):
+        strings = [
+            "/usr/share/vitis_ai_library/models/resnet50_pt/resnet50_pt.xmodel",
+            "models/resnet50_pt",
+        ]
+        assert longest_common_token(strings) == "resnet50_pt"
+
+    def test_empty_input(self):
+        assert longest_common_token([]) == ""
+
+    def test_short_tokens_ignored(self):
+        assert longest_common_token(["a/b/c", "a/b"]) == ""
+
+    def test_tie_prefers_longer(self):
+        assert longest_common_token(["longertoken/short1"]) == "longertoken"

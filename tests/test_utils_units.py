@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_integer_passthrough(self):
+        assert parse_size(123) == 123
+
+    def test_binary_units(self):
+        assert parse_size("1KiB") == 1024
+        assert parse_size("2MiB") == 2 * 1024**2
+        assert parse_size("2GiB") == 2 * 1024**3
+
+    def test_short_units(self):
+        assert parse_size("512K") == 512 * 1024
+        assert parse_size("1G") == 1024**3
+
+    def test_case_insensitive(self):
+        assert parse_size("1gib") == 1024**3
+
+    def test_fractional_exact(self):
+        assert parse_size("1.5KiB") == 1536
+
+    def test_fractional_inexact_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("1.0001KiB")
+
+    def test_whitespace_tolerated(self):
+        assert parse_size(" 2 GiB ") == 2 * 1024**3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("5parsecs")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512B"
+
+    def test_kib(self):
+        assert format_size(4096) == "4.0KiB"
+
+    def test_gib(self):
+        assert format_size(2 * 1024**3) == "2.0GiB"
+
+    def test_zero(self):
+        assert format_size(0) == "0B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    def test_roundtrip_with_parse(self):
+        assert parse_size(format_size(3 * 1024**2)) == 3 * 1024**2

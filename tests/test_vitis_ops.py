@@ -1,0 +1,199 @@
+"""Unit tests for the INT8 inference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.vitis.ops import (
+    CompiledSubgraph,
+    LayerSpec,
+    conv2d_int8,
+    fc_int8,
+    global_avgpool_int8,
+    maxpool2_int8,
+    relu_int8,
+    resblock_int8,
+)
+
+
+def _identity_conv(channels: int) -> np.ndarray:
+    """3x3 conv weights that copy the input (centre tap = 1)."""
+    weights = np.zeros((3, 3, channels, channels), dtype=np.int8)
+    for channel in range(channels):
+        weights[1, 1, channel, channel] = 1
+    return weights
+
+
+class TestConv2d:
+    def test_identity_kernel_with_zero_shift(self):
+        x = np.arange(-8, 8, dtype=np.int8).reshape(4, 4, 1)
+        out = conv2d_int8(x, _identity_conv(1), stride=1, shift=0)
+        assert np.array_equal(out, x)
+
+    def test_same_padding_preserves_spatial_size(self):
+        x = np.ones((7, 5, 2), dtype=np.int8)
+        weights = np.ones((3, 3, 2, 4), dtype=np.int8)
+        out = conv2d_int8(x, weights, stride=1, shift=0)
+        assert out.shape == (7, 5, 4)
+
+    def test_stride_two_halves_spatial_size(self):
+        x = np.ones((8, 8, 1), dtype=np.int8)
+        out = conv2d_int8(x, _identity_conv(1), stride=2, shift=0)
+        assert out.shape == (4, 4, 1)
+
+    def test_accumulator_saturates_to_int8(self):
+        x = np.full((3, 3, 1), 127, dtype=np.int8)
+        weights = np.full((3, 3, 1, 1), 127, dtype=np.int8)
+        out = conv2d_int8(x, weights, stride=1, shift=0)
+        assert out.max() == 127
+
+    def test_shift_requantizes_with_rounding(self):
+        x = np.full((1, 1, 1), 3, dtype=np.int8)
+        weights = np.full((1, 1, 1, 1), 1, dtype=np.int8)
+        out = conv2d_int8(x, weights, stride=1, shift=1)
+        assert out[0, 0, 0] == 2  # (3 + 1) >> 1
+
+    def test_channel_mismatch_rejected(self):
+        x = np.ones((4, 4, 2), dtype=np.int8)
+        with pytest.raises(ValueError):
+            conv2d_int8(x, _identity_conv(3), stride=1, shift=0)
+
+
+class TestSimpleOps:
+    def test_relu_clamps_negatives(self):
+        x = np.array([[-5, 3]], dtype=np.int8).reshape(1, 2, 1)
+        assert relu_int8(x).ravel().tolist() == [0, 3]
+
+    def test_maxpool_picks_max(self):
+        x = np.array(
+            [[1, 2], [3, 4]], dtype=np.int8
+        ).reshape(2, 2, 1)
+        assert maxpool2_int8(x).ravel().tolist() == [4]
+
+    def test_maxpool_drops_odd_edges(self):
+        x = np.ones((5, 5, 2), dtype=np.int8)
+        assert maxpool2_int8(x).shape == (2, 2, 2)
+
+    def test_global_avgpool(self):
+        x = np.stack(
+            [np.full((4, 4), 8, dtype=np.int8), np.full((4, 4), -8, dtype=np.int8)],
+            axis=2,
+        )
+        assert global_avgpool_int8(x).tolist() == [8, -8]
+
+    def test_fc_matmul(self):
+        x = np.array([1, 2], dtype=np.int8)
+        weights = np.array([[1, 0], [0, 2]], dtype=np.int8)
+        assert fc_int8(x, weights, shift=0).tolist() == [1, 4]
+
+    def test_fc_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fc_int8(np.ones(3, dtype=np.int8), np.ones((2, 4), dtype=np.int8), 0)
+
+
+class TestResblock:
+    def test_skip_connection_adds_input(self):
+        x = np.full((4, 4, 2), 4, dtype=np.int8)
+        zero_weights = np.zeros((3, 3, 2, 2), dtype=np.int8)
+        out = resblock_int8(x, zero_weights, zero_weights, stride=1, shift=0)
+        # Branch is all zeros, so output == relu(skip) == input.
+        assert np.array_equal(out, x)
+
+    def test_stride_downsamples_skip(self):
+        x = np.full((4, 4, 2), 4, dtype=np.int8)
+        zero_weights = np.zeros((3, 3, 2, 2), dtype=np.int8)
+        out = resblock_int8(x, zero_weights, zero_weights, stride=2, shift=0)
+        assert out.shape == (2, 2, 2)
+
+    def test_channel_widening_pads_skip(self):
+        x = np.full((4, 4, 2), 4, dtype=np.int8)
+        w1 = np.zeros((3, 3, 2, 6), dtype=np.int8)
+        w2 = np.zeros((3, 3, 6, 6), dtype=np.int8)
+        out = resblock_int8(x, w1, w2, stride=1, shift=0)
+        assert out.shape == (4, 4, 6)
+        assert np.array_equal(out[:, :, :2], x)
+        assert (out[:, :, 2:] == 0).all()
+
+
+class TestLayerSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec(kind="softmax", name="s")
+
+    def test_conv_needs_weights(self):
+        with pytest.raises(ValueError):
+            LayerSpec(kind="conv2d", name="c")
+
+    def test_resblock_needs_both_weight_sets(self):
+        with pytest.raises(ValueError):
+            LayerSpec(
+                kind="resblock", name="r",
+                weights=np.zeros((3, 3, 1, 1), dtype=np.int8),
+            )
+
+    def test_weights_must_be_int8(self):
+        with pytest.raises(TypeError):
+            LayerSpec(
+                kind="conv2d", name="c",
+                weights=np.zeros((3, 3, 1, 1), dtype=np.int32),
+            )
+
+    def test_weight_bytes_concatenates(self):
+        layer = LayerSpec(
+            kind="resblock", name="r",
+            weights=np.ones((1, 1, 1, 1), dtype=np.int8),
+            extra_weights=np.full((1, 1, 1, 1), 2, dtype=np.int8),
+        )
+        assert layer.weight_bytes() == b"\x01\x02"
+
+
+class TestCompiledSubgraph:
+    def _tiny_subgraph(self) -> CompiledSubgraph:
+        return CompiledSubgraph(
+            input_height=8,
+            input_width=8,
+            layers=[
+                LayerSpec(
+                    kind="conv2d", name="c",
+                    weights=np.ones((3, 3, 3, 4), dtype=np.int8), shift=4,
+                ),
+                LayerSpec(kind="relu", name="r"),
+                LayerSpec(kind="gap", name="g"),
+                LayerSpec(
+                    kind="fc", name="f",
+                    weights=np.ones((4, 10), dtype=np.int8), shift=2,
+                ),
+            ],
+        )
+
+    def test_execute_output_size_is_class_count(self):
+        subgraph = self._tiny_subgraph()
+        out = subgraph.execute(b"\x80" * (8 * 8 * 3))
+        assert len(out) == 10
+
+    def test_execute_checks_input_size(self):
+        with pytest.raises(ValueError):
+            self._tiny_subgraph().execute(b"\x00" * 10)
+
+    def test_execute_deterministic(self):
+        subgraph = self._tiny_subgraph()
+        blob = (bytes(range(256)) * 2)[: 8 * 8 * 3]
+        assert subgraph.execute(blob) == subgraph.execute(blob)
+
+    def test_different_inputs_can_differ(self):
+        subgraph = self._tiny_subgraph()
+        a = subgraph.execute(b"\x00" * 192)
+        b = subgraph.execute(b"\xff" * 192)
+        assert a != b
+
+    def test_macs_positive_and_shape_derived(self):
+        subgraph = self._tiny_subgraph()
+        # conv: 8*8*3*3*3*4 + fc: 4*10
+        assert subgraph.macs == 8 * 8 * 9 * 3 * 4 + 40
+
+    def test_output_classes(self):
+        assert self._tiny_subgraph().output_classes() == 10
+
+    def test_output_classes_requires_fc(self):
+        subgraph = CompiledSubgraph(8, 8, [LayerSpec(kind="relu", name="r")])
+        with pytest.raises(ValueError):
+            subgraph.output_classes()

@@ -1,0 +1,134 @@
+"""Unit tests for the xmodel container and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownModelError, XModelFormatError
+from repro.vitis.xmodel import MAGIC, XModel
+from repro.vitis.zoo import (
+    MODEL_NAMES,
+    build_model,
+    model_install_path,
+)
+
+
+class TestXModelSerialization:
+    def test_roundtrip(self):
+        model = build_model("resnet50_pt")
+        rebuilt = XModel.parse(model.serialize())
+        assert rebuilt == model
+        assert rebuilt.name == "resnet50_pt"
+        assert rebuilt.subgraph.input_height == model.subgraph.input_height
+
+    def test_magic_at_start(self):
+        blob = build_model("resnet50_pt").serialize()
+        assert blob.startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(XModelFormatError):
+            XModel.parse(b"NOPE" + b"\x00" * 100)
+
+    def test_truncation_rejected(self):
+        blob = build_model("squeezenet_pt").serialize()
+        with pytest.raises(XModelFormatError):
+            XModel.parse(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self):
+        blob = build_model("squeezenet_pt").serialize()
+        with pytest.raises(XModelFormatError):
+            XModel.parse(blob + b"\x00")
+
+    def test_unsupported_version_rejected(self):
+        blob = bytearray(build_model("squeezenet_pt").serialize())
+        blob[4] = 99
+        with pytest.raises(XModelFormatError):
+            XModel.parse(bytes(blob))
+
+    def test_serialized_blob_contains_name_strings(self):
+        """The property the attack's step 4a depends on."""
+        blob = build_model("resnet50_pt").serialize()
+        assert b"resnet50_pt" in blob
+        assert b"/usr/share/vitis_ai_library/models/resnet50_pt" in blob
+        assert b"torchvision/resnet50" in blob
+
+    def test_paper_fig11_fragments_present(self):
+        """'ls/resnet50_pt/r' and 'hvision/resnet50' are substrings."""
+        blob = build_model("resnet50_pt").serialize()
+        assert b"ls/resnet50_pt/r" in blob
+        assert b"hvision/resnet50" in blob
+
+    def test_weight_nbytes_counts_payloads(self):
+        model = build_model("resnet50_pt")
+        total = sum(
+            layer.weight_bytes().__len__() for layer in model.subgraph.layers
+        )
+        assert model.weight_nbytes() == total
+        assert total > 0
+
+    def test_rebuilt_subgraph_executes_identically(self):
+        model = build_model("squeezenet_pt", input_hw=16)
+        rebuilt = XModel.parse(model.serialize())
+        blob = bytes(range(256)) * 3
+        blob = (blob * 4)[: 16 * 16 * 3]
+        assert model.subgraph.execute(blob) == rebuilt.subgraph.execute(blob)
+
+
+class TestZoo:
+    def test_zoo_has_eight_models(self):
+        assert len(MODEL_NAMES) == 8
+        assert "resnet50_pt" in MODEL_NAMES
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(UnknownModelError):
+            build_model("alexnet_caffe")
+
+    def test_install_path_format(self):
+        assert model_install_path("resnet50_pt") == (
+            "/usr/share/vitis_ai_library/models/resnet50_pt/resnet50_pt.xmodel"
+        )
+
+    def test_weights_deterministic(self):
+        first = build_model("resnet50_pt")
+        second = build_model("resnet50_pt")
+        assert first.serialize() == second.serialize()
+
+    def test_models_have_distinct_weights(self):
+        resnet = build_model("resnet50_pt")
+        squeeze = build_model("squeezenet_pt")
+        assert resnet.serialize() != squeeze.serialize()
+
+    def test_input_hw_override(self):
+        model = build_model("resnet50_pt", input_hw=64)
+        assert model.subgraph.input_height == 64
+
+    def test_input_hw_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("resnet50_pt", input_hw=4)
+
+    def test_every_model_builds_and_executes(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, input_hw=16)
+            scores = model.subgraph.execute(b"\x40" * (16 * 16 * 3))
+            assert len(scores) == model.subgraph.output_classes()
+
+    def test_every_model_embeds_its_own_name(self):
+        for name in MODEL_NAMES:
+            assert name.encode() in build_model(name, input_hw=16).serialize()
+
+    def test_frameworks_match_suffix(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, input_hw=16)
+            if name.endswith("_pt"):
+                assert model.framework == "pytorch"
+            else:
+                assert model.framework == "tensorflow"
+
+    def test_resnet_models_contain_resblocks(self):
+        model = build_model("resnet50_pt", input_hw=16)
+        kinds = {layer.kind for layer in model.subgraph.layers}
+        assert "resblock" in kinds
+
+    def test_macs_scale_with_input_size(self):
+        small = build_model("resnet50_pt", input_hw=16)
+        large = build_model("resnet50_pt", input_hw=64)
+        assert large.subgraph.macs > small.subgraph.macs
