@@ -1,0 +1,18 @@
+# Development entry points. Everything runs from the repo root with
+# src/ on the path; no installation required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py"
+
+# Fails when any module under src/repro lacks a module docstring or a
+# package is missing from README.md's package map.
+docs-check:
+	$(PYTHON) tools/docs_check.py

@@ -4,7 +4,7 @@ One standard scenario (board boot → profiling → victim → attack) is
 prepared once per benchmark session; the per-figure benchmarks time
 their step's characteristic operation against it and assert the
 figure's claims.  Regenerated artifacts are written to
-``benchmarks/out/`` for inspection and for EXPERIMENTS.md.
+``benchmarks/out/`` for inspection.
 """
 
 from __future__ import annotations

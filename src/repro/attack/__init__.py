@@ -16,7 +16,12 @@ The four steps of §III map onto submodules:
 
 from repro.attack.config import AttackConfig
 from repro.attack.polling import PidPoller, VictimSighting
-from repro.attack.addressing import AddressHarvester, HarvestedRange, PageTranslation
+from repro.attack.addressing import (
+    AddressHarvester,
+    HarvestedRange,
+    PageTranslation,
+    TranslationCache,
+)
 from repro.attack.extraction import MemoryScraper, ScrapedDump
 from repro.attack.identify import IdentificationResult, ModelIdentifier, SignatureDatabase
 from repro.attack.profiling import ModelProfile, OfflineProfiler, ProfileStore
@@ -44,6 +49,7 @@ __all__ = [
     "AddressHarvester",
     "HarvestedRange",
     "PageTranslation",
+    "TranslationCache",
     "MemoryScraper",
     "ScrapedDump",
     "IdentificationResult",

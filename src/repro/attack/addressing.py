@@ -68,12 +68,80 @@ class HarvestedRange:
         )
 
 
-class AddressHarvester:
-    """Runs step 2 against a live victim from the attacker's user."""
+class TranslationCache:
+    """Per-board memo of completed heap harvests, keyed by pid.
 
-    def __init__(self, procfs: ProcFs, caller: User) -> None:
+    A fleet campaign attacks many victims per board, and each victim's
+    translations are queried more than once: the campaign worker
+    snapshots them the moment it claims a sighting (the earliest
+    possible moment) and the attack pipeline re-harvests in its own
+    step 2.  One cache per board turns every repeat into a dictionary
+    hit instead of a full pagemap walk.
+
+    Staleness contract: an entry is valid only while its pid is alive
+    and its heap has not grown past the snapshotted range — callers
+    must :meth:`invalidate` on termination (the attack pipeline does
+    this as soon as it observes the pid vanish).  Never share a cache
+    across boards: equal pids on different kernels map to different
+    physical frames.
+    """
+
+    def __init__(self) -> None:
+        self._harvests: dict[int, HarvestedRange] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._harvests)
+
+    def lookup(self, pid: int) -> HarvestedRange | None:
+        """The cached harvest for *pid*, counting the hit or miss."""
+        cached = self._harvests.get(pid)
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def store(self, pid: int, harvested: HarvestedRange) -> None:
+        """Memoize a completed harvest."""
+        self._harvests[pid] = harvested
+
+    def invalidate(self, pid: int) -> None:
+        """Drop *pid*'s entry (it terminated, or its heap changed)."""
+        if pid in self._harvests:
+            del self._harvests[pid]
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. after a board reboot)."""
+        self._harvests.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AddressHarvester:
+    """Runs step 2 against a live victim from the attacker's user.
+
+    Pass a :class:`TranslationCache` to memoize full harvests across
+    repeated calls for the same pid (the campaign engine shares one
+    cache per board).
+    """
+
+    def __init__(
+        self,
+        procfs: ProcFs,
+        caller: User,
+        cache: TranslationCache | None = None,
+    ) -> None:
         self._procfs = procfs
         self._caller = caller
+        self._cache = cache
 
     # -- maps parsing -------------------------------------------------------
 
@@ -117,8 +185,13 @@ class AddressHarvester:
 
         One batched pagemap pread covers the heap's VPN range (the
         paper's automation loops the single-address tool; same bytes
-        either way).
+        either way).  With a :class:`TranslationCache` attached, a
+        repeated harvest of the same (still live) pid is a cache hit.
         """
+        if self._cache is not None:
+            cached = self._cache.lookup(pid)
+            if cached is not None:
+                return cached
         heap_start, heap_end = self.read_heap_range(pid)
         first_vpn = vpn_of(heap_start)
         page_total = (heap_end - heap_start) // PAGE_SIZE
@@ -154,4 +227,6 @@ class AddressHarvester:
                 f"pid {pid}: no present pages in heap "
                 f"[{heap_start:#x}, {heap_end:#x})"
             )
+        if self._cache is not None:
+            self._cache.store(pid, harvested)
         return harvested

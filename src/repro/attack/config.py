@@ -22,6 +22,14 @@ class AttackConfig:
     True = page-granular bulk reads; identical bytes, faster wall-clock
     (used by the large-footprint benchmarks)."""
 
+    coalesce_reads: bool = False
+    """True = merge physically contiguous present pages into single
+    bulk reads (the campaign engine's hot path).  The deterministic
+    allocator hands out long contiguous frame runs, so a whole heap
+    often collapses into a handful of devmem invocations.  Takes
+    precedence over ``bulk_reads``; bytes are identical in all three
+    modes (asserted by the regression tests)."""
+
     poll_limit: int = 1000
     """Maximum ps polls before declaring the victim absent."""
 

@@ -9,6 +9,16 @@ On the vulnerable kernel the bytes come back exactly as the victim
 left them; under the zero-on-free defense the same reads return the
 scrub pattern, and under ``STRICT_DEVMEM`` they raise — both outcomes
 flow into the defense evaluation.
+
+Three read strategies produce byte-identical dumps at very different
+devmem-invocation counts (``AttackConfig`` selects one):
+
+- **word mode** (default) — one invocation per 32-bit word, exactly as
+  the paper's automation loops the busybox tool;
+- **bulk mode** (``bulk_reads``) — one invocation per page;
+- **coalesced mode** (``coalesce_reads``) — physically contiguous
+  present pages merge into single bulk reads, the campaign engine's
+  hot path for fleet-scale scraping.
 """
 
 from __future__ import annotations
@@ -85,24 +95,86 @@ class MemoryScraper:
         Raises :class:`~repro.errors.ExtractionError` when /dev/mem is
         closed to the attacker (the STRICT_DEVMEM defense).
         """
-        chunks: list[bytes] = []
-        pages_read = 0
-        pages_skipped = 0
-        devmem_reads = 0
         try:
-            for entry in harvested.translations:
-                if not entry.present:
-                    chunks.append(b"\x00" * PAGE_SIZE)
-                    pages_skipped += 1
-                    continue
-                page_bytes, calls = self._read_page(entry.physical_page_address)
-                chunks.append(page_bytes)
-                pages_read += 1
-                devmem_reads += calls
+            if self._config.coalesce_reads:
+                return self._scrape_coalesced(harvested)
+            return self._scrape_per_page(harvested)
         except PermissionDeniedError as error:
             raise ExtractionError(
                 f"devmem blocked while scraping pid {harvested.pid}: {error}"
             ) from error
+
+    def _scrape_per_page(self, harvested: HarvestedRange) -> ScrapedDump:
+        """Word or page granular reads — one translation at a time."""
+        chunks: list[bytes] = []
+        pages_read = 0
+        pages_skipped = 0
+        devmem_reads = 0
+        for entry in harvested.translations:
+            if not entry.present:
+                chunks.append(b"\x00" * PAGE_SIZE)
+                pages_skipped += 1
+                continue
+            page_bytes, calls = self._read_page(entry.physical_page_address)
+            chunks.append(page_bytes)
+            pages_read += 1
+            devmem_reads += calls
+        return ScrapedDump(
+            pid=harvested.pid,
+            heap_start=harvested.heap_start,
+            data=b"".join(chunks),
+            pages_read=pages_read,
+            pages_skipped=pages_skipped,
+            devmem_reads=devmem_reads,
+        )
+
+    def _scrape_coalesced(self, harvested: HarvestedRange) -> ScrapedDump:
+        """Merge physically contiguous present pages into bulk reads.
+
+        Walks the translations in heap order, growing a run while each
+        present page's physical address extends the previous one, and
+        issues a single ``read_bytes`` per run.  Non-present pages
+        flush the current run and emit a zero page, so the reassembled
+        dump is byte-identical to the per-page paths.
+        """
+        chunks: list[bytes] = []
+        pages_read = 0
+        pages_skipped = 0
+        devmem_reads = 0
+        run_start: int | None = None
+        run_pages = 0
+
+        def flush() -> None:
+            nonlocal run_start, run_pages, devmem_reads
+            if run_start is None:
+                return
+            chunks.append(
+                self._devmem.read_bytes(
+                    run_start, run_pages * PAGE_SIZE, self._caller
+                )
+            )
+            devmem_reads += 1
+            run_start = None
+            run_pages = 0
+
+        for entry in harvested.translations:
+            if not entry.present:
+                flush()
+                chunks.append(b"\x00" * PAGE_SIZE)
+                pages_skipped += 1
+                continue
+            if (
+                run_start is not None
+                and entry.physical_page_address
+                == run_start + run_pages * PAGE_SIZE
+            ):
+                run_pages += 1
+            else:
+                flush()
+                run_start = entry.physical_page_address
+                run_pages = 1
+            pages_read += 1
+        flush()
         return ScrapedDump(
             pid=harvested.pid,
             heap_start=harvested.heap_start,

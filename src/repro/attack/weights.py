@@ -15,6 +15,25 @@ dump.
 :func:`profile_weight_layout` learns the offsets (own-process run with
 the stock model, locating each layer's known payload in the dump);
 :class:`WeightExtractor` applies them to a victim dump.
+
+Usage — steal a fine-tuned model's private weights:
+
+>>> from repro.attack import MemoryScrapingAttack
+>>> from repro.attack.weights import WeightExtractor, profile_weight_layout
+>>> from repro.evaluation.scenarios import BoardSession
+>>> from repro.vitis.zoo import build_model, fine_tune
+>>> session = BoardSession.boot(input_hw=32)
+>>> layout = profile_weight_layout(                  # offline, stock model
+...     session.attacker_shell, "resnet50_pt", input_hw=32
+... )
+>>> private = fine_tune(build_model("resnet50_pt", input_hw=32), seed=9)
+>>> run = session.victim_application().launch("resnet50_pt", model=private)
+>>> profiles = session.profile(["resnet50_pt"])
+>>> attack = MemoryScrapingAttack(session.attacker_shell, profiles)
+>>> report = attack.execute("resnet50_pt", terminate_victim=run.terminate)
+>>> stolen = WeightExtractor(layout).extract(report.dump)
+>>> stolen.match_fraction(private)                   # the victim's weights
+1.0
 """
 
 from __future__ import annotations

@@ -1,0 +1,88 @@
+"""The campaign engine — offline prep once, then the fleet in parallel.
+
+:func:`run_campaign` is the top-level entry point:
+
+1. build the deterministic schedule from the spec;
+2. run the adversary's offline prep **once** — profile the model mix
+   on a reference board and mine one shared
+   :class:`~repro.attack.identify.SignatureDatabase` (the paper's
+   attacker preps on hardware they control; a fleet attacker preps
+   once, not once per victim);
+3. provision the fleet and hand each board's jobs to a
+   :class:`~repro.campaign.worker.BoardWorker` on a thread pool —
+   boards are independent simulations, so they scrape concurrently;
+4. collect every outcome into a
+   :class:`~repro.campaign.report.CampaignReport`.
+
+>>> from repro.campaign import CampaignSpec, run_campaign
+>>> report = run_campaign(CampaignSpec(boards=4, victims=8, seed=7))
+>>> print(report.render())                            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.attack.config import AttackConfig
+from repro.attack.identify import SignatureDatabase
+from repro.attack.profiling import ProfileStore
+from repro.campaign.fleet import provision_fleet
+from repro.campaign.report import CampaignReport
+from repro.campaign.schedule import CampaignSpec, build_schedule, jobs_by_board
+from repro.campaign.worker import BoardWorker
+from repro.evaluation.scenarios import BoardSession
+
+
+def prepare_offline(spec: CampaignSpec) -> tuple[ProfileStore, SignatureDatabase]:
+    """The adversary's one-time prep: profiles + signature database.
+
+    Runs on a dedicated reference board (the fleet never sees the
+    marker images), covering every model in the campaign mix.
+    """
+    reference = BoardSession.boot(input_hw=spec.input_hw)
+    profiles = reference.profile(sorted(set(spec.model_mix)))
+    return profiles, SignatureDatabase.from_profiles(profiles)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    profiles: ProfileStore | None = None,
+    database: SignatureDatabase | None = None,
+) -> CampaignReport:
+    """Run one full fleet campaign and aggregate the results.
+
+    Pass *profiles*/*database* to reuse prep across campaigns (e.g. a
+    parameter sweep); by default :func:`prepare_offline` builds both.
+    """
+    started = time.perf_counter()
+    schedule = build_schedule(spec)
+    if profiles is None:
+        prepped_profiles, prepped_database = prepare_offline(spec)
+        profiles = prepped_profiles
+        database = database or prepped_database
+    elif database is None:
+        database = SignatureDatabase.from_profiles(profiles)
+    fleet = provision_fleet(spec)
+    config = AttackConfig(coalesce_reads=spec.coalesce_reads)
+
+    grouped = jobs_by_board(schedule)
+    workers = {
+        board.index: BoardWorker(board, profiles, database, config)
+        for board in fleet
+    }
+    max_workers = spec.max_workers or spec.boards
+    outcomes = []
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(workers[index].run_jobs, jobs)
+            for index, jobs in sorted(grouped.items())
+        ]
+        for future in futures:
+            outcomes.extend(future.result())
+    outcomes.sort(key=lambda outcome: outcome.job_id)
+    return CampaignReport(
+        spec=spec,
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,78 @@
+"""Fleet provisioning — booting N board twins for one campaign.
+
+Each provisioned board is a full :class:`BoardSession` (SoC + kernel +
+attacker terminal) plus the campaign extras: one victim-side shell per
+tenant and one :class:`~repro.attack.addressing.TranslationCache`
+shared by every attack mounted on that board.  Board specs cycle
+through the spec's ``board_names`` the way a cloud region mixes
+instance types, and each board boots with its own DRAM fill seed so
+power-up residue differs across the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.addressing import TranslationCache
+from repro.campaign.schedule import CampaignSpec
+from repro.evaluation.scenarios import BoardSession
+from repro.hw.board import fleet_specs
+from repro.petalinux.shell import Shell
+
+# The standard terminals take uids 1001/1002 and pts/0-1; extra
+# tenants slot in above both ranges.
+_EXTRA_TENANT_UID_BASE = 1100
+
+
+@dataclass
+class ProvisionedBoard:
+    """One booted fleet member, ready to run victims and attacks."""
+
+    index: int
+    session: BoardSession
+    tenant_shells: list[Shell]
+    translation_cache: TranslationCache
+
+    @property
+    def name(self) -> str:
+        """The underlying board spec name (``ZCU104``/``ZCU102``)."""
+        return self.session.soc.board.name
+
+    def tenant(self, tenant_index: int) -> Shell:
+        """The victim-side shell for one tenant slot."""
+        return self.tenant_shells[tenant_index]
+
+
+def provision_fleet(spec: CampaignSpec) -> list[ProvisionedBoard]:
+    """Boot the whole fleet described by *spec*.
+
+    Tenant 0 is the session's standard victim terminal; additional
+    tenants log in as fresh users on their own pseudo-terminals, so
+    co-resident victims in one wave genuinely run under different
+    uids (the multi-tenant threat model).
+    """
+    boards = []
+    for index, board_spec in enumerate(
+        fleet_specs(spec.boards, spec.board_names)
+    ):
+        session = BoardSession.boot(
+            board=board_spec, input_hw=spec.input_hw, fill_seed=index
+        )
+        tenants = [session.victim_shell]
+        for extra in range(1, spec.tenants_per_board):
+            tenants.append(
+                session.add_tenant(
+                    name=f"guest{extra}",
+                    uid=_EXTRA_TENANT_UID_BASE + extra,
+                    tty=f"pts/{1 + extra}",
+                )
+            )
+        boards.append(
+            ProvisionedBoard(
+                index=index,
+                session=session,
+                tenant_shells=tenants,
+                translation_cache=TranslationCache(),
+            )
+        )
+    return boards

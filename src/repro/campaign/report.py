@@ -1,0 +1,225 @@
+"""Campaign results — per-victim outcomes rolled up to fleet stats.
+
+:class:`CampaignReport` is the campaign analogue of the single-attack
+:class:`~repro.attack.pipeline.AttackReport`: it keeps every
+:class:`~repro.campaign.worker.VictimOutcome`, aggregates them per
+model and per board, and renders one text summary.  Reports serialize
+to JSON (spec included) so ``repro campaign run -o fleet.json`` and a
+later ``repro campaign report fleet.json`` see identical numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.campaign.schedule import CampaignSpec
+from repro.campaign.worker import VictimOutcome
+from repro.evaluation.metrics import ThroughputStats
+
+
+@dataclass(frozen=True)
+class ModelBreakdown:
+    """Aggregate outcomes for one model across the fleet."""
+
+    model_name: str
+    victims: int
+    identified: int
+    images_recovered: int
+
+    @property
+    def identification_rate(self) -> float:
+        """Fraction of this model's victims correctly attributed."""
+        return self.identified / self.victims if self.victims else 0.0
+
+
+@dataclass(frozen=True)
+class BoardBreakdown:
+    """Aggregate outcomes for one fleet member."""
+
+    board_index: int
+    board_name: str
+    victims: int
+    succeeded: int
+    nbytes: int
+    devmem_reads: int
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished campaign learned, fleet-wide."""
+
+    spec: CampaignSpec
+    outcomes: list[VictimOutcome]
+    wall_seconds: float
+
+    # -- fleet-level rates ---------------------------------------------------
+
+    @property
+    def victims(self) -> int:
+        """Victims attacked (scheduled and attempted)."""
+        return len(self.outcomes)
+
+    @property
+    def identification_rate(self) -> float:
+        """Fraction of victims whose model was correctly attributed."""
+        if not self.outcomes:
+            return 0.0
+        return sum(
+            1 for outcome in self.outcomes if outcome.identified_correctly
+        ) / len(self.outcomes)
+
+    @property
+    def image_recovery_rate(self) -> float:
+        """Fraction of victims whose secret input was recovered."""
+        if not self.outcomes:
+            return 0.0
+        return sum(
+            1 for outcome in self.outcomes if outcome.image_recovered
+        ) / len(self.outcomes)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of victims that leaked anything at all."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for outcome in self.outcomes if outcome.succeeded) / len(
+            self.outcomes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Residue bytes scraped across the whole fleet."""
+        return sum(outcome.nbytes for outcome in self.outcomes)
+
+    @property
+    def total_devmem_reads(self) -> int:
+        """devmem invocations across the whole fleet."""
+        return sum(outcome.devmem_reads for outcome in self.outcomes)
+
+    @property
+    def throughput(self) -> ThroughputStats:
+        """Fleet scraping throughput over the campaign's wall time."""
+        return ThroughputStats(
+            nbytes=self.total_bytes,
+            victims=self.victims,
+            wall_seconds=self.wall_seconds,
+        )
+
+    # -- breakdowns ----------------------------------------------------------
+
+    def per_model(self) -> list[ModelBreakdown]:
+        """Outcome aggregates per model, sorted by model name."""
+        grouped: dict[str, list[VictimOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.model_name, []).append(outcome)
+        return [
+            ModelBreakdown(
+                model_name=name,
+                victims=len(group),
+                identified=sum(1 for o in group if o.identified_correctly),
+                images_recovered=sum(1 for o in group if o.image_recovered),
+            )
+            for name, group in sorted(grouped.items())
+        ]
+
+    def per_board(self) -> list[BoardBreakdown]:
+        """Outcome aggregates per fleet member, by board index."""
+        grouped: dict[int, list[VictimOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.board_index, []).append(outcome)
+        return [
+            BoardBreakdown(
+                board_index=index,
+                board_name=group[0].board_name,
+                victims=len(group),
+                succeeded=sum(1 for o in group if o.succeeded),
+                nbytes=sum(o.nbytes for o in group),
+                devmem_reads=sum(o.devmem_reads for o in group),
+            )
+            for index, group in sorted(grouped.items())
+        ]
+
+    def failures(self) -> list[VictimOutcome]:
+        """Victims whose attack died mid-pipeline."""
+        return [o for o in self.outcomes if o.failed_step is not None]
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """The fleet-wide text report ``repro campaign`` prints."""
+        lines = [
+            "=== Campaign report ===",
+            (
+                f"fleet: {self.spec.boards} boards "
+                f"({', '.join(self.spec.board_names)}), "
+                f"{self.victims} victims, "
+                f"{self.spec.tenants_per_board} tenants/board, "
+                f"wave size {self.spec.wave_size}, seed {self.spec.seed}"
+            ),
+            f"throughput: {self.throughput.describe()}",
+            (
+                f"success: {self.success_rate:.1%} overall "
+                f"({self.identification_rate:.1%} models attributed, "
+                f"{self.image_recovery_rate:.1%} images recovered)"
+            ),
+            f"devmem reads: {self.total_devmem_reads}",
+            "",
+            f"{'model':<18} {'victims':>7} {'identified':>10} {'images':>7}",
+        ]
+        for row in self.per_model():
+            lines.append(
+                f"{row.model_name:<18} {row.victims:>7} "
+                f"{row.identified:>10} {row.images_recovered:>7}"
+            )
+        lines.append("")
+        lines.append(
+            f"{'board':<10} {'spec':<8} {'victims':>7} {'leaked':>7} "
+            f"{'MiB':>8} {'reads':>8}"
+        )
+        for row in self.per_board():
+            lines.append(
+                f"board {row.board_index:<4} {row.board_name:<8} "
+                f"{row.victims:>7} {row.succeeded:>7} "
+                f"{row.nbytes / 1024**2:>8.1f} {row.devmem_reads:>8}"
+            )
+        failures = self.failures()
+        if failures:
+            lines.append("")
+            lines.append(f"failures ({len(failures)}):")
+            for outcome in failures:
+                lines.append(
+                    f"  job {outcome.job_id} ({outcome.model_name} on board "
+                    f"{outcome.board_index}): {outcome.failed_step} — "
+                    f"{outcome.detail}"
+                )
+        return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the report (spec and all outcomes) to JSON."""
+        return json.dumps(
+            {
+                "spec": asdict(self.spec),
+                "wall_seconds": self.wall_seconds,
+                "outcomes": [asdict(outcome) for outcome in self.outcomes],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        payload = json.loads(text)
+        spec_fields = dict(payload["spec"])
+        for key in ("model_mix", "board_names"):
+            spec_fields[key] = tuple(spec_fields[key])
+        return cls(
+            spec=CampaignSpec(**spec_fields),
+            outcomes=[
+                VictimOutcome(**record) for record in payload["outcomes"]
+            ],
+            wall_seconds=payload["wall_seconds"],
+        )

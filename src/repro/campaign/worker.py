@@ -1,0 +1,260 @@
+"""The per-board campaign worker — waves of co-resident victims.
+
+One :class:`BoardWorker` owns one provisioned board and plays its
+schedule wave by wave:
+
+1. **launch** every victim of the wave (different tenants, secret
+   images seeded by the scheduler) so they are co-resident;
+2. **claim + snapshot** each victim while all are alive: observe it
+   in ``ps`` (claimed pids are excluded from later sightings, so two
+   victims running the same model never collide) and harvest its
+   translations immediately — the earliest possible snapshot, stored
+   in the board's translation cache;
+3. **re-harvest** through the attack pipeline right before the wave
+   ends — served from the cache, since the snapshot is still valid;
+4. **terminate** the whole wave;
+5. **extract + analyze** each victim's residue, scoring the recovered
+   image against the ground truth the worker launched with.
+
+Workers share the campaign-wide :class:`ProfileStore` and
+:class:`SignatureDatabase` (built once, offline) and reuse the
+board's translation cache across every attack they mount.  Boards are
+fully independent simulations, so the engine runs one worker per
+thread without any cross-board locking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.config import AttackConfig
+from repro.attack.identify import SignatureDatabase
+from repro.attack.pipeline import MemoryScrapingAttack
+from repro.attack.profiling import ProfileStore
+from repro.campaign.fleet import ProvisionedBoard
+from repro.campaign.schedule import VictimJob
+from repro.errors import AttackError, ExtractionError, IdentificationError
+from repro.evaluation.metrics import image_fidelity
+from repro.vitis.app import VictimApplication, VictimRun
+from repro.vitis.image import Image
+
+
+@dataclass(frozen=True)
+class VictimOutcome:
+    """Everything one victim attack produced, plus ground truth."""
+
+    job_id: int
+    board_index: int
+    board_name: str
+    model_name: str
+    tenant_index: int
+    launch_wave: int
+    pid: int
+    identified_model: str | None
+    pixel_match_rate: float | None
+    nbytes: int
+    devmem_reads: int
+    pages_read: int
+    wall_seconds: float
+    """Attack time spent on *this* victim only (steps 1-2 plus 3-4);
+    waiting on the wave's other victims is not attributed here."""
+    failed_step: str | None = None
+    detail: str = ""
+
+    @property
+    def identified_correctly(self) -> bool:
+        """Whether step 4a attributed the model the victim ran."""
+        return self.identified_model == self.model_name
+
+    @property
+    def image_recovered(self) -> bool:
+        """Whether step 4b recovered the input essentially intact."""
+        return (
+            self.pixel_match_rate is not None and self.pixel_match_rate > 0.99
+        )
+
+    @property
+    def succeeded(self) -> bool:
+        """Success = private data leaked (model name or input image)."""
+        return self.identified_correctly or self.image_recovered
+
+
+@dataclass
+class _WaveAttack:
+    """Bookkeeping for one victim between harvest and analysis."""
+
+    job: VictimJob
+    run: VictimRun
+    secret: Image
+    attack: MemoryScrapingAttack
+    pid: int = -1
+    elapsed: float = 0.0
+
+
+class BoardWorker:
+    """Runs one board's share of the campaign schedule."""
+
+    def __init__(
+        self,
+        board: ProvisionedBoard,
+        profiles: ProfileStore,
+        database: SignatureDatabase,
+        config: AttackConfig,
+    ) -> None:
+        self._board = board
+        self._profiles = profiles
+        self._database = database
+        self._config = config
+        self._claimed_pids: set[int] = set()
+        # Early-snapshot harvester: shares the board cache with every
+        # attack pipeline, so the pipeline's own harvest is a hit.
+        self._harvester = AddressHarvester(
+            board.session.attacker_shell.procfs,
+            caller=board.session.attacker_shell.user,
+            cache=board.translation_cache,
+        )
+
+    def run_jobs(self, jobs: list[VictimJob]) -> list[VictimOutcome]:
+        """Play every wave of this board's schedule; returns outcomes."""
+        outcomes: list[VictimOutcome] = []
+        waves: dict[int, list[VictimJob]] = {}
+        for job in jobs:
+            waves.setdefault(job.launch_wave, []).append(job)
+        for wave in sorted(waves):
+            outcomes.extend(self._run_wave(waves[wave]))
+        return outcomes
+
+    def _run_wave(self, jobs: list[VictimJob]) -> list[VictimOutcome]:
+        session = self._board.session
+        in_flight: list[_WaveAttack] = []
+        for job in jobs:
+            secret = Image.test_pattern(
+                session.input_hw, session.input_hw, seed=job.image_seed
+            ).corrupted(job.corruption_fraction)
+            run = VictimApplication(
+                self._board.tenant(job.tenant_index),
+                input_hw=session.input_hw,
+            ).launch(job.model_name, image=secret)
+            attack = MemoryScrapingAttack(
+                session.attacker_shell,
+                self._profiles,
+                config=self._config,
+                database=self._database,
+                translation_cache=self._board.translation_cache,
+            )
+            in_flight.append(
+                _WaveAttack(job=job, run=run, secret=secret, attack=attack)
+            )
+
+        outcomes: list[VictimOutcome] = []
+        claimed: list[_WaveAttack] = []
+        for entry in in_flight:
+            started = time.perf_counter()
+            try:
+                sighting = entry.attack.observe_victim(
+                    entry.job.model_name,
+                    exclude_pids=frozenset(self._claimed_pids),
+                )
+                entry.pid = sighting.pid
+                self._claimed_pids.add(sighting.pid)
+                # Snapshot translations as early as possible; the
+                # board cache keeps them for the pipeline's step 2.
+                self._harvester.harvest(sighting.pid)
+            except (AttackError, ExtractionError) as error:
+                entry.elapsed += time.perf_counter() - started
+                outcomes.append(
+                    self._failed(entry, "step 1-2 (observe/harvest)", error)
+                )
+                continue
+            entry.elapsed += time.perf_counter() - started
+            claimed.append(entry)
+
+        live: list[_WaveAttack] = []
+        for entry in claimed:
+            started = time.perf_counter()
+            try:
+                entry.attack.harvest_addresses()
+            except (AttackError, ExtractionError) as error:
+                entry.elapsed += time.perf_counter() - started
+                outcomes.append(
+                    self._failed(entry, "step 1-2 (observe/harvest)", error)
+                )
+                continue
+            entry.elapsed += time.perf_counter() - started
+            live.append(entry)
+
+        for entry in in_flight:
+            if entry.run.alive:
+                entry.run.terminate()
+
+        for entry in live:
+            outcomes.append(self._extract_and_analyze(entry))
+        return outcomes
+
+    def _extract_and_analyze(self, entry: _WaveAttack) -> VictimOutcome:
+        started = time.perf_counter()
+        try:
+            dump = entry.attack.extract()
+        except (AttackError, ExtractionError) as error:
+            entry.elapsed += time.perf_counter() - started
+            return self._failed(entry, "step 3 (extract)", error)
+        identification = None
+        fidelity = None
+        detail = ""
+        try:
+            report = entry.attack.analyze()
+        except (IdentificationError, AttackError) as error:
+            # The dump was scraped but attributes to no model (e.g. a
+            # scrub defense): not a machinery failure — record the
+            # real extraction stats with an empty attribution.
+            detail = str(error)
+        else:
+            identification = report.identification
+            if report.reconstruction is not None:
+                fidelity = image_fidelity(
+                    report.reconstruction.image, entry.secret
+                )
+        entry.elapsed += time.perf_counter() - started
+        return VictimOutcome(
+            job_id=entry.job.job_id,
+            board_index=self._board.index,
+            board_name=self._board.name,
+            model_name=entry.job.model_name,
+            tenant_index=entry.job.tenant_index,
+            launch_wave=entry.job.launch_wave,
+            pid=entry.pid,
+            identified_model=(
+                identification.best_model if identification else None
+            ),
+            pixel_match_rate=(
+                fidelity.pixel_match_rate if fidelity is not None else None
+            ),
+            nbytes=dump.nbytes,
+            devmem_reads=dump.devmem_reads,
+            pages_read=dump.pages_read,
+            wall_seconds=entry.elapsed,
+            detail=detail,
+        )
+
+    def _failed(
+        self, entry: _WaveAttack, step: str, error: Exception
+    ) -> VictimOutcome:
+        return VictimOutcome(
+            job_id=entry.job.job_id,
+            board_index=self._board.index,
+            board_name=self._board.name,
+            model_name=entry.job.model_name,
+            tenant_index=entry.job.tenant_index,
+            launch_wave=entry.job.launch_wave,
+            pid=entry.pid,
+            identified_model=None,
+            pixel_match_rate=None,
+            nbytes=0,
+            devmem_reads=0,
+            pages_read=0,
+            wall_seconds=entry.elapsed,
+            failed_step=step,
+            detail=str(error),
+        )

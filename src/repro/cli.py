@@ -8,6 +8,9 @@ Commands map one-to-one onto the evaluation entry points:
 - ``zoo``       — list the model library (name, framework, weights)
 - ``boards``    — list the supported evaluation boards
 - ``profile``   — run offline profiling and emit the JSON notebook
+- ``campaign``  — fleet-scale orchestration: ``campaign run`` executes a
+  multi-board, multi-victim campaign; ``campaign report`` re-renders a
+  saved JSON report
 """
 
 from __future__ import annotations
@@ -127,6 +130,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        boards=args.boards,
+        victims=args.victims,
+        model_mix=tuple(args.models.split(",")),
+        tenants_per_board=args.tenants,
+        wave_size=args.wave_size,
+        seed=args.seed,
+        input_hw=args.input_hw,
+        board_names=tuple(args.board_mix.split(",")),
+        max_workers=args.workers,
+        coalesce_reads=not args.word_reads,
+    )
+    report = run_campaign(spec)
+    print(report.render())
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\nwrote report to {args.output}")
+    return 0 if not report.failures() else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignReport
+
+    with open(args.report) as handle:
+        report = CampaignReport.from_json(handle.read())
+    print(report.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -167,6 +203,67 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="-", help="output path (default: stdout)"
     )
     profile.set_defaults(func=_cmd_profile)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="fleet-scale multi-board campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a multi-board, multi-victim campaign"
+    )
+    campaign_run.add_argument(
+        "--boards", type=int, default=4, help="fleet size (default: 4)"
+    )
+    campaign_run.add_argument(
+        "--victims", type=int, default=8, help="victim count (default: 8)"
+    )
+    campaign_run.add_argument(
+        "--models",
+        default="resnet50_pt,squeezenet_pt,inception_v1_tf",
+        help="comma-separated model mix",
+    )
+    campaign_run.add_argument(
+        "--board-mix",
+        default="ZCU104,ZCU102",
+        help="comma-separated board specs the fleet cycles through",
+    )
+    campaign_run.add_argument(
+        "--tenants", type=int, default=2, help="tenants per board (default: 2)"
+    )
+    campaign_run.add_argument(
+        "--wave-size",
+        type=int,
+        default=2,
+        help="co-resident victims per board wave (default: 2)",
+    )
+    campaign_run.add_argument(
+        "--seed", type=int, default=0, help="scheduler seed (default: 0)"
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads (default: one per board)",
+    )
+    campaign_run.add_argument(
+        "--word-reads",
+        action="store_true",
+        help="scrape word-at-a-time like the paper (default: coalesced)",
+    )
+    campaign_run.add_argument(
+        "--input-hw", type=int, default=32, help="square input edge (default: 32)"
+    )
+    campaign_run.add_argument(
+        "-o", "--output", default=None, help="also write the report as JSON"
+    )
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="re-render a saved campaign report"
+    )
+    campaign_report.add_argument("report", help="path to a campaign JSON report")
+    campaign_report.set_defaults(func=_cmd_campaign_report)
     return parser
 
 

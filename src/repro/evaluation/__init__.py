@@ -1,6 +1,7 @@
 """Evaluation: metrics, canned scenarios, paper-figure regeneration."""
 
 from repro.evaluation.metrics import (
+    ThroughputStats,
     byte_recovery_rate,
     identification_accuracy,
     image_fidelity,
@@ -16,6 +17,7 @@ from repro.evaluation.scenarios import (
 from repro.evaluation.figures import FigureArtifact, generate_all_figures
 
 __all__ = [
+    "ThroughputStats",
     "byte_recovery_rate",
     "identification_accuracy",
     "image_fidelity",

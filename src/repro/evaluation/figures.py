@@ -252,6 +252,6 @@ def _maps_of_dead_victim(harvested) -> list[str]:
 
 
 def render_figure_report(figures: dict[str, FigureArtifact]) -> str:
-    """All artifacts concatenated, for EXPERIMENTS.md and examples."""
+    """All artifacts concatenated — what ``repro figures`` prints."""
     ordered = sorted(figures)
     return "\n\n".join(figures[figure_id].render() for figure_id in ordered)

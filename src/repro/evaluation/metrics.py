@@ -67,6 +67,38 @@ def identification_accuracy(
     return correct / len(predictions)
 
 
+@dataclass(frozen=True)
+class ThroughputStats:
+    """Fleet-level scraping throughput over one campaign run."""
+
+    nbytes: int
+    victims: int
+    wall_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0 or self.victims < 0 or self.wall_seconds < 0:
+            raise ValueError("throughput inputs must be non-negative")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Scraped bytes per wall-clock second (0.0 for a zero-time run)."""
+        return self.nbytes / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def victims_per_second(self) -> float:
+        """Completed victim attacks per wall-clock second."""
+        return self.victims / self.wall_seconds if self.wall_seconds else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for the campaign report."""
+        return (
+            f"{self.victims} victims, {self.nbytes / 1024**2:.1f} MiB scraped "
+            f"in {self.wall_seconds:.2f}s "
+            f"({self.bytes_per_second / 1024**2:.1f} MiB/s, "
+            f"{self.victims_per_second:.2f} victims/s)"
+        )
+
+
 def residue_survival(allocator: FrameAllocator, victim_frames: list[int]) -> float:
     """Fraction of a dead victim's frames not yet handed to a new owner.
 

@@ -75,3 +75,18 @@ def board_by_name(name: str) -> BoardSpec:
         raise ValueError(
             f"unknown board {name!r}; known boards: {sorted(BOARDS)}"
         ) from None
+
+
+def fleet_specs(count: int, names: tuple[str, ...] | None = None) -> list[BoardSpec]:
+    """Board specs for an *count*-board fleet, cycling through *names*.
+
+    The campaign provisioner uses this to mix evaluation targets the
+    way a cloud-FPGA region mixes instance types — e.g. 4 boards over
+    ``("ZCU104", "ZCU102")`` gives two of each.
+    """
+    if count <= 0:
+        raise ValueError(f"fleet needs at least one board, got {count}")
+    pool = [board_by_name(name) for name in names] if names else list(
+        BOARDS[name] for name in sorted(BOARDS)
+    )
+    return [pool[index % len(pool)] for index in range(count)]
