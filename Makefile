@@ -6,13 +6,14 @@ export PYTHONPATH := src
 
 .PHONY: test bench docs-check
 
-test:
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py"
 
-# Fails when any module under src/repro lacks a module docstring or a
-# package is missing from README.md's package map.
+# Fails when a module under src/repro lacks a docstring, the README
+# package map is missing or stale, a docs/README link is broken, or a
+# documented docstring example no longer runs.
 docs-check:
 	$(PYTHON) tools/docs_check.py

@@ -1,0 +1,93 @@
+"""Extension — scrub cost versus vulnerability window, by queue depth.
+
+The arena's two async-scrub numbers pull in opposite directions: a
+faster scrub daemon closes the window of vulnerability sooner but
+burns more memory bandwidth per tick, while synchronous zero-on-free
+has no window at all but charges its full cost as teardown latency.
+This benchmark quantifies the trade across queue depths (how many
+frames one teardown frees) and scrub rates:
+
+- **window ticks** — scheduler ticks until the backlog drains (the
+  interval an attacker can still scrape residue);
+- **drain wall time** — host cost of the scrubbing itself;
+- **sync teardown** — the zero-on-free alternative's one-shot cost
+  for the same frame count.
+
+Writes ``benchmarks/out/defense_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import OUT_DIR
+
+from repro.hw.dram import DramDevice, PAGE_SIZE
+from repro.petalinux.sanitizer import SanitizePolicy, Sanitizer
+
+QUEUE_DEPTHS = (64, 256, 1024)
+SCRUB_RATES = (16, 64, 256)
+
+
+def _dirty_dram(frames: int) -> DramDevice:
+    dram = DramDevice(capacity=max(frames, 1) * PAGE_SIZE * 2)
+    for frame in range(frames):
+        dram.write(frame * PAGE_SIZE, b"\xa5" * PAGE_SIZE)
+    return dram
+
+
+def _drain(depth: int, rate: int) -> tuple[int, float]:
+    """(window ticks, drain wall seconds) for one depth × rate cell."""
+    dram = _dirty_dram(depth)
+    sanitizer = Sanitizer(
+        dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=rate
+    )
+    sanitizer.on_free(list(range(depth)))
+    ticks = 0
+    started = time.perf_counter()
+    while sanitizer.pending:
+        sanitizer.tick()
+        ticks += 1
+    return ticks, time.perf_counter() - started
+
+
+def _sync_teardown(depth: int) -> float:
+    """Wall seconds zero-on-free spends scrubbing *depth* frames."""
+    dram = _dirty_dram(depth)
+    sanitizer = Sanitizer(dram, policy=SanitizePolicy.ZERO_ON_FREE)
+    started = time.perf_counter()
+    sanitizer.on_free(list(range(depth)))
+    return time.perf_counter() - started
+
+
+def _sweep():
+    rows = []
+    for depth in QUEUE_DEPTHS:
+        sync_seconds = _sync_teardown(depth)
+        for rate in SCRUB_RATES:
+            ticks, drain_seconds = _drain(depth, rate)
+            rows.append((depth, rate, ticks, drain_seconds, sync_seconds))
+    return rows
+
+
+def test_defense_overhead(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'queue depth':>11} {'rate/tick':>9} {'window ticks':>12} "
+        f"{'drain ms':>9} {'sync teardown ms':>16}"
+    ]
+    for depth, rate, ticks, drain_seconds, sync_seconds in rows:
+        lines.append(
+            f"{depth:>11} {rate:>9} {ticks:>12} "
+            f"{drain_seconds * 1000:>9.3f} {sync_seconds * 1000:>16.3f}"
+        )
+        # The window shrinks as the scrub rate rises...
+        assert ticks == -(-depth // rate)
+    # ...and a faster daemon never reopens it: for every depth the
+    # window is monotonically non-increasing in the scrub rate.
+    for depth in QUEUE_DEPTHS:
+        windows = [row[2] for row in rows if row[0] == depth]
+        assert windows == sorted(windows, reverse=True)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "defense_overhead.txt").write_text("\n".join(lines) + "\n")

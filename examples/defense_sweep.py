@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Defense arena walkthrough: one fleet campaign per hardening profile.
+
+Runs the identical 2-board, 6-victim campaign three times — undefended,
+with synchronous zero-on-free scrubbing, and with the asynchronous
+scrub pool composed with pinned Xen domains — and prints the resulting
+leakage-vs-overhead matrix.  The ``none`` row reproduces the fleet
+campaign's 100% success; the hardened rows show which axis buys what.
+
+See docs/defenses.md for the full defense story and
+``python -m repro defense sweep`` for the CLI version.
+
+Run:  python examples/defense_sweep.py
+"""
+
+from repro.campaign import CampaignSpec
+from repro.defense import defense_profile, run_defense_arena
+
+SPEC = CampaignSpec(
+    boards=2,
+    victims=6,
+    model_mix=("resnet50_pt", "squeezenet_pt"),
+    tenants_per_board=2,
+    wave_size=2,
+    seed=2024,
+)
+
+PROFILES = ("none", "zero_on_free", "scrub_pool+pinned_xen")
+
+
+def main() -> None:
+    for name in PROFILES:
+        profile = defense_profile(name)
+        print(f"{profile.name}: {profile.describe()}")
+    print()
+    matrix = run_defense_arena(
+        SPEC, profiles=PROFILES, scrape_delay_ticks=2, weight_theft=True
+    )
+    print(matrix.render())
+    print()
+    print("as markdown (for docs):")
+    print(matrix.render_markdown())
+
+
+if __name__ == "__main__":
+    main()

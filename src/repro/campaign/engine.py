@@ -14,6 +14,14 @@
 4. collect every outcome into a
    :class:`~repro.campaign.report.CampaignReport`.
 
+Two defense-injection hooks let the :mod:`repro.defense` arena run the
+identical campaign under different hardening profiles: *kernel_config*
+boots every fleet board with an arbitrary
+:class:`~repro.petalinux.kernel.KernelConfig` (provisioning time), and
+*teardown_hook* runs after each wave's victims terminate and before
+extraction (process-teardown time — where the asynchronous scrub
+daemon races the attacker's scrape).
+
 >>> from repro.campaign import CampaignSpec, run_campaign
 >>> report = run_campaign(CampaignSpec(boards=4, victims=8, seed=7))
 >>> print(report.render())                            # doctest: +SKIP
@@ -30,8 +38,9 @@ from repro.attack.profiling import ProfileStore
 from repro.campaign.fleet import provision_fleet
 from repro.campaign.report import CampaignReport
 from repro.campaign.schedule import CampaignSpec, build_schedule, jobs_by_board
-from repro.campaign.worker import BoardWorker
+from repro.campaign.worker import BoardWorker, TeardownHook
 from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.kernel import KernelConfig
 
 
 def prepare_offline(spec: CampaignSpec) -> tuple[ProfileStore, SignatureDatabase]:
@@ -49,11 +58,19 @@ def run_campaign(
     spec: CampaignSpec,
     profiles: ProfileStore | None = None,
     database: SignatureDatabase | None = None,
+    *,
+    kernel_config: KernelConfig | None = None,
+    teardown_hook: TeardownHook | None = None,
 ) -> CampaignReport:
     """Run one full fleet campaign and aggregate the results.
 
     Pass *profiles*/*database* to reuse prep across campaigns (e.g. a
     parameter sweep); by default :func:`prepare_offline` builds both.
+    Offline prep always runs on a vulnerable reference board — only
+    the fleet boots *kernel_config*, because the adversary preps on
+    hardware they control while the defense protects the victims'
+    boards.  *teardown_hook* fires per wave after termination (see
+    :data:`~repro.campaign.worker.TeardownHook`).
     """
     started = time.perf_counter()
     schedule = build_schedule(spec)
@@ -63,12 +80,14 @@ def run_campaign(
         database = database or prepped_database
     elif database is None:
         database = SignatureDatabase.from_profiles(profiles)
-    fleet = provision_fleet(spec)
+    fleet = provision_fleet(spec, kernel_config=kernel_config)
     config = AttackConfig(coalesce_reads=spec.coalesce_reads)
 
     grouped = jobs_by_board(schedule)
     workers = {
-        board.index: BoardWorker(board, profiles, database, config)
+        board.index: BoardWorker(
+            board, profiles, database, config, teardown_hook=teardown_hook
+        )
         for board in fleet
     }
     max_workers = spec.max_workers or spec.boards

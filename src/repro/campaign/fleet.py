@@ -7,6 +7,11 @@ shared by every attack mounted on that board.  Board specs cycle
 through the spec's ``board_names`` the way a cloud region mixes
 instance types, and each board boots with its own DRAM fill seed so
 power-up residue differs across the fleet.
+
+Boards boot the vulnerable default kernel unless the caller injects a
+:class:`~repro.petalinux.kernel.KernelConfig` — the provisioning-time
+half of the defense-injection hook the :mod:`repro.defense` arena uses
+to run the same campaign under different hardening profiles.
 """
 
 from __future__ import annotations
@@ -17,11 +22,26 @@ from repro.attack.addressing import TranslationCache
 from repro.campaign.schedule import CampaignSpec
 from repro.evaluation.scenarios import BoardSession
 from repro.hw.board import fleet_specs
+from repro.petalinux.kernel import KernelConfig
 from repro.petalinux.shell import Shell
 
 # The standard terminals take uids 1001/1002 and pts/0-1; extra
 # tenants slot in above both ranges.
 _EXTRA_TENANT_UID_BASE = 1100
+
+
+def tenant_uids(spec: CampaignSpec) -> tuple[int, ...]:
+    """The victim-side uids a provisioned board will host.
+
+    Tenant 0 is the standard victim account (uid 1002); extras get
+    uids above :data:`_EXTRA_TENANT_UID_BASE`.  Exposed so defense
+    profiles can pin Xen domains to exactly the users the campaign
+    will run.
+    """
+    uids = [1002]
+    for extra in range(1, spec.tenants_per_board):
+        uids.append(_EXTRA_TENANT_UID_BASE + extra)
+    return tuple(uids)
 
 
 @dataclass
@@ -43,27 +63,37 @@ class ProvisionedBoard:
         return self.tenant_shells[tenant_index]
 
 
-def provision_fleet(spec: CampaignSpec) -> list[ProvisionedBoard]:
+def provision_fleet(
+    spec: CampaignSpec, kernel_config: KernelConfig | None = None
+) -> list[ProvisionedBoard]:
     """Boot the whole fleet described by *spec*.
 
     Tenant 0 is the session's standard victim terminal; additional
     tenants log in as fresh users on their own pseudo-terminals, so
     co-resident victims in one wave genuinely run under different
     uids (the multi-tenant threat model).
+
+    *kernel_config* boots every board hardened (or differently
+    misconfigured) instead of with the vulnerable default — the
+    defense arena's provisioning hook.
     """
     boards = []
+    extra_uids = tenant_uids(spec)[1:]
     for index, board_spec in enumerate(
         fleet_specs(spec.boards, spec.board_names)
     ):
         session = BoardSession.boot(
-            board=board_spec, input_hw=spec.input_hw, fill_seed=index
+            config=kernel_config,
+            board=board_spec,
+            input_hw=spec.input_hw,
+            fill_seed=index,
         )
         tenants = [session.victim_shell]
-        for extra in range(1, spec.tenants_per_board):
+        for extra, extra_uid in enumerate(extra_uids, start=1):
             tenants.append(
                 session.add_tenant(
                     name=f"guest{extra}",
-                    uid=_EXTRA_TENANT_UID_BASE + extra,
+                    uid=extra_uid,
                     tty=f"pts/{1 + extra}",
                 )
             )

@@ -12,7 +12,11 @@ schedule wave by wave:
    in the board's translation cache;
 3. **re-harvest** through the attack pipeline right before the wave
    ends — served from the cache, since the snapshot is still valid;
-4. **terminate** the whole wave;
+4. **terminate** the whole wave (the kernel's sanitize policy runs
+   here; its wall cost and sync-scrub work are attributed per victim),
+   then fire the optional *teardown hook* — the defense arena's
+   injection point for attacker latency, during which the asynchronous
+   scrub daemon gets to shrink the window of vulnerability;
 5. **extract + analyze** each victim's residue, scoring the recovered
    image against the ground truth the worker launched with.
 
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.attack.addressing import AddressHarvester
 from repro.attack.config import AttackConfig
@@ -35,10 +40,20 @@ from repro.attack.pipeline import MemoryScrapingAttack
 from repro.attack.profiling import ProfileStore
 from repro.campaign.fleet import ProvisionedBoard
 from repro.campaign.schedule import VictimJob
-from repro.errors import AttackError, ExtractionError, IdentificationError
-from repro.evaluation.metrics import image_fidelity
+from repro.errors import (
+    AttackError,
+    IdentificationError,
+    PermissionDeniedError,
+)
+from repro.evaluation.metrics import image_fidelity, nonzero_bytes
+from repro.petalinux.kernel import PetaLinuxKernel
 from repro.vitis.app import VictimApplication, VictimRun
 from repro.vitis.image import Image
+
+TeardownHook = Callable[[PetaLinuxKernel], None]
+"""Called once per wave, after every victim of the wave terminated and
+before extraction starts.  The defense arena injects attacker latency
+here (``kernel.tick(n)``) so the background scrubber races the scrape."""
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,16 @@ class VictimOutcome:
     waiting on the wave's other victims is not attributed here."""
     failed_step: str | None = None
     detail: str = ""
+    residue_nbytes: int = 0
+    """Nonzero bytes in the scraped dump — the residue that actually
+    leaked.  A zero-on-free kernel scrapes the same page count but
+    this drops to 0; it is the defense matrix's leakage axis."""
+    teardown_seconds: float = 0.0
+    """Wall time the kernel spent terminating this victim.  Includes
+    the synchronous scrub under ``ZERO_ON_FREE`` — the defense's
+    latency cost at teardown time."""
+    frames_scrubbed_sync: int = 0
+    """Frames scrubbed synchronously during this victim's teardown."""
 
     @property
     def identified_correctly(self) -> bool:
@@ -91,6 +116,8 @@ class _WaveAttack:
     attack: MemoryScrapingAttack
     pid: int = -1
     elapsed: float = 0.0
+    teardown_seconds: float = 0.0
+    frames_scrubbed_sync: int = 0
 
 
 class BoardWorker:
@@ -102,11 +129,13 @@ class BoardWorker:
         profiles: ProfileStore,
         database: SignatureDatabase,
         config: AttackConfig,
+        teardown_hook: TeardownHook | None = None,
     ) -> None:
         self._board = board
         self._profiles = profiles
         self._database = database
         self._config = config
+        self._teardown_hook = teardown_hook
         self._claimed_pids: set[int] = set()
         # Early-snapshot harvester: shares the board cache with every
         # attack pipeline, so the pipeline's own harvest is a hit.
@@ -148,7 +177,10 @@ class BoardWorker:
                 _WaveAttack(job=job, run=run, secret=secret, attack=attack)
             )
 
-        outcomes: list[VictimOutcome] = []
+        # Failed entries are recorded *after* the wave terminates, so
+        # their outcomes still carry real teardown cost (a victim that
+        # dodged observation is torn down — and scrubbed — all the same).
+        failed: list[tuple[_WaveAttack, str, Exception]] = []
         claimed: list[_WaveAttack] = []
         for entry in in_flight:
             started = time.perf_counter()
@@ -162,11 +194,9 @@ class BoardWorker:
                 # Snapshot translations as early as possible; the
                 # board cache keeps them for the pipeline's step 2.
                 self._harvester.harvest(sighting.pid)
-            except (AttackError, ExtractionError) as error:
+            except (AttackError, PermissionDeniedError) as error:
                 entry.elapsed += time.perf_counter() - started
-                outcomes.append(
-                    self._failed(entry, "step 1-2 (observe/harvest)", error)
-                )
+                failed.append((entry, "step 1-2 (observe/harvest)", error))
                 continue
             entry.elapsed += time.perf_counter() - started
             claimed.append(entry)
@@ -176,19 +206,29 @@ class BoardWorker:
             started = time.perf_counter()
             try:
                 entry.attack.harvest_addresses()
-            except (AttackError, ExtractionError) as error:
+            except (AttackError, PermissionDeniedError) as error:
                 entry.elapsed += time.perf_counter() - started
-                outcomes.append(
-                    self._failed(entry, "step 1-2 (observe/harvest)", error)
-                )
+                failed.append((entry, "step 1-2 (observe/harvest)", error))
                 continue
             entry.elapsed += time.perf_counter() - started
             live.append(entry)
 
+        sanitizer = session.kernel.sanitizer
         for entry in in_flight:
             if entry.run.alive:
+                scrubbed_before = sanitizer.stats.frames_scrubbed_sync
+                started = time.perf_counter()
                 entry.run.terminate()
+                entry.teardown_seconds = time.perf_counter() - started
+                entry.frames_scrubbed_sync = (
+                    sanitizer.stats.frames_scrubbed_sync - scrubbed_before
+                )
+        if self._teardown_hook is not None:
+            self._teardown_hook(session.kernel)
 
+        outcomes = [
+            self._failed(entry, step, error) for entry, step, error in failed
+        ]
         for entry in live:
             outcomes.append(self._extract_and_analyze(entry))
         return outcomes
@@ -197,7 +237,7 @@ class BoardWorker:
         started = time.perf_counter()
         try:
             dump = entry.attack.extract()
-        except (AttackError, ExtractionError) as error:
+        except (AttackError, PermissionDeniedError) as error:
             entry.elapsed += time.perf_counter() - started
             return self._failed(entry, "step 3 (extract)", error)
         identification = None
@@ -236,6 +276,9 @@ class BoardWorker:
             pages_read=dump.pages_read,
             wall_seconds=entry.elapsed,
             detail=detail,
+            residue_nbytes=nonzero_bytes(dump.data),
+            teardown_seconds=entry.teardown_seconds,
+            frames_scrubbed_sync=entry.frames_scrubbed_sync,
         )
 
     def _failed(
@@ -257,4 +300,6 @@ class BoardWorker:
             wall_seconds=entry.elapsed,
             failed_step=step,
             detail=str(error),
+            teardown_seconds=entry.teardown_seconds,
+            frames_scrubbed_sync=entry.frames_scrubbed_sync,
         )

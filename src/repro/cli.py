@@ -11,6 +11,10 @@ Commands map one-to-one onto the evaluation entry points:
 - ``campaign``  — fleet-scale orchestration: ``campaign run`` executes a
   multi-board, multi-victim campaign; ``campaign report`` re-renders a
   saved JSON report
+- ``defense``   — the attack/defense arena: ``defense sweep`` runs the
+  fleet campaign under each hardening profile and prints the
+  leakage-vs-overhead matrix; ``defense report`` re-renders a saved
+  matrix (``defenses`` above is the older single-board ablation)
 """
 
 from __future__ import annotations
@@ -163,6 +167,42 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_defense_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec
+    from repro.defense import run_defense_arena
+
+    spec = CampaignSpec(
+        boards=args.boards,
+        victims=args.victims,
+        model_mix=tuple(args.models.split(",")),
+        tenants_per_board=args.tenants,
+        wave_size=args.wave_size,
+        seed=args.seed,
+        input_hw=args.input_hw,
+    )
+    matrix = run_defense_arena(
+        spec,
+        profiles=tuple(args.profiles.split(",")),
+        scrape_delay_ticks=args.delay_ticks,
+        weight_theft=not args.no_weight_theft,
+    )
+    print(matrix.render_markdown() if args.markdown else matrix.render())
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(matrix.to_json() + "\n")
+        print(f"\nwrote matrix to {args.output}")
+    return 0
+
+
+def _cmd_defense_report(args: argparse.Namespace) -> int:
+    from repro.defense import DefenseMatrix
+
+    with open(args.matrix) as handle:
+        matrix = DefenseMatrix.from_json(handle.read())
+    print(matrix.render_markdown() if args.markdown else matrix.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -264,6 +304,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_report.add_argument("report", help="path to a campaign JSON report")
     campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    defense = subparsers.add_parser(
+        "defense", help="attack/defense arena over fleet campaigns"
+    )
+    defense_sub = defense.add_subparsers(dest="defense_command", required=True)
+
+    defense_sweep = defense_sub.add_parser(
+        "sweep", help="run the campaign under each hardening profile"
+    )
+    defense_sweep.add_argument(
+        "--profiles",
+        default="none,zero_on_free,scrub_pool,aslr,pinned_xen",
+        help="comma-separated profiles; compose axes with '+' "
+        "(e.g. scrub_pool+pinned_xen)",
+    )
+    defense_sweep.add_argument(
+        "--boards", type=int, default=2, help="fleet size (default: 2)"
+    )
+    defense_sweep.add_argument(
+        "--victims", type=int, default=4, help="victim count (default: 4)"
+    )
+    defense_sweep.add_argument(
+        "--models",
+        default="resnet50_pt,squeezenet_pt,inception_v1_tf",
+        help="comma-separated model mix",
+    )
+    defense_sweep.add_argument(
+        "--tenants", type=int, default=2, help="tenants per board (default: 2)"
+    )
+    defense_sweep.add_argument(
+        "--wave-size",
+        type=int,
+        default=2,
+        help="co-resident victims per board wave (default: 2)",
+    )
+    defense_sweep.add_argument(
+        "--seed", type=int, default=0, help="scheduler seed (default: 0)"
+    )
+    defense_sweep.add_argument(
+        "--delay-ticks",
+        type=int,
+        default=2,
+        help="attacker latency in scheduler ticks between wave teardown "
+        "and scrape (default: 2)",
+    )
+    defense_sweep.add_argument(
+        "--no-weight-theft",
+        action="store_true",
+        help="skip the fine-tuned weight-theft probe",
+    )
+    defense_sweep.add_argument(
+        "--markdown", action="store_true", help="render a markdown table"
+    )
+    defense_sweep.add_argument(
+        "--input-hw", type=int, default=32, help="square input edge (default: 32)"
+    )
+    defense_sweep.add_argument(
+        "-o", "--output", default=None, help="also write the matrix as JSON"
+    )
+    defense_sweep.set_defaults(func=_cmd_defense_sweep)
+
+    defense_report = defense_sub.add_parser(
+        "report", help="re-render a saved defense matrix"
+    )
+    defense_report.add_argument("matrix", help="path to a matrix JSON file")
+    defense_report.add_argument(
+        "--markdown", action="store_true", help="render a markdown table"
+    )
+    defense_report.set_defaults(func=_cmd_defense_report)
     return parser
 
 

@@ -1,0 +1,233 @@
+"""The defense arena — one fleet campaign per hardening profile.
+
+:func:`run_defense_arena` executes the *same* :class:`CampaignSpec`
+(same schedule, same victims, same secret images, same offline prep)
+under each requested profile and distills every run into one
+:class:`~repro.defense.matrix.DefenseRow`:
+
+- the fleet boots the profile's kernel via the campaign engine's
+  provisioning hook;
+- a :class:`ScrapeDelayHook` models attacker latency at the teardown
+  hook: after each wave terminates, the kernel runs
+  *scrape_delay_ticks* scheduler ticks, during which the asynchronous
+  scrub daemon races the attacker — the window of vulnerability;
+- an optional weight-theft probe runs the fine-tuned-weight attack
+  (:mod:`repro.attack.weights`) against one victim under the same
+  kernel config, scoring how much of a private model survives the
+  profile.
+
+Offline prep happens once, on a vulnerable reference board — the
+adversary profiles on hardware they control; only the victims' fleet
+is defended.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+from repro.attack.addressing import AddressHarvester
+from repro.attack.config import AttackConfig
+from repro.attack.extraction import MemoryScraper
+from repro.attack.weights import (
+    WeightExtractor,
+    WeightLayoutProfile,
+    profile_weight_layout,
+)
+from repro.campaign.engine import prepare_offline, run_campaign
+from repro.campaign.report import CampaignReport
+from repro.campaign.schedule import CampaignSpec
+from repro.defense.matrix import DefenseMatrix, DefenseRow
+from repro.defense.profiles import DefenseConfig, DEFAULT_SWEEP, defense_profile
+from repro.errors import AttackError, PermissionDeniedError
+from repro.evaluation.metrics import window_hit_rate
+from repro.evaluation.scenarios import BoardSession
+from repro.petalinux.kernel import KernelConfig, PetaLinuxKernel
+from repro.vitis.xmodel import XModel
+from repro.vitis.zoo import build_model, fine_tune
+
+WEIGHT_PROBE_SEED = 9
+"""Seed of the fine-tuned private weights the probe tries to steal."""
+
+
+class ScrapeDelayHook:
+    """Teardown hook modelling the attacker's scrape latency.
+
+    Called once per wave (per board, possibly from several worker
+    threads): runs *delay_ticks* scheduler ticks so the background
+    scrubber gets its window, and keeps the latest per-kernel
+    sanitizer snapshot so the arena can report async scrub work and
+    the backlog left when the campaign ended.
+    """
+
+    def __init__(self, delay_ticks: int) -> None:
+        if delay_ticks < 0:
+            raise ValueError(
+                f"delay_ticks must be non-negative, got {delay_ticks}"
+            )
+        self.delay_ticks = delay_ticks
+        self._lock = threading.Lock()
+        self._snapshots: dict[int, tuple[int, int]] = {}
+
+    def __call__(self, kernel: PetaLinuxKernel) -> None:
+        kernel.tick(self.delay_ticks)
+        with self._lock:
+            self._snapshots[id(kernel)] = (
+                kernel.sanitizer.stats.frames_scrubbed_async,
+                kernel.sanitizer.pending,
+            )
+
+    @property
+    def frames_scrubbed_async(self) -> int:
+        """Frames the background daemons scrubbed, fleet-wide."""
+        with self._lock:
+            return sum(frames for frames, _ in self._snapshots.values())
+
+    @property
+    def scrub_backlog(self) -> int:
+        """Frames still queued when each board's last wave ended."""
+        with self._lock:
+            return sum(pending for _, pending in self._snapshots.values())
+
+
+def prepare_weight_probe(
+    model_name: str = "resnet50_pt", input_hw: int = 32
+) -> tuple["WeightLayoutProfile", "XModel"]:
+    """The probe's offline half: buffer layout + a private fine-tune.
+
+    Both are profile-independent (the layout is profiled on a
+    vulnerable reference board the adversary controls), so an arena
+    sweep prepares them once and reuses them for every profile.
+    """
+    reference = BoardSession.boot(input_hw=input_hw)
+    layout = profile_weight_layout(
+        reference.attacker_shell, model_name, input_hw=input_hw
+    )
+    private = fine_tune(
+        build_model(model_name, input_hw=input_hw), seed=WEIGHT_PROBE_SEED
+    )
+    return layout, private
+
+
+def probe_weight_theft(
+    kernel_config: KernelConfig,
+    model_name: str = "resnet50_pt",
+    input_hw: int = 32,
+    delay_ticks: int = 0,
+    prepared: tuple["WeightLayoutProfile", "XModel"] | None = None,
+) -> float:
+    """Steal a fine-tuned model's weights under one kernel config.
+
+    Returns the recovered match fraction against the victim's private
+    weights: 1.0 on the vulnerable default, 0.0 when the profile
+    blocks extraction or scrubs the residue.  *prepared* is the output
+    of :func:`prepare_weight_probe`; omitted, it is built on the spot.
+    """
+    layout, private = prepared or prepare_weight_probe(
+        model_name, input_hw=input_hw
+    )
+    session = BoardSession.boot(config=kernel_config, input_hw=input_hw)
+    run = session.victim_application().launch(model_name, model=private)
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+    scraper = MemoryScraper(
+        session.attacker_shell.devmem_tool,
+        session.attacker_shell.user,
+        AttackConfig(coalesce_reads=True),
+    )
+    try:
+        harvested = harvester.harvest(run.pid)
+        run.terminate()
+        session.kernel.tick(delay_ticks)
+        dump = scraper.scrape(harvested)
+        stolen = WeightExtractor(layout).extract(dump)
+        return stolen.match_fraction(private)
+    except (AttackError, PermissionDeniedError):
+        return 0.0
+
+
+def summarize_run(
+    profile: DefenseConfig,
+    report: CampaignReport,
+    hook: ScrapeDelayHook,
+    weight_theft_match: float | None,
+) -> DefenseRow:
+    """Distill one profile's campaign into a matrix row."""
+    outcomes = report.outcomes
+    return DefenseRow(
+        profile=profile.name,
+        defenses=profile.describe(),
+        victims=report.victims,
+        success_rate=report.success_rate,
+        identification_rate=report.identification_rate,
+        image_recovery_rate=report.image_recovery_rate,
+        residue_bytes=sum(o.residue_nbytes for o in outcomes),
+        bytes_scraped=sum(o.nbytes for o in outcomes),
+        window_hit_rate=(
+            window_hit_rate([o.residue_nbytes for o in outcomes])
+            if outcomes
+            else 0.0
+        ),
+        weight_theft_match=weight_theft_match,
+        teardown_seconds=sum(o.teardown_seconds for o in outcomes),
+        frames_scrubbed_sync=sum(o.frames_scrubbed_sync for o in outcomes),
+        frames_scrubbed_async=hook.frames_scrubbed_async,
+        scrub_backlog=hook.scrub_backlog,
+        wall_seconds=report.wall_seconds,
+    )
+
+
+def run_defense_arena(
+    spec: CampaignSpec,
+    profiles: Sequence[str | DefenseConfig] = DEFAULT_SWEEP,
+    scrape_delay_ticks: int = 2,
+    weight_theft: bool = True,
+) -> DefenseMatrix:
+    """Sweep *profiles* over one campaign spec; returns the matrix.
+
+    Profiles may be names (``"zero_on_free"``,
+    ``"scrub_pool+pinned_xen"``) or :class:`DefenseConfig` instances
+    (e.g. a scrub-rate sweep).  Every profile attacks the identical
+    schedule with identical offline prep, so rows differ only in the
+    defense.
+    """
+    if not profiles:
+        raise ValueError("no profiles to sweep")
+    resolved = [
+        profile if isinstance(profile, DefenseConfig) else defense_profile(profile)
+        for profile in profiles
+    ]
+    names = [profile.name for profile in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate profiles in sweep: {names}")
+    prep_profiles, database = prepare_offline(spec)
+    probe_prep = (
+        prepare_weight_probe(input_hw=spec.input_hw) if weight_theft else None
+    )
+    rows = []
+    for profile in resolved:
+        config = profile.kernel_config(spec)
+        hook = ScrapeDelayHook(scrape_delay_ticks)
+        report = run_campaign(
+            spec,
+            profiles=prep_profiles,
+            database=database,
+            kernel_config=config,
+            teardown_hook=hook,
+        )
+        match = (
+            probe_weight_theft(
+                config,
+                input_hw=spec.input_hw,
+                delay_ticks=scrape_delay_ticks,
+                prepared=probe_prep,
+            )
+            if weight_theft
+            else None
+        )
+        rows.append(summarize_run(profile, report, hook, match))
+    return DefenseMatrix(
+        spec=spec, scrape_delay_ticks=scrape_delay_ticks, rows=rows
+    )

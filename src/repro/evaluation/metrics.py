@@ -99,6 +99,45 @@ class ThroughputStats:
         )
 
 
+def nonzero_bytes(data: bytes) -> int:
+    """Bytes of *data* that are not the 0x00 scrub pattern.
+
+    The defense matrix's leakage unit: a vulnerable board's dump is
+    almost entirely nonzero residue, a zero-on-free board's dump is
+    the same size but counts 0 here.
+    """
+    return len(data) - data.count(0)
+
+
+def leakage_reduction(baseline: float, defended: float) -> float:
+    """Fraction of the baseline leakage a defense eliminated.
+
+    Both arguments are leakage measures in the same unit (success
+    rate, recovered bytes, ...).  1.0 = the defense zeroed the
+    leakage, 0.0 = no effect, negative = the "defense" made leakage
+    worse.  A zero baseline (nothing leaked even undefended) returns
+    0.0 — there was nothing to reduce.
+    """
+    if baseline < 0 or defended < 0:
+        raise ValueError("leakage measures must be non-negative")
+    if baseline == 0:
+        return 0.0
+    return (baseline - defended) / baseline
+
+
+def window_hit_rate(residue_counts: list[int]) -> float:
+    """Fraction of victims scraped while residue still survived.
+
+    For the asynchronous scrub-pool defense this is the probability
+    the attacker's scrape landed inside the window of vulnerability
+    (any nonzero residue recovered).  Synchronous zero-on-free drives
+    it to 0.0; the undefended board sits at 1.0.
+    """
+    if not residue_counts:
+        raise ValueError("no victims")
+    return sum(1 for count in residue_counts if count > 0) / len(residue_counts)
+
+
 def residue_survival(allocator: FrameAllocator, victim_frames: list[int]) -> float:
     """Fraction of a dead victim's frames not yet handed to a new owner.
 

@@ -12,6 +12,27 @@ related-work section discusses:
   queue up and a scrubber daemon cleans a bounded number per scheduler
   tick.  This trades teardown latency for a *window of vulnerability*,
   which the defense benchmarks measure.
+
+Usage — watch the scrub pool's window of vulnerability close:
+
+>>> from repro.hw.dram import DramDevice, PAGE_SIZE
+>>> from repro.petalinux.sanitizer import SanitizePolicy, Sanitizer
+>>> dram = DramDevice(capacity=16 * PAGE_SIZE)
+>>> dram.write(3 * PAGE_SIZE, b"private residue")
+>>> sanitizer = Sanitizer(
+...     dram, policy=SanitizePolicy.SCRUB_POOL, scrub_rate_per_tick=1
+... )
+>>> sanitizer.on_free([3, 4])                 # the process just exited
+>>> sanitizer.pending
+2
+>>> dram.read(3 * PAGE_SIZE, 15)              # still scrapeable...
+b'private residue'
+>>> sanitizer.tick()                          # ...until the daemon runs
+1
+>>> dram.read(3 * PAGE_SIZE, 15)
+b'\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00'
+>>> sanitizer.drain()                         # close the window on demand
+1
 """
 
 from __future__ import annotations

@@ -16,6 +16,23 @@ but enforces nothing, which is what the paper observed.  A correctly
 administered deployment pins each domain to a physical window and
 rejects cross-domain physical reads; the defense benchmarks show that
 this, unlike the passthrough default, stops the extraction step.
+
+Usage — the same read under the misconfigured and the pinned config:
+
+>>> from repro.errors import PermissionDeniedError
+>>> from repro.petalinux.users import User
+>>> from repro.petalinux.xen import two_guest_deployment
+>>> attacker = User("attacker", 1001)
+>>> victim_frame = 0x68000                    # inside domU-victim
+>>> passthrough = two_guest_deployment()      # the PetaLinux default
+>>> passthrough.check_physical_access(attacker, victim_frame)  # no-op!
+>>> pinned = two_guest_deployment(dev_mem_passthrough=False)
+>>> pinned.check_physical_access(attacker, 0x60000)  # own domain: fine
+>>> try:
+...     pinned.check_physical_access(attacker, victim_frame)
+... except PermissionDeniedError:
+...     print("cross-domain read rejected")
+cross-domain read rejected
 """
 
 from __future__ import annotations
