@@ -4,13 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check
+.PHONY: test bench bench-json docs-check
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py"
+
+# Verifies every analysis fast path against its reference
+# implementation (nonzero exit on divergence), then records the perf
+# trajectory to BENCH_analysis.json. See docs/performance.md.
+bench-json:
+	$(PYTHON) tools/bench_runner.py --output BENCH_analysis.json
 
 # Fails when a module under src/repro lacks a docstring, the README
 # package map is missing or stale, a docs/README link is broken, or a

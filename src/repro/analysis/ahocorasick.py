@@ -1,0 +1,144 @@
+"""Pure-Python Aho–Corasick automaton for multi-pattern presence scans.
+
+Step 4a scores every model by which of its signature tokens appear in
+the dump.  The straightforward way — one ``token in dump`` scan per
+token — re-reads the whole dump once *per token per model*, which is
+exactly the O(models × tokens) wall the fleet campaign hit once
+extraction got fast.  :class:`AhoCorasick` compiles the union of all
+tokens into one automaton (a byte trie with failure links and merged
+output sets) so a **single pass** over the dump reports every token
+present, no matter how many models share the database.
+
+The production scan, :meth:`AhoCorasick.find_present`, adds a
+256-entry translate prefilter on top of the automaton: any match must
+start with the first byte of some pattern, so the dump is translated
+once into a candidate-flag string and the trie walk is anchored only
+at flagged offsets (``flags.find`` skips the zero, quantized-weight
+and marker regions that dominate real dumps at C speed).  The
+textbook goto/fail streaming scan is kept as
+:meth:`find_present_streaming` — it is the in-automaton reference the
+equivalence tests hold the anchored scan to.
+
+Presence semantics mirror the replaced ``in`` scans exactly,
+including the degenerate case: an empty pattern is reported present
+in any haystack, as ``b"" in data`` is always ``True``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+
+class AhoCorasick:
+    """A multi-pattern matcher compiled once and reused for every scan."""
+
+    def __init__(self, patterns: Iterable[bytes]) -> None:
+        unique = list(dict.fromkeys(bytes(pattern) for pattern in patterns))
+        self._patterns = tuple(unique)
+        self._always_present = frozenset(p for p in unique if not p)
+        real = [pattern for pattern in unique if pattern]
+
+        # Trie construction: goto[node] maps byte -> next node.
+        goto: list[dict[int, int]] = [{}]
+        out_sets: list[set[bytes]] = [set()]
+        for pattern in real:
+            node = 0
+            for byte in pattern:
+                nxt = goto[node].get(byte)
+                if nxt is None:
+                    goto.append({})
+                    out_sets.append(set())
+                    nxt = len(goto) - 1
+                    goto[node][byte] = nxt
+                node = nxt
+            out_sets[node].add(pattern)
+
+        # Failure links (BFS), merging output sets along the links so
+        # a node also reports every pattern that is a proper suffix of
+        # its path — both scans below then surface suffix matches.
+        fail = [0] * len(goto)
+        queue = deque(goto[0].values())
+        while queue:
+            node = queue.popleft()
+            for byte, child in goto[node].items():
+                queue.append(child)
+                link = fail[node]
+                while link and byte not in goto[link]:
+                    link = fail[link]
+                fail[child] = goto[link].get(byte, 0)
+                out_sets[child] |= out_sets[fail[child]]
+
+        self._goto = goto
+        self._fail = fail
+        self._out: list[tuple[bytes, ...]] = [tuple(s) for s in out_sets]
+        first_bytes = {pattern[0] for pattern in real}
+        self._prefilter = bytes(
+            1 if byte in first_bytes else 0 for byte in range(256)
+        )
+
+    @property
+    def patterns(self) -> tuple[bytes, ...]:
+        """The compiled patterns, deduplicated, in insertion order."""
+        return self._patterns
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def find_present(self, data) -> set[bytes]:
+        """The set of patterns occurring anywhere in *data* — one pass.
+
+        Translates *data* through the first-byte prefilter, then walks
+        the trie only from candidate anchors; stops early once every
+        pattern has been seen.
+        """
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        found = set(self._always_present)
+        target = len(self._patterns)
+        if len(found) == target or not data:
+            return found
+        flags = data.translate(self._prefilter)
+        goto = self._goto
+        out = self._out
+        root = goto[0]
+        find = flags.find
+        n = len(data)
+        pos = find(1)
+        while pos != -1:
+            node = root.get(data[pos])
+            i = pos + 1
+            while node is not None:
+                if out[node]:
+                    found.update(out[node])
+                if i >= n:
+                    break
+                node = goto[node].get(data[i])
+                i += 1
+            if len(found) == target:
+                break
+            pos = find(1, pos + 1)
+        return found
+
+    def find_present_streaming(self, data) -> set[bytes]:
+        """Textbook goto/fail scan over every byte of *data*.
+
+        Kept as the in-automaton reference implementation: slower than
+        :meth:`find_present` (no prefilter, no anchor skipping) but a
+        direct transcription of the classic algorithm, which the
+        equivalence tests compare the anchored scan against.
+        """
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        found = set(self._always_present)
+        goto = self._goto
+        fail = self._fail
+        out = self._out
+        node = 0
+        for byte in data:
+            while node and byte not in goto[node]:
+                node = fail[node]
+            node = goto[node].get(byte, 0)
+            if out[node]:
+                found.update(out[node])
+        return found

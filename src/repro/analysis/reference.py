@@ -1,0 +1,134 @@
+"""Straightforward reference implementations of the scan-core fast paths.
+
+These are the per-byte-loop versions the single-pass engine in
+:mod:`repro.analysis.scan` replaced — kept verbatim so the fast paths
+can always be held to them:
+
+- ``tests/test_analysis_scan.py`` asserts byte-identical region maps
+  and score-identical signature matches over randomized windows;
+- ``tools/bench_runner.py`` re-verifies the same equivalences on the
+  benchmark dump (exiting nonzero on any divergence) and times fast
+  vs. reference to record the speedup trajectory in
+  ``BENCH_analysis.json``.
+
+Nothing here is wired into a production path; importing this module
+costs nothing at attack time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.attack.carving import Region, RegionKind
+
+
+def reference_shannon_entropy(data: bytes) -> float:
+    """Per-byte-probability Shannon entropy (0.0 for empty input)."""
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def reference_printable_fraction(data: bytes) -> float:
+    """Per-byte printable-ASCII fraction (1.0 for empty input)."""
+    if not data:
+        return 1.0
+    printable = sum(1 for byte in data if 0x20 <= byte <= 0x7E or byte == 0x00)
+    return printable / len(data)
+
+
+def reference_classify_window(
+    data: bytes,
+    *,
+    text_threshold: float = 0.85,
+    random_entropy: float = 7.0,
+    quantized_max_alphabet: int = 48,
+) -> RegionKind:
+    """Classify one window with the original per-byte logic."""
+    if not data or data == b"\x00" * len(data):
+        return RegionKind.ZERO
+    distinct = set(data)
+    if len(distinct) == 1:
+        return RegionKind.CONSTANT
+    if reference_printable_fraction(data) >= text_threshold:
+        return RegionKind.TEXT
+    entropy = reference_shannon_entropy(data)
+    # A window of n bytes cannot exceed log2(n) bits of measured
+    # entropy, so the uniform-randomness threshold scales down for
+    # short windows.
+    effective_threshold = min(random_entropy, math.log2(len(data)) - 0.7)
+    if entropy >= effective_threshold:
+        return RegionKind.RANDOM
+    if len(distinct) <= quantized_max_alphabet:
+        low_magnitude = sum(1 for byte in data if byte < 64 or byte >= 192)
+        if low_magnitude / len(data) > 0.9:
+            return RegionKind.QUANTIZED
+    return RegionKind.MIXED
+
+
+def reference_map_dump(
+    data: bytes,
+    window: int = 256,
+    *,
+    text_threshold: float = 0.85,
+    random_entropy: float = 7.0,
+    quantized_max_alphabet: int = 48,
+) -> list[Region]:
+    """Window-classify and merge with the original slicing loop."""
+    regions: list[Region] = []
+    for start in range(0, len(data), window):
+        chunk = data[start : start + window]
+        kind = reference_classify_window(
+            chunk,
+            text_threshold=text_threshold,
+            random_entropy=random_entropy,
+            quantized_max_alphabet=quantized_max_alphabet,
+        )
+        end = min(start + window, len(data))
+        if regions and regions[-1].kind is kind and regions[-1].end == start:
+            regions[-1] = Region(regions[-1].start, end, kind)
+        else:
+            regions.append(Region(start, end, kind))
+    return regions
+
+
+def reference_region_at(regions: list[Region], offset: int) -> Region:
+    """Linear-scan region lookup; raises ``ValueError`` outside."""
+    for region in regions:
+        if region.contains(offset):
+            return region
+    raise ValueError(f"offset {offset:#x} outside the mapped dump")
+
+
+def reference_match(database, dump_data: bytes) -> dict:
+    """O(models × tokens) signature matching via repeated ``in`` scans.
+
+    *database* is a :class:`repro.attack.identify.SignatureDatabase`;
+    only its public accessors are used, so the reference stays honest
+    about what the fast path replaced.
+    """
+    results = {}
+    for name in database.model_names():
+        signature = database.signature(name)
+        if not signature.tokens:
+            results[name] = (0.0, [])
+            continue
+        matched = sorted(
+            token
+            for token in signature.tokens
+            if token.encode("utf-8", errors="ignore") in dump_data
+        )
+        results[name] = (len(matched) / len(signature.tokens), matched)
+    return results
+
+
+def reference_nonzero_bytes(data: bytes) -> int:
+    """Per-byte nonzero count."""
+    return sum(1 for byte in data if byte)

@@ -1,0 +1,318 @@
+"""Single-pass scanning primitives shared by every dump-analysis hot path.
+
+PR 1 made extraction ~250x faster, which moved the fleet bottleneck
+downstream into step-4 analysis: characterizing each multi-megabyte
+dump (`repro.attack.carving`) and grepping it for model signatures
+(`repro.attack.identify`) still walked the bytes in Python.  This
+module is the shared engine those paths now route through:
+
+- **256-entry byte-class translate tables** — :data:`CLASS_TABLE` maps
+  every byte to a two-bit class (printable / low-magnitude), so class
+  membership counts over any window are C-speed ``bytes.translate`` +
+  ``bytes.count`` calls instead of per-byte Python loops.
+- **Windowed counts over ``memoryview`` slices** — per-window byte
+  histograms come from ``np.bincount`` over zero-copy ``memoryview``
+  slices; the batch classifier histograms thousands of windows in one
+  vectorized pass.
+- **A precomputed log2 table** — entropy is derived from counts as
+  ``log2(n) - sum(c*log2(c))/n`` using a lazily grown ``c*log2(c)``
+  table, never from per-byte probability loops.
+- **Zero/constant fast paths** — all-zero and single-byte windows are
+  detected with ``data.count(value, start, end)`` before any histogram
+  is built, so the (dominant) scrubbed and marker regions cost two C
+  calls per window.
+
+:class:`ScanCore` owns the reusable scratch state (the log2 table,
+the batch offset vector); the module-level core shared by
+:mod:`repro.attack.carving` warms those tables once per process and
+serves every dump of every campaign wave, across all board-worker
+threads.  The straightforward implementations these fast paths replaced
+live on in :mod:`repro.analysis.reference` and the equivalence between
+the two is asserted by ``tests/test_analysis_scan.py`` and enforced at
+benchmark time by ``tools/bench_runner.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+CLASS_PRINTABLE = 0x01
+"""Class bit: printable ASCII (0x20-0x7E) or NUL (string terminators
+ride along with C strings in memory)."""
+
+CLASS_LOW_MAGNITUDE = 0x02
+"""Class bit: byte < 64 or byte >= 192 — a signed int8 value near
+zero, the footprint of quantized weights."""
+
+CLASS_TABLE = bytes(
+    (CLASS_PRINTABLE if (byte == 0 or 0x20 <= byte <= 0x7E) else 0)
+    | (CLASS_LOW_MAGNITUDE if (byte < 64 or byte >= 192) else 0)
+    for byte in range(256)
+)
+"""The 256-entry byte→class translate table.  ``data.translate(
+CLASS_TABLE)`` turns a dump into class bytes whose windowed
+``count(class, start, end)`` calls replace per-byte Python loops."""
+
+PRINTABLE_BYTES = bytes(
+    byte for byte in range(256) if CLASS_TABLE[byte] & CLASS_PRINTABLE
+)
+"""Every printable byte value, as a ``translate``/``count`` operand."""
+
+LOW_MAGNITUDE_BYTES = bytes(
+    byte for byte in range(256) if CLASS_TABLE[byte] & CLASS_LOW_MAGNITUDE
+)
+"""Every low-magnitude byte value (see :data:`CLASS_LOW_MAGNITUDE`)."""
+
+_LOW_MAGNITUDE_VALUES = np.flatnonzero(
+    np.frombuffer(CLASS_TABLE, dtype=np.uint8) & CLASS_LOW_MAGNITUDE
+)
+
+# Window-kind codes produced by the classifiers.  repro.attack.carving
+# maps them onto its public RegionKind enum; the numeric order encodes
+# the classification priority (first match wins).
+KIND_ZERO = 0
+KIND_CONSTANT = 1
+KIND_TEXT = 2
+KIND_RANDOM = 3
+KIND_QUANTIZED = 4
+KIND_MIXED = 5
+
+
+def nonzero_count(data) -> int:
+    """Bytes of *data* that are not 0x00, via one C-level ``count``."""
+    return len(data) - data.count(0)
+
+
+def count_positive(values) -> int:
+    """How many of *values* are strictly positive."""
+    return sum(1 for value in values if value > 0)
+
+
+def _entropy_from_counts(counts: np.ndarray, n: int) -> float:
+    """``log2(n) - sum(c*log2(c))/n`` over the nonzero histogram bins."""
+    nonzero = counts[counts > 0].astype(np.float64)
+    return math.log2(n) - float((nonzero * np.log2(nonzero)).sum()) / n
+
+
+class ScanCore:
+    """Reusable single-pass scanning engine.
+
+    Holds the scratch state the fast paths share — the ``c*log2(c)``
+    table, the vectorized batch offsets, nothing per-dump — so one
+    core instance can serve every dump of a whole campaign.  The
+    scratch only ever grows and lookups return local references, so
+    the default shared core in :mod:`repro.attack.carving` is safe
+    across the campaign engine's board-worker threads.
+    """
+
+    BATCH_WINDOWS = 2048
+    """Windows histogrammed per vectorized batch; bounds temp arrays
+    to a few MiB regardless of dump size."""
+
+    def __init__(self) -> None:
+        self._clog2: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+
+    # -- shared scratch tables ----------------------------------------------
+
+    def _clog2_table(self, n: int) -> np.ndarray:
+        """The ``c * log2(c)`` lookup table, grown to cover counts <= n.
+
+        Only the batched window classifier gathers through this, so
+        *n* is bounded by the cartographer's window size.  The table
+        grows monotonically and the locally built array is returned,
+        so concurrent callers sharing one core (the module-level
+        default serves every thread) can never hand each other a
+        too-small table.
+        """
+        table = self._clog2
+        if table is None or len(table) <= n:
+            size = max(n + 1, 4097)
+            c = np.arange(size, dtype=np.float64)
+            table = np.zeros(size, dtype=np.float64)
+            np.log2(c, where=c > 0, out=table)
+            table *= c
+            current = self._clog2
+            if current is None or len(current) < len(table):
+                self._clog2 = table
+        return table
+
+    def _batch_offsets(self, m: int) -> np.ndarray:
+        """Per-window histogram offsets (window i counts into bins
+        ``[256*i, 256*i+256)``) for the batched ``bincount`` trick."""
+        if self._offsets is None or len(self._offsets) < m:
+            self._offsets = np.arange(
+                max(m, self.BATCH_WINDOWS), dtype=np.int32
+            ) * 256
+        return self._offsets[:m, None]
+
+    # -- windowed statistics ------------------------------------------------
+
+    @staticmethod
+    def byte_counts(data, start: int = 0, end: int | None = None) -> np.ndarray:
+        """256-bin byte histogram of ``data[start:end]`` (zero-copy slice)."""
+        view = memoryview(data)[start : len(data) if end is None else end]
+        return np.bincount(np.frombuffer(view, dtype=np.uint8), minlength=256)
+
+    def entropy(self, data, start: int = 0, end: int | None = None) -> float:
+        """Bits of Shannon entropy per byte of ``data[start:end]``.
+
+        Computed from counts as ``log2(n) - sum(c*log2(c))/n`` — the
+        algebraic rewrite of ``-sum(p*log2(p))`` that never touches
+        per-byte probabilities.  A histogram has at most 256 nonzero
+        bins, so the ``c*log2(c)`` terms are computed directly on
+        them; memory stays O(256) for any input size.
+        """
+        counts = self.byte_counts(data, start, end)
+        n = int(counts.sum())
+        if n == 0:
+            return 0.0
+        return _entropy_from_counts(counts, n)
+
+    @staticmethod
+    def printable_count(data, start: int = 0, end: int | None = None) -> int:
+        """Printable-class bytes in ``data[start:end]`` (translate-delete)."""
+        segment = bytes(
+            memoryview(data)[start : len(data) if end is None else end]
+        )
+        return len(segment) - len(segment.translate(None, PRINTABLE_BYTES))
+
+    @staticmethod
+    def low_magnitude_count(
+        data, start: int = 0, end: int | None = None
+    ) -> int:
+        """Low-magnitude-class bytes in ``data[start:end]``."""
+        segment = bytes(
+            memoryview(data)[start : len(data) if end is None else end]
+        )
+        return len(segment) - len(segment.translate(None, LOW_MAGNITUDE_BYTES))
+
+    @staticmethod
+    def nonzero_bytes(data) -> int:
+        """Bytes of *data* that are not the 0x00 scrub pattern."""
+        return nonzero_count(data)
+
+    # -- window classification ----------------------------------------------
+
+    def classify_span(
+        self,
+        data: bytes,
+        start: int,
+        end: int,
+        text_threshold: float,
+        random_entropy: float,
+        quantized_max_alphabet: int,
+    ) -> int:
+        """Classify one window ``data[start:end]``; returns a KIND code.
+
+        The decision order matches the reference implementation
+        exactly: zero → constant → text → random → quantized → mixed.
+        """
+        n = end - start
+        if n <= 0 or data.count(0, start, end) == n:
+            return KIND_ZERO
+        if data.count(data[start], start, end) == n:
+            return KIND_CONSTANT
+        if self.printable_count(data, start, end) / n >= text_threshold:
+            return KIND_TEXT
+        counts = self.byte_counts(data, start, end)
+        if _entropy_from_counts(counts, n) >= min(
+            random_entropy, math.log2(n) - 0.7
+        ):
+            return KIND_RANDOM
+        if int((counts > 0).sum()) <= quantized_max_alphabet:
+            low_magnitude = int(counts[_LOW_MAGNITUDE_VALUES].sum())
+            if low_magnitude / n > 0.9:
+                return KIND_QUANTIZED
+        return KIND_MIXED
+
+    def classify_windows(
+        self,
+        data: bytes,
+        window: int,
+        text_threshold: float,
+        random_entropy: float,
+        quantized_max_alphabet: int,
+    ) -> list[int]:
+        """KIND codes for every *window*-sized slice of *data*.
+
+        Full windows are classified in vectorized batches: one
+        ``bincount`` builds the histograms of :data:`BATCH_WINDOWS`
+        windows at a time, and every statistic (zero, constant,
+        printable fraction, entropy, alphabet size, low-magnitude
+        fraction) falls out of the histogram matrix.  The trailing
+        partial window (if any) goes through :meth:`classify_span`,
+        which applies the identical decision order.
+        """
+        n = len(data)
+        if n == 0:
+            return []
+        codes: list[int] = []
+        full = (n // window) * window
+        if full:
+            arr = np.frombuffer(memoryview(data)[:full], dtype=np.uint8)
+            arr = arr.reshape(-1, window)
+            nwin = arr.shape[0]
+            # Class-bit counts for every window at once: one C-level
+            # translate of the dump, then two vectorized bit sums.
+            classes = np.frombuffer(
+                data.translate(CLASS_TABLE)[:full], dtype=np.uint8
+            ).reshape(-1, window)
+            printable = np.add.reduce(classes & 1, axis=1, dtype=np.intp)
+            low = np.add.reduce(classes >> 1, axis=1, dtype=np.intp)
+            text = (printable / window) >= text_threshold
+            low_fraction = (low / window) > 0.9
+
+            threshold = min(random_entropy, math.log2(window) - 0.7)
+            log2_window = math.log2(window)
+            table = self._clog2_table(window)
+            # Zero/constant fast path, vectorized: a uniform window
+            # never needs a histogram.  Alphabet size and entropy are
+            # then computed only for windows the earlier checks
+            # (uniform, text) did not already settle.
+            zero = np.empty(nwin, dtype=bool)
+            constant = np.empty(nwin, dtype=bool)
+            distinct = np.zeros(nwin, dtype=np.intp)
+            entropy = np.zeros(nwin, dtype=np.float64)
+            for batch_start in range(0, nwin, self.BATCH_WINDOWS):
+                block = arr[batch_start : batch_start + self.BATCH_WINDOWS]
+                stop = batch_start + block.shape[0]
+                uniform = (block == block[:, :1]).all(axis=1)
+                first_is_zero = block[:, 0] == 0
+                zero[batch_start:stop] = uniform & first_is_zero
+                constant[batch_start:stop] = uniform & ~first_is_zero
+                need = ~(uniform | text[batch_start:stop])
+                if not need.any():
+                    continue
+                sub = block[need]
+                m = sub.shape[0]
+                counts = np.bincount(
+                    (sub + self._batch_offsets(m)).ravel(),
+                    minlength=m * 256,
+                ).reshape(m, 256)
+                distinct[batch_start:stop][need] = (counts > 0).sum(axis=1)
+                entropy[batch_start:stop][need] = (
+                    log2_window - table[counts].sum(axis=1) / window
+                )
+            random_kind = entropy >= threshold
+            quantized = (distinct <= quantized_max_alphabet) & low_fraction
+            codes.extend(
+                np.select(
+                    [zero, constant, text, random_kind, quantized],
+                    [
+                        KIND_ZERO, KIND_CONSTANT, KIND_TEXT, KIND_RANDOM,
+                        KIND_QUANTIZED,
+                    ],
+                    default=KIND_MIXED,
+                ).tolist()
+            )
+        if full < n:
+            codes.append(
+                self.classify_span(
+                    data, full, n,
+                    text_threshold, random_entropy, quantized_max_alphabet,
+                )
+            )
+        return codes

@@ -21,14 +21,30 @@ QUANTIZED       small-alphabet symmetric data (int8 weight arrays)
 RANDOM          near-uniform bytes (runtime structures, ciphertext)
 MIXED           none of the above (pixel data, headers, packed misc)
 ==============  ====================================================
+
+The per-window statistics come from the shared single-pass engine in
+:mod:`repro.analysis.scan` — byte-class translate tables, batched
+histograms, a precomputed log2 table — instead of per-byte Python
+loops; the original implementations survive in
+:mod:`repro.analysis.reference` and the equivalence is regression-
+tested and re-verified by ``tools/bench_runner.py``.
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
-import math
-from collections import Counter
 from dataclasses import dataclass
+
+from repro.analysis.scan import (
+    KIND_CONSTANT,
+    KIND_MIXED,
+    KIND_QUANTIZED,
+    KIND_RANDOM,
+    KIND_TEXT,
+    KIND_ZERO,
+    ScanCore,
+)
 
 
 class RegionKind(enum.Enum):
@@ -40,6 +56,22 @@ class RegionKind(enum.Enum):
     QUANTIZED = "quantized"
     RANDOM = "random"
     MIXED = "mixed"
+
+
+_KIND_BY_CODE: dict[int, RegionKind] = {
+    KIND_ZERO: RegionKind.ZERO,
+    KIND_CONSTANT: RegionKind.CONSTANT,
+    KIND_TEXT: RegionKind.TEXT,
+    KIND_RANDOM: RegionKind.RANDOM,
+    KIND_QUANTIZED: RegionKind.QUANTIZED,
+    KIND_MIXED: RegionKind.MIXED,
+}
+
+_SHARED_CORE = ScanCore()
+"""The process-wide default scan core: every cartographer (and the
+module-level entropy/printable helpers) shares it, so its scratch
+tables warm once and serve all campaign worker threads.  Pass
+``core=`` to isolate a scan (e.g. the benchmark runner)."""
 
 
 @dataclass(frozen=True)
@@ -64,21 +96,14 @@ def shannon_entropy(data: bytes) -> float:
     """Bits of entropy per byte of *data* (0.0 for empty input)."""
     if not data:
         return 0.0
-    counts = Counter(data)
-    total = len(data)
-    entropy = 0.0
-    for count in counts.values():
-        probability = count / total
-        entropy -= probability * math.log2(probability)
-    return entropy
+    return _SHARED_CORE.entropy(data)
 
 
 def printable_fraction(data: bytes) -> float:
     """Fraction of bytes in the printable ASCII range (1.0 for empty)."""
     if not data:
         return 1.0
-    printable = sum(1 for byte in data if 0x20 <= byte <= 0x7E or byte == 0x00)
-    return printable / len(data)
+    return _SHARED_CORE.printable_count(data) / len(data)
 
 
 class DumpCartographer:
@@ -90,6 +115,7 @@ class DumpCartographer:
         text_threshold: float = 0.85,
         random_entropy: float = 7.0,
         quantized_max_alphabet: int = 48,
+        core: ScanCore | None = None,
     ) -> None:
         if window < 16:
             raise ValueError(f"window must be >= 16 bytes, got {window}")
@@ -97,53 +123,58 @@ class DumpCartographer:
         self._text_threshold = text_threshold
         self._random_entropy = random_entropy
         self._quantized_max_alphabet = quantized_max_alphabet
+        self._core = core if core is not None else _SHARED_CORE
 
     def classify_window(self, data: bytes) -> RegionKind:
         """Classify one window of bytes."""
-        if not data or data == b"\x00" * len(data):
-            return RegionKind.ZERO
-        distinct = set(data)
-        if len(distinct) == 1:
-            return RegionKind.CONSTANT
-        if printable_fraction(data) >= self._text_threshold:
-            return RegionKind.TEXT
-        entropy = shannon_entropy(data)
-        # A window of n bytes cannot exceed log2(n) bits of measured
-        # entropy, so the uniform-randomness threshold scales down for
-        # short windows.
-        effective_threshold = min(
-            self._random_entropy, math.log2(len(data)) - 0.7
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        code = self._core.classify_span(
+            data, 0, len(data),
+            self._text_threshold,
+            self._random_entropy,
+            self._quantized_max_alphabet,
         )
-        if entropy >= effective_threshold:
-            return RegionKind.RANDOM
-        if len(distinct) <= self._quantized_max_alphabet:
-            # Small alphabet straddling 0x00/0xFF: signed int8 values
-            # near zero, the footprint of quantized weights.
-            low_magnitude = sum(
-                1 for byte in data if byte < 64 or byte >= 192
-            )
-            if low_magnitude / len(data) > 0.9:
-                return RegionKind.QUANTIZED
-        return RegionKind.MIXED
+        return _KIND_BY_CODE[code]
 
     def map_dump(self, data: bytes) -> list[Region]:
         """The full region map of *data*, adjacent windows merged."""
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        codes = self._core.classify_windows(
+            data, self._window,
+            self._text_threshold,
+            self._random_entropy,
+            self._quantized_max_alphabet,
+        )
+        if not codes:
+            return []
         regions: list[Region] = []
-        for start in range(0, len(data), self._window):
-            window = data[start : start + self._window]
-            kind = self.classify_window(window)
-            end = min(start + self._window, len(data))
-            if regions and regions[-1].kind is kind and regions[-1].end == start:
-                regions[-1] = Region(regions[-1].start, end, kind)
-            else:
-                regions.append(Region(start, end, kind))
+        window = self._window
+        run_start = 0
+        run_code = codes[0]
+        for index in range(1, len(codes)):
+            if codes[index] != run_code:
+                boundary = index * window
+                regions.append(
+                    Region(run_start, boundary, _KIND_BY_CODE[run_code])
+                )
+                run_start = boundary
+                run_code = codes[index]
+        regions.append(Region(run_start, len(data), _KIND_BY_CODE[run_code]))
         return regions
 
     def region_at(self, regions: list[Region], offset: int) -> Region:
-        """The region containing *offset*; raises ``ValueError`` outside."""
-        for region in regions:
-            if region.contains(offset):
-                return region
+        """The region containing *offset*; raises ``ValueError`` outside.
+
+        Regions are sorted and disjoint by construction, so the lookup
+        bisects over region starts instead of scanning linearly.
+        """
+        index = (
+            bisect.bisect_right(regions, offset, key=lambda r: r.start) - 1
+        )
+        if index >= 0 and regions[index].contains(offset):
+            return regions[index]
         raise ValueError(f"offset {offset:#x} outside the mapped dump")
 
     @staticmethod

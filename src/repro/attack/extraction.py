@@ -23,7 +23,7 @@ devmem-invocation counts (``AttackConfig`` selects one):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.attack.addressing import HarvestedRange
 from repro.attack.config import AttackConfig
@@ -45,10 +45,22 @@ class ScrapedDump:
     pages_read: int
     pages_skipped: int
     devmem_reads: int
-    hexdump: HexDump = field(init=False)
 
     def __post_init__(self) -> None:
-        self.hexdump = HexDump(self.data)
+        self._hexdump: HexDump | None = None
+
+    @property
+    def hexdump(self) -> HexDump:
+        """Paper-format hexdump view, built lazily on first access.
+
+        A fleet campaign scrapes far more dumps than it ever renders;
+        deferring the :class:`HexDump` (and the byte copy its eager
+        construction used to imply) keeps extraction allocation-free
+        for victims nothing greps.
+        """
+        if self._hexdump is None:
+            self._hexdump = HexDump(self.data)
+        return self._hexdump
 
     @property
     def nbytes(self) -> int:

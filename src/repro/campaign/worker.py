@@ -21,8 +21,12 @@ schedule wave by wave:
    image against the ground truth the worker launched with.
 
 Workers share the campaign-wide :class:`ProfileStore` and
-:class:`SignatureDatabase` (built once, offline) and reuse the
-board's translation cache across every attack they mount.  Boards are
+:class:`SignatureDatabase` (built once, offline — and carrying the
+compiled Aho–Corasick signature automaton, so identification is one
+pass per dump fleet-wide) and reuse the board's translation cache
+across every attack they mount.  Dump analysis routes through the
+shared scan core of :mod:`repro.analysis`, whose scratch tables warm
+once per process and serve every wave of every board.  Boards are
 fully independent simulations, so the engine runs one worker per
 thread without any cross-board locking.
 """

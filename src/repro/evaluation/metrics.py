@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.scan import count_positive, nonzero_count
 from repro.mmu.frame_alloc import FrameAllocator
 from repro.vitis.image import Image
 
@@ -104,9 +105,10 @@ def nonzero_bytes(data: bytes) -> int:
 
     The defense matrix's leakage unit: a vulnerable board's dump is
     almost entirely nonzero residue, a zero-on-free board's dump is
-    the same size but counts 0 here.
+    the same size but counts 0 here.  Routed through the shared scan
+    core (:mod:`repro.analysis.scan`).
     """
-    return len(data) - data.count(0)
+    return nonzero_count(data)
 
 
 def leakage_reduction(baseline: float, defended: float) -> float:
@@ -135,7 +137,7 @@ def window_hit_rate(residue_counts: list[int]) -> float:
     """
     if not residue_counts:
         raise ValueError("no victims")
-    return sum(1 for count in residue_counts if count > 0) / len(residue_counts)
+    return count_positive(residue_counts) / len(residue_counts)
 
 
 def residue_survival(allocator: FrameAllocator, victim_frames: list[int]) -> float:

@@ -109,7 +109,9 @@ class HexDump:
     """
 
     def __init__(self, data: bytes) -> None:
-        self._data = bytes(data)
+        # Scraped dumps hand over bytes already; only copy when given
+        # a mutable bytes-like (bytearray, memoryview) to stay safe.
+        self._data = data if isinstance(data, bytes) else bytes(data)
         self._rows: list[str] | None = None
 
     @property

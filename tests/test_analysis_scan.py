@@ -1,0 +1,355 @@
+"""Fast-path vs. reference equivalence for the single-pass scan engine.
+
+Every hot path in ``repro.analysis`` must agree with the
+straightforward per-byte implementation it replaced
+(``repro.analysis.reference``): byte-identical region maps, identical
+window classifications, score-identical signature matches — over
+randomized windows and the empty / all-zero / single-byte /
+partial-trailing-window edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ahocorasick import AhoCorasick
+from repro.analysis.reference import (
+    reference_classify_window,
+    reference_map_dump,
+    reference_match,
+    reference_nonzero_bytes,
+    reference_printable_fraction,
+    reference_region_at,
+    reference_shannon_entropy,
+)
+from repro.analysis.scan import (
+    CLASS_LOW_MAGNITUDE,
+    CLASS_PRINTABLE,
+    CLASS_TABLE,
+    ScanCore,
+    count_positive,
+    nonzero_count,
+)
+from repro.attack.carving import (
+    DumpCartographer,
+    printable_fraction,
+    shannon_entropy,
+)
+from repro.attack.extraction import ScrapedDump
+from repro.attack.identify import ModelSignature, SignatureDatabase
+from repro.utils.hexdump import HexDump
+
+
+def _random_windows(seed: int, count: int = 24) -> list[bytes]:
+    """A mixed bag of windows: every kind plus degenerate shapes."""
+    rng = np.random.default_rng(seed)
+    windows = [
+        b"",                      # empty
+        b"\x00",                  # single zero byte
+        b"\x41",                  # single printable byte
+        b"\xf7",                  # single high byte
+        b"\x00" * 256,            # all-zero full window
+        b"\x55" * 100,            # constant
+        b"/usr/share/vitis_ai_library/models/resnet50_pt\x00" * 3,
+        rng.integers(-8, 9, size=256, dtype=np.int8).tobytes(),   # quantized
+        rng.integers(0, 256, size=256, dtype=np.uint8).tobytes(),  # random
+        rng.integers(0, 256, size=131, dtype=np.uint8).tobytes(),  # partial
+    ]
+    for _ in range(count):
+        length = int(rng.integers(1, 512))
+        windows.append(
+            rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+        )
+    for _ in range(count):
+        # Small-alphabet windows hover around the quantized boundary.
+        length = int(rng.integers(16, 300))
+        alphabet = rng.integers(0, 256, size=int(rng.integers(2, 60)))
+        windows.append(
+            rng.choice(alphabet, size=length).astype(np.uint8).tobytes()
+        )
+    return windows
+
+
+def _composite_dump(seed: int) -> bytes:
+    """A dump mixing every region kind, ending on a partial window."""
+    rng = np.random.default_rng(seed)
+    return b"".join(
+        [
+            bytes(1024),
+            rng.integers(-10, 11, size=2048, dtype=np.int8).tobytes(),
+            b"/usr/share/vitis_ai_library/models/squeezenet_pt\x00" * 32,
+            rng.integers(0, 256, size=1536, dtype=np.uint8).tobytes(),
+            b"\xff" * 512,
+            rng.integers(0, 256, size=333, dtype=np.uint8).tobytes(),
+        ]
+    )
+
+
+class TestClassTable:
+    def test_printable_bit_matches_reference_definition(self):
+        for byte in range(256):
+            expected = byte == 0 or 0x20 <= byte <= 0x7E
+            assert bool(CLASS_TABLE[byte] & CLASS_PRINTABLE) == expected
+
+    def test_low_magnitude_bit_matches_reference_definition(self):
+        for byte in range(256):
+            expected = byte < 64 or byte >= 192
+            assert bool(CLASS_TABLE[byte] & CLASS_LOW_MAGNITUDE) == expected
+
+
+class TestStatisticEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_entropy_matches_reference(self, seed):
+        for window in _random_windows(seed):
+            assert shannon_entropy(window) == pytest.approx(
+                reference_shannon_entropy(window), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_printable_fraction_identical(self, seed):
+        for window in _random_windows(seed):
+            assert printable_fraction(window) == reference_printable_fraction(
+                window
+            )
+
+    def test_nonzero_count_identical(self):
+        rng = np.random.default_rng(11)
+        for data in (b"", b"\x00" * 64, b"\x01",
+                     rng.integers(0, 4, size=4096, dtype=np.uint8).tobytes()):
+            assert nonzero_count(data) == reference_nonzero_bytes(data)
+
+    def test_count_positive(self):
+        assert count_positive([]) == 0
+        assert count_positive([0, 1, -3, 7, 0]) == 2
+
+    def test_scan_core_reuse_across_inputs(self):
+        # One core, many differently sized inputs: the lazily grown
+        # scratch tables must never leak state between scans.
+        core = ScanCore()
+        rng = np.random.default_rng(12)
+        for length in (16, 4096, 100, 9000, 1):
+            data = rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+            assert core.entropy(data) == pytest.approx(
+                reference_shannon_entropy(data), abs=1e-9
+            )
+
+
+class TestClassificationEquivalence:
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_classify_window_identical(self, seed):
+        cartographer = DumpCartographer()
+        for window in _random_windows(seed):
+            assert cartographer.classify_window(
+                window
+            ) is reference_classify_window(window)
+
+    def test_classify_window_identical_under_custom_thresholds(self):
+        cartographer = DumpCartographer(
+            window=64, text_threshold=0.5, random_entropy=5.0,
+            quantized_max_alphabet=16,
+        )
+        for window in _random_windows(31):
+            assert cartographer.classify_window(
+                window
+            ) is reference_classify_window(
+                window, text_threshold=0.5, random_entropy=5.0,
+                quantized_max_alphabet=16,
+            )
+
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    def test_map_dump_byte_identical(self, seed):
+        cartographer = DumpCartographer()
+        dump = _composite_dump(seed)
+        assert cartographer.map_dump(dump) == reference_map_dump(dump)
+
+    def test_map_dump_edges(self):
+        cartographer = DumpCartographer()
+        for dump in (b"", b"\x00", b"\x41", b"\x00" * 256, b"\x00" * 300,
+                     b"\xaa" * 17):
+            assert cartographer.map_dump(dump) == reference_map_dump(dump)
+
+    def test_map_dump_with_non_default_window(self):
+        cartographer = DumpCartographer(window=64)
+        dump = _composite_dump(7)
+        assert cartographer.map_dump(dump) == reference_map_dump(
+            dump, window=64
+        )
+
+    def test_map_dump_accepts_bytearray(self):
+        dump = bytearray(_composite_dump(9))
+        assert DumpCartographer().map_dump(dump) == reference_map_dump(
+            bytes(dump)
+        )
+
+
+class TestRegionAtBisect:
+    def test_matches_linear_reference_everywhere(self):
+        cartographer = DumpCartographer()
+        dump = _composite_dump(55)
+        regions = cartographer.map_dump(dump)
+        assert len(regions) > 3
+        probes = [0, len(dump) - 1]
+        for region in regions:
+            probes += [region.start, region.end - 1]
+        for offset in probes:
+            assert cartographer.region_at(
+                regions, offset
+            ) == reference_region_at(regions, offset)
+
+    def test_outside_offsets_raise(self):
+        cartographer = DumpCartographer()
+        regions = cartographer.map_dump(b"\x00" * 512)
+        for offset in (-1, 512, 100000):
+            with pytest.raises(ValueError):
+                cartographer.region_at(regions, offset)
+            with pytest.raises(ValueError):
+                reference_region_at(regions, offset)
+
+    def test_empty_region_list_raises(self):
+        with pytest.raises(ValueError):
+            DumpCartographer().region_at([], 0)
+
+
+def _token_database(seed: int, models: int = 6, tokens: int = 12):
+    rng = np.random.default_rng(seed)
+    signatures = []
+    for index in range(models):
+        name = f"model{index}_pt"
+        signatures.append(ModelSignature(
+            model_name=name,
+            tokens=frozenset(
+                f"{name}_t{j}_{int(rng.integers(100))}" for j in range(tokens)
+            ),
+        ))
+    return SignatureDatabase(signatures), signatures
+
+
+class TestSignatureMatchEquivalence:
+    @pytest.mark.parametrize("seed", [61, 62, 63])
+    def test_scores_identical_to_in_scan_reference(self, seed):
+        database, signatures = _token_database(seed)
+        rng = np.random.default_rng(seed + 1000)
+        embedded = []
+        for signature in signatures[::2]:
+            embedded += sorted(signature.tokens)[: int(rng.integers(1, 9))]
+        dump = (
+            rng.integers(0, 256, size=8192, dtype=np.uint8).tobytes()
+            + "\x00".join(embedded).encode()
+            + bytes(2048)
+        )
+        assert database.match(dump) == reference_match(database, dump)
+
+    def test_empty_dump_and_absent_tokens(self):
+        database, _ = _token_database(70)
+        for dump in (b"", bytes(4096), b"unrelated text entirely"):
+            assert database.match(dump) == reference_match(database, dump)
+
+    def test_empty_signature_scores_zero(self):
+        database = SignatureDatabase([
+            ModelSignature(model_name="empty", tokens=frozenset()),
+            ModelSignature(model_name="real", tokens=frozenset({"tokenA"})),
+        ])
+        result = database.match(b"has tokenA inside")
+        assert result["empty"] == (0.0, [])
+        assert result["real"] == (1.0, ["tokenA"])
+        assert result == reference_match(database, b"has tokenA inside")
+
+    def test_tokens_with_colliding_encodings_all_match(self):
+        # With errors="ignore", distinct tokens can share one encoding
+        # (a lone surrogate drops out); every colliding token must
+        # still be reported, exactly like the per-token ``in`` scans.
+        database = SignatureDatabase([
+            ModelSignature(model_name="a", tokens=frozenset({"abcdef"})),
+            ModelSignature(model_name="b",
+                           tokens=frozenset({"abc\udc80def"})),
+        ])
+        dump = b"xx abcdef yy"
+        result = database.match(dump)
+        assert result == reference_match(database, dump)
+        assert result["a"] == (1.0, ["abcdef"])
+        assert result["b"] == (1.0, ["abc\udc80def"])
+
+    def test_shared_token_matches_both_models(self):
+        database = SignatureDatabase([
+            ModelSignature(model_name="a", tokens=frozenset({"shared_tok"})),
+            ModelSignature(model_name="b",
+                           tokens=frozenset({"shared_tok", "only_b"})),
+        ])
+        dump = b"...shared_tok..."
+        assert database.match(dump) == reference_match(database, dump)
+
+
+class TestAhoCorasick:
+    def test_anchored_equals_streaming_and_in_scan(self):
+        rng = np.random.default_rng(81)
+        patterns = [
+            bytes(rng.integers(0, 256, size=int(rng.integers(1, 12)),
+                               dtype=np.uint8))
+            for _ in range(40)
+        ]
+        automaton = AhoCorasick(patterns)
+        for _ in range(20):
+            haystack = bytes(
+                rng.integers(0, 256, size=2048, dtype=np.uint8)
+            ) + patterns[int(rng.integers(len(patterns)))]
+            expected = {p for p in automaton.patterns if p in haystack}
+            assert automaton.find_present(haystack) == expected
+            assert automaton.find_present_streaming(haystack) == expected
+
+    def test_overlapping_and_nested_patterns(self):
+        automaton = AhoCorasick([b"net50", b"resnet50_pt", b"50_pt", b"ee"])
+        haystack = b"xx/resnet50_pt/weights"
+        expected = {b"net50", b"resnet50_pt", b"50_pt"}
+        assert automaton.find_present(haystack) == expected
+        assert automaton.find_present_streaming(haystack) == expected
+
+    def test_empty_pattern_always_present(self):
+        # ``b"" in data`` is True for any data; presence semantics of
+        # the replaced ``in`` scans are preserved verbatim.
+        automaton = AhoCorasick([b"", b"abc"])
+        assert automaton.find_present(b"") == {b""}
+        assert automaton.find_present(b"zzz") == {b""}
+        assert automaton.find_present(b"xabcx") == {b"", b"abc"}
+
+    def test_duplicate_patterns_deduplicated(self):
+        automaton = AhoCorasick([b"dup", b"dup", b"other"])
+        assert len(automaton) == 2
+        assert automaton.find_present(b"--dup--") == {b"dup"}
+
+    def test_match_at_very_end_of_haystack(self):
+        automaton = AhoCorasick([b"tail"])
+        assert automaton.find_present(b"xxxxtail") == {b"tail"}
+        assert automaton.find_present(b"xxxxtai") == set()
+
+    def test_no_patterns(self):
+        automaton = AhoCorasick([])
+        assert automaton.find_present(b"anything") == set()
+
+
+class TestLazyHexdump:
+    def _dump(self) -> ScrapedDump:
+        return ScrapedDump(
+            pid=42, heap_start=0x1000,
+            data=b"\x00" * 32 + b"resnet50" + b"\x00" * 24,
+            pages_read=1, pages_skipped=0, devmem_reads=1,
+        )
+
+    def test_hexdump_not_built_until_accessed(self):
+        dump = self._dump()
+        assert dump._hexdump is None
+        assert dump.hexdump.grep("resnet50")
+        assert dump._hexdump is not None
+
+    def test_hexdump_cached_on_repeat_access(self):
+        dump = self._dump()
+        assert dump.hexdump is dump.hexdump
+
+    def test_hexdump_skips_copy_for_bytes(self):
+        data = b"\x01" * 64
+        assert HexDump(data).data is data
+
+    def test_hexdump_still_copies_mutable_input(self):
+        mutable = bytearray(b"\x02" * 64)
+        hexdump = HexDump(mutable)
+        assert isinstance(hexdump.data, bytes)
+        mutable[0] = 0xFF
+        assert hexdump.data[0] == 0x02

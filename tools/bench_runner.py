@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""The ``make bench-json`` gate: verify the scan core, record the trajectory.
+
+Builds a deterministic multi-megabyte dump (zero, quantized-weight,
+random, text and marker sections — the mix a real victim heap shows)
+plus a multi-model signature database, then:
+
+1. verifies every fast path against its reference implementation from
+   :mod:`repro.analysis.reference` — byte-identical region maps,
+   identical identification scores, identical window classifications
+   (empty / all-zero / single-byte / partial-trailing-window edges
+   included), identical ``region_at`` lookups and residue counts.
+   **Any divergence exits nonzero without timing anything.**
+2. times fast vs. reference (best-of-``--repeats`` wall clock) and an
+   end-to-end fleet campaign, and writes the results to
+   ``BENCH_analysis.json`` so the perf trajectory is committed and
+   comparable PR-over-PR.
+
+Exit status: 0 = verified and recorded, 2 = fast path diverged from
+its reference.  See ``docs/performance.md`` for how to read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.analysis.reference import (  # noqa: E402
+    reference_map_dump,
+    reference_match,
+    reference_nonzero_bytes,
+    reference_classify_window,
+    reference_region_at,
+)
+from repro.analysis.scan import ScanCore, nonzero_count  # noqa: E402
+from repro.attack.carving import DumpCartographer  # noqa: E402
+from repro.attack.identify import ModelSignature, SignatureDatabase  # noqa: E402
+from repro.campaign import CampaignSpec, run_campaign  # noqa: E402
+
+SEED = 20240315
+MODELS = 12
+TOKENS_PER_MODEL = 40
+
+
+def build_database(rng: np.random.Generator) -> list[ModelSignature]:
+    """Zoo-scale signatures of path/kernel-style tokens."""
+    signatures = []
+    for index in range(MODELS):
+        model = f"model{index:02d}_pt"
+        tokens = set()
+        for j in range(TOKENS_PER_MODEL // 2):
+            tokens.add(
+                f"/usr/share/vitis_ai_library/models/{model}/layer_{j:03d}.params"
+            )
+        for j in range(TOKENS_PER_MODEL - len(tokens)):
+            tokens.add(f"{model}_kernel_{j:03d}_fix{int(rng.integers(1000)):03d}")
+        signatures.append(
+            ModelSignature(model_name=model, tokens=frozenset(tokens))
+        )
+    return signatures
+
+
+def build_dump(mib: float, database: list[ModelSignature],
+               rng: np.random.Generator) -> bytes:
+    """A deterministic dump with the section mix of a real victim heap.
+
+    The "victim" (model 5) leaves all of its tokens in the text
+    sections; every other model leaves a couple of stray tokens, so
+    identification scores are non-trivial in both directions.
+    """
+    victim = database[5]
+    strays = [sorted(sig.tokens)[:2] for sig in database if sig is not victim]
+    text = bytearray()
+    for token in sorted(victim.tokens):
+        text += token.encode() + b"\x00"
+    for pair in strays:
+        for token in pair:
+            text += token.encode() + b"\x00"
+    text += b"/usr/lib/libvart-runner.so.3\x00/etc/vart.conf\x00" * 40
+
+    target = int(mib * 1024 * 1024)
+    parts: list[bytes] = []
+    size = 0
+    while size < target:
+        section = [
+            bytes(256 * 1024),  # scrubbed / never-written slack
+            rng.integers(-12, 13, size=512 * 1024, dtype=np.int8).tobytes(),
+            rng.integers(0, 256, size=192 * 1024, dtype=np.uint8).tobytes(),  # runtime structures
+            bytes(text[: 48 * 1024]),  # metadata strings
+            b"\xff" * (32 * 1024),  # marker block
+        ]
+        for chunk in section:
+            parts.append(chunk)
+            size += len(chunk)
+    # Odd tail so the partial-trailing-window path is always exercised.
+    parts.append(rng.integers(0, 256, size=777, dtype=np.uint8).tobytes())
+    return b"".join(parts)
+
+
+def best_of(repeats: int, fn, *args) -> tuple[float, object]:
+    """Best wall-clock seconds over *repeats* runs, plus the result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def verify(dump: bytes, cartographer: DumpCartographer,
+           database: SignatureDatabase,
+           rng: np.random.Generator) -> list[str]:
+    """Every fast-path-vs-reference divergence, as printable strings."""
+    failures: list[str] = []
+
+    fast_regions = cartographer.map_dump(dump)
+    ref_regions = reference_map_dump(dump)
+    if fast_regions != ref_regions:
+        failures.append(
+            f"map_dump diverged: {len(fast_regions)} fast regions vs "
+            f"{len(ref_regions)} reference"
+        )
+
+    if database.match(dump) != reference_match(database, dump):
+        failures.append("SignatureDatabase.match diverged from in-scan reference")
+
+    if nonzero_count(dump) != reference_nonzero_bytes(dump):
+        failures.append("nonzero_count diverged from per-byte reference")
+
+    edges = [b"", b"\x00", b"\x00" * 256, b"\x7f", b"\xfe" * 300]
+    for _ in range(64):
+        length = int(rng.integers(1, 512))
+        edges.append(rng.integers(0, 256, size=length, dtype=np.uint8).tobytes())
+    for window in edges:
+        fast_kind = cartographer.classify_window(window)
+        ref_kind = reference_classify_window(window)
+        if fast_kind is not ref_kind:
+            failures.append(
+                f"classify_window diverged on {len(window)}-byte window: "
+                f"{fast_kind} vs {ref_kind}"
+            )
+
+    offsets = [0, len(dump) - 1] + [
+        int(rng.integers(len(dump))) for _ in range(256)
+    ]
+    for offset in offsets:
+        if cartographer.region_at(fast_regions, offset) != reference_region_at(
+            ref_regions, offset
+        ):
+            failures.append(f"region_at diverged at offset {offset:#x}")
+    for outside in (-1, len(dump), len(dump) + 512):
+        for lookup in (cartographer.region_at, reference_region_at):
+            try:
+                lookup(fast_regions, outside)
+            except ValueError:
+                continue
+            failures.append(f"region_at({outside:#x}) failed to raise")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_analysis.json")
+    parser.add_argument("--mib", type=float, default=4.0,
+                        help="benchmark dump size in MiB (default 4)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing runs per path; best is kept")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(SEED)
+    signatures = build_database(rng)
+    database = SignatureDatabase(signatures)
+    dump = build_dump(args.mib, signatures, rng)
+    mib = len(dump) / (1024 * 1024)
+    cartographer = DumpCartographer(core=ScanCore())
+    print(f"bench dump: {mib:.2f} MiB, database: {MODELS} models x "
+          f"{TOKENS_PER_MODEL} tokens")
+
+    failures = verify(dump, cartographer, database, rng)
+    if failures:
+        for failure in failures:
+            print(f"DIVERGENCE: {failure}", file=sys.stderr)
+        print("bench_runner: fast paths diverged; refusing to record timings",
+              file=sys.stderr)
+        return 2
+    print("verified: every fast path matches its reference implementation")
+
+    map_fast, regions = best_of(args.repeats, cartographer.map_dump, dump)
+    map_ref, _ = best_of(args.repeats, reference_map_dump, dump)
+    id_fast, _ = best_of(args.repeats, database.match, dump)
+    id_ref, _ = best_of(args.repeats, reference_match, database, dump)
+    nz_fast, nonzero = best_of(args.repeats, nonzero_count, dump)
+    nz_ref, _ = best_of(args.repeats, reference_nonzero_bytes, dump)
+
+    spec = CampaignSpec(boards=2, victims=6, seed=SEED % 10_000)
+    campaign_wall, report = best_of(1, run_campaign, spec)
+    throughput = report.throughput
+
+    def lane(fast: float, reference: float) -> dict:
+        return {
+            "fast_seconds": round(fast, 6),
+            "reference_seconds": round(reference, 6),
+            "fast_mib_per_s": round(mib / fast, 2),
+            "reference_mib_per_s": round(mib / reference, 2),
+            "speedup": round(reference / fast, 2),
+        }
+
+    payload = {
+        "generated_by": "tools/bench_runner.py (make bench-json)",
+        "verified": True,
+        "dump": {
+            "mib": round(mib, 3),
+            "seed": SEED,
+            "regions": len(regions),
+            "nonzero_bytes": nonzero,
+        },
+        "database": {"models": MODELS, "tokens": MODELS * TOKENS_PER_MODEL},
+        "map_dump": lane(map_fast, map_ref),
+        "identify": lane(id_fast, id_ref),
+        "nonzero": lane(nz_fast, nz_ref),
+        "campaign": {
+            "boards": spec.boards,
+            "victims": throughput.victims,
+            "wall_seconds": round(campaign_wall, 3),
+            "victims_per_second": round(throughput.victims_per_second, 3),
+            "mib_per_second": round(
+                throughput.bytes_per_second / (1024 * 1024), 2
+            ),
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"map_dump : {payload['map_dump']['speedup']:>7.2f}x "
+          f"({payload['map_dump']['fast_mib_per_s']} MiB/s)")
+    print(f"identify : {payload['identify']['speedup']:>7.2f}x "
+          f"({payload['identify']['fast_mib_per_s']} MiB/s)")
+    print(f"nonzero  : {payload['nonzero']['speedup']:>7.2f}x")
+    print(f"campaign : {payload['campaign']['victims_per_second']} victims/s")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
