@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json docs-check
+.PHONY: test bench bench-json docs-check cli-docs
 
 test: docs-check
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +19,12 @@ bench-json:
 	$(PYTHON) tools/bench_runner.py --output BENCH_analysis.json
 
 # Fails when a module under src/repro lacks a docstring, the README
-# package map is missing or stale, a docs/README link is broken, or a
-# documented docstring example no longer runs.
+# package map is missing or stale, a docs/README link or #anchor is
+# broken, docs/cli.md drifts from the argparse tree, or a documented
+# docstring example no longer runs.
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+# Regenerate the CLI reference from src/repro/cli.py.
+cli-docs:
+	$(PYTHON) tools/gen_cli_docs.py

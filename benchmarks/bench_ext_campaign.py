@@ -1,6 +1,6 @@
 """Extension — fleet campaign throughput and batched extraction.
 
-Two questions, benchmarked:
+Three questions, benchmarked:
 
 1. Does coalescing contiguous physical ranges into bulk devmem reads
    beat the paper's word-at-a-time automation on dump throughput?
@@ -8,6 +8,10 @@ Two questions, benchmarked:
    collapses into a handful of range reads.)
 2. What does a whole multi-board campaign sustain end-to-end, offline
    prep and board boots included?
+3. What does the same fleet sustain on the multiprocess executor,
+   worker startup and prep shipping included — and does sharding
+   change any outcome?  (It must not: the canonical outcomes are
+   executor-invariant.)
 
 Artifacts land in ``benchmarks/out/ext_campaign_*.txt``.
 """
@@ -99,5 +103,20 @@ def test_campaign_end_to_end_throughput(benchmark):
     assert report.success_rate == 1.0
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "ext_campaign_throughput.txt").write_text(
+        report.throughput.describe() + "\n"
+    )
+
+
+def test_campaign_end_to_end_multiprocess(benchmark):
+    """The same fleet sharded across worker processes."""
+    spec = CampaignSpec(boards=4, victims=8, seed=11)
+
+    report = benchmark(
+        run_campaign, spec, executor="multiprocess", processes=4
+    )
+
+    assert report.success_rate == 1.0
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_campaign_multiprocess.txt").write_text(
         report.throughput.describe() + "\n"
     )

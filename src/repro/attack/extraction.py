@@ -23,6 +23,7 @@ devmem-invocation counts (``AttackConfig`` selects one):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.attack.addressing import HarvestedRange
@@ -48,6 +49,7 @@ class ScrapedDump:
 
     def __post_init__(self) -> None:
         self._hexdump: HexDump | None = None
+        self._sha256: str | None = None
 
     @property
     def hexdump(self) -> HexDump:
@@ -61,6 +63,20 @@ class ScrapedDump:
         if self._hexdump is None:
             self._hexdump = HexDump(self.data)
         return self._hexdump
+
+    @property
+    def sha256(self) -> str:
+        """Content digest of the residue — the dump's spool address.
+
+        The campaign runtime files every dump in a content-addressed
+        on-disk spool under this digest
+        (:class:`repro.campaign.runtime.DumpSpool`), so identical
+        residue — e.g. the all-zero dumps a zero-on-free kernel yields
+        — is stored once fleet-wide.  Computed lazily and cached.
+        """
+        if self._sha256 is None:
+            self._sha256 = hashlib.sha256(self.data).hexdigest()
+        return self._sha256
 
     @property
     def nbytes(self) -> int:

@@ -12,10 +12,15 @@ at cloud scale.  This package provides that scale for the simulation:
 - :mod:`repro.campaign.worker` — the per-board wave choreography:
   launch co-residents, harvest while alive, terminate, scrape;
 - :mod:`repro.campaign.report` — :class:`CampaignReport` aggregation
-  (per-model / per-board breakdowns, fleet throughput) and JSON
-  persistence;
+  (per-model / per-board breakdowns, fleet throughput, the streaming
+  :class:`OutcomeAccumulator`) and JSON persistence;
 - :mod:`repro.campaign.engine` — :func:`run_campaign`: one offline
-  prep, then every board concurrently on a worker pool.
+  prep, then every board concurrently on a worker pool;
+- :mod:`repro.campaign.runtime` — the process-parallel, checkpointable
+  runtime: executors (threads or a ``multiprocessing`` pool), the
+  content-addressed :class:`DumpSpool`, and
+  :class:`CampaignRuntime` for journaled interrupt/resume runs
+  (``repro campaign run --run-dir/--resume``).
 
 Quick use (also exposed as ``repro campaign run``):
 
@@ -30,28 +35,47 @@ from repro.campaign.schedule import (
     VictimJob,
     build_schedule,
     jobs_by_board,
+    spec_from_dict,
+    spec_to_dict,
 )
-from repro.campaign.fleet import ProvisionedBoard, provision_fleet
+from repro.campaign.fleet import (
+    ProvisionedBoard,
+    provision_board,
+    provision_fleet,
+)
 from repro.campaign.worker import BoardWorker, VictimOutcome
 from repro.campaign.report import (
     BoardBreakdown,
     CampaignReport,
     ModelBreakdown,
+    OutcomeAccumulator,
 )
 from repro.campaign.engine import prepare_offline, run_campaign
+from repro.campaign.runtime import (
+    CampaignRuntime,
+    DumpSpool,
+    RunDirectory,
+)
 
 __all__ = [
     "CampaignSpec",
     "VictimJob",
     "build_schedule",
     "jobs_by_board",
+    "spec_from_dict",
+    "spec_to_dict",
     "ProvisionedBoard",
+    "provision_board",
     "provision_fleet",
     "BoardWorker",
     "VictimOutcome",
     "BoardBreakdown",
     "CampaignReport",
     "ModelBreakdown",
+    "OutcomeAccumulator",
     "prepare_offline",
     "run_campaign",
+    "CampaignRuntime",
+    "DumpSpool",
+    "RunDirectory",
 ]

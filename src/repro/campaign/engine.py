@@ -8,9 +8,12 @@
    :class:`~repro.attack.identify.SignatureDatabase` (the paper's
    attacker preps on hardware they control; a fleet attacker preps
    once, not once per victim);
-3. provision the fleet and hand each board's jobs to a
-   :class:`~repro.campaign.worker.BoardWorker` on a thread pool —
-   boards are independent simulations, so they scrape concurrently;
+3. hand the fleet's boards to an executor from
+   :mod:`repro.campaign.runtime.executors` — threads sharing the prep
+   by reference for small fleets, a ``multiprocessing`` worker pool
+   sharding boards across cores for large ones (``executor="auto"``
+   picks; both stream outcomes back wave by wave and produce
+   identical results);
 4. collect every outcome into a
    :class:`~repro.campaign.report.CampaignReport`.
 
@@ -20,7 +23,13 @@ boots every fleet board with an arbitrary
 :class:`~repro.petalinux.kernel.KernelConfig` (provisioning time), and
 *teardown_hook* runs after each wave's victims terminate and before
 extraction (process-teardown time — where the asynchronous scrub
-daemon races the attacker's scrape).
+daemon races the attacker's scrape).  A live hook cannot cross a
+process boundary, so campaigns with a *teardown_hook* always run
+in-process.
+
+For checkpointable runs — journal, dump spool, interrupt/resume — use
+:class:`~repro.campaign.runtime.runner.CampaignRuntime`, which drives
+these same executors under a run directory.
 
 >>> from repro.campaign import CampaignSpec, run_campaign
 >>> report = run_campaign(CampaignSpec(boards=4, victims=8, seed=7))
@@ -29,16 +38,19 @@ daemon races the attacker's scrape).
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 
-from repro.attack.config import AttackConfig
 from repro.attack.identify import SignatureDatabase
 from repro.attack.profiling import ProfileStore
-from repro.campaign.fleet import provision_fleet
 from repro.campaign.report import CampaignReport
-from repro.campaign.schedule import CampaignSpec, build_schedule, jobs_by_board
-from repro.campaign.worker import BoardWorker, TeardownHook
+from repro.campaign.runtime.executors import (
+    InProcessExecutor,
+    resolve_executor,
+)
+from repro.campaign.runtime.spool import DumpSpool
+from repro.campaign.schedule import CampaignSpec
+from repro.campaign.worker import TeardownHook, VictimOutcome
 from repro.evaluation.scenarios import BoardSession
 from repro.petalinux.kernel import KernelConfig
 
@@ -61,6 +73,9 @@ def run_campaign(
     *,
     kernel_config: KernelConfig | None = None,
     teardown_hook: TeardownHook | None = None,
+    executor: str = "auto",
+    processes: int | None = None,
+    spool: DumpSpool | None = None,
 ) -> CampaignReport:
     """Run one full fleet campaign and aggregate the results.
 
@@ -71,34 +86,58 @@ def run_campaign(
     hardware they control while the defense protects the victims'
     boards.  *teardown_hook* fires per wave after termination (see
     :data:`~repro.campaign.worker.TeardownHook`).
+
+    *executor* selects board placement: ``"inprocess"`` (threads),
+    ``"multiprocess"`` (*processes* workers sharding the fleet), or
+    ``"auto"``.  *spool* files every scraped dump in a
+    content-addressed store as soon as it is analyzed, so only wave-
+    local dumps are ever resident.
     """
     started = time.perf_counter()
-    schedule = build_schedule(spec)
+    custom_database = database is not None
     if profiles is None:
         prepped_profiles, prepped_database = prepare_offline(spec)
         profiles = prepped_profiles
         database = database or prepped_database
     elif database is None:
         database = SignatureDatabase.from_profiles(profiles)
-    fleet = provision_fleet(spec, kernel_config=kernel_config)
-    config = AttackConfig(coalesce_reads=spec.coalesce_reads)
 
-    grouped = jobs_by_board(schedule)
-    workers = {
-        board.index: BoardWorker(
-            board, profiles, database, config, teardown_hook=teardown_hook
-        )
-        for board in fleet
-    }
-    max_workers = spec.max_workers or spec.boards
-    outcomes = []
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(workers[index].run_jobs, jobs)
-            for index, jobs in sorted(grouped.items())
-        ]
-        for future in futures:
-            outcomes.extend(future.result())
+    chosen = resolve_executor(
+        spec, executor, processes=processes, teardown_hook=teardown_hook
+    )
+    if custom_database and chosen.name == "multiprocess":
+        # Workers rebuild their database from the shipped profiles; a
+        # hand-tuned one would be silently ignored, changing results
+        # between executors.  Under "auto" fall back to threads (the
+        # documented prep-reuse pattern must keep working at any fleet
+        # size); an explicit multiprocess request is refused instead.
+        if executor == "auto":
+            chosen = InProcessExecutor()
+        else:
+            raise ValueError(
+                "a custom SignatureDatabase cannot be shipped to worker "
+                "processes (they rebuild from profiles); pass profiles "
+                "only, or use executor='inprocess'"
+            )
+    outcomes: list[VictimOutcome] = []
+    lock = threading.Lock()
+
+    def on_wave(board: int, wave: int, batch: list[VictimOutcome]) -> None:
+        del board, wave
+        with lock:
+            outcomes.extend(batch)
+
+    chosen.run(
+        spec,
+        range(spec.boards),
+        profiles,
+        database,
+        kernel_config=kernel_config,
+        teardown_hook=teardown_hook,
+        spool=spool,
+        on_wave=on_wave,
+        on_board_complete=lambda board: None,
+    )
     outcomes.sort(key=lambda outcome: outcome.job_id)
     return CampaignReport(
         spec=spec,

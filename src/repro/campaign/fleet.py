@@ -63,46 +63,58 @@ class ProvisionedBoard:
         return self.tenant_shells[tenant_index]
 
 
-def provision_fleet(
-    spec: CampaignSpec, kernel_config: KernelConfig | None = None
-) -> list[ProvisionedBoard]:
-    """Boot the whole fleet described by *spec*.
+def provision_board(
+    spec: CampaignSpec,
+    index: int,
+    kernel_config: KernelConfig | None = None,
+) -> ProvisionedBoard:
+    """Boot fleet member *index* of the campaign described by *spec*.
+
+    Each board is a pure function of ``(spec, index)``: the spec picks
+    the board model, the index seeds the power-up DRAM fill, and the
+    kernel boots fresh — which is what lets the campaign runtime
+    provision boards lazily, in any process, and still get the exact
+    simulation an up-front :func:`provision_fleet` would have built.
 
     Tenant 0 is the session's standard victim terminal; additional
     tenants log in as fresh users on their own pseudo-terminals, so
     co-resident victims in one wave genuinely run under different
     uids (the multi-tenant threat model).
+    """
+    board_spec = fleet_specs(spec.boards, spec.board_names)[index]
+    session = BoardSession.boot(
+        config=kernel_config,
+        board=board_spec,
+        input_hw=spec.input_hw,
+        fill_seed=index,
+    )
+    tenants = [session.victim_shell]
+    for extra, extra_uid in enumerate(tenant_uids(spec)[1:], start=1):
+        tenants.append(
+            session.add_tenant(
+                name=f"guest{extra}",
+                uid=extra_uid,
+                tty=f"pts/{1 + extra}",
+            )
+        )
+    return ProvisionedBoard(
+        index=index,
+        session=session,
+        tenant_shells=tenants,
+        translation_cache=TranslationCache(),
+    )
+
+
+def provision_fleet(
+    spec: CampaignSpec, kernel_config: KernelConfig | None = None
+) -> list[ProvisionedBoard]:
+    """Boot the whole fleet described by *spec*.
 
     *kernel_config* boots every board hardened (or differently
     misconfigured) instead of with the vulnerable default — the
     defense arena's provisioning hook.
     """
-    boards = []
-    extra_uids = tenant_uids(spec)[1:]
-    for index, board_spec in enumerate(
-        fleet_specs(spec.boards, spec.board_names)
-    ):
-        session = BoardSession.boot(
-            config=kernel_config,
-            board=board_spec,
-            input_hw=spec.input_hw,
-            fill_seed=index,
-        )
-        tenants = [session.victim_shell]
-        for extra, extra_uid in enumerate(extra_uids, start=1):
-            tenants.append(
-                session.add_tenant(
-                    name=f"guest{extra}",
-                    uid=extra_uid,
-                    tty=f"pts/{1 + extra}",
-                )
-            )
-        boards.append(
-            ProvisionedBoard(
-                index=index,
-                session=session,
-                tenant_shells=tenants,
-                translation_cache=TranslationCache(),
-            )
-        )
-    return boards
+    return [
+        provision_board(spec, index, kernel_config)
+        for index in range(spec.boards)
+    ]

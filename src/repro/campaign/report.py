@@ -6,6 +6,24 @@
 model and per board, and renders one text summary.  Reports serialize
 to JSON (spec included) so ``repro campaign run -o fleet.json`` and a
 later ``repro campaign report fleet.json`` see identical numbers.
+
+Aggregation is incremental: :class:`OutcomeAccumulator` folds outcomes
+in one at a time, which is how the checkpointable runtime keeps fleet
+totals live while outcomes stream out of worker processes — and the
+report's own breakdowns are the same tallies, so streamed and batch
+numbers can never disagree:
+
+>>> outcome = VictimOutcome(
+...     job_id=0, board_index=0, board_name="ZCU104",
+...     model_name="resnet50_pt", tenant_index=0, launch_wave=0,
+...     pid=871, identified_model="resnet50_pt", pixel_match_rate=1.0,
+...     nbytes=4096, devmem_reads=1, pages_read=1, wall_seconds=0.0)
+>>> tally = OutcomeAccumulator()
+>>> tally.add(outcome)
+>>> tally.victims, tally.succeeded
+(1, 1)
+>>> tally.per_model()[0].identification_rate
+1.0
 """
 
 from __future__ import annotations
@@ -13,7 +31,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 
-from repro.campaign.schedule import CampaignSpec
+from repro.campaign.schedule import CampaignSpec, spec_from_dict
 from repro.campaign.worker import VictimOutcome
 from repro.evaluation.metrics import ThroughputStats
 
@@ -43,6 +61,87 @@ class BoardBreakdown:
     succeeded: int
     nbytes: int
     devmem_reads: int
+
+
+class OutcomeAccumulator:
+    """Streaming fleet aggregation — outcomes fold in one at a time.
+
+    The runtime adds each outcome the moment it is journaled, so
+    fleet-wide tallies (and operator progress) never require holding
+    more than the outcomes themselves; :class:`CampaignReport` builds
+    its breakdowns through the same accumulator, so the incremental
+    and batch views are one code path.
+    """
+
+    def __init__(self) -> None:
+        self._victims = 0
+        self._succeeded = 0
+        self._models: dict[str, list[int]] = {}
+        self._boards: dict[int, list] = {}
+
+    @classmethod
+    def of(cls, outcomes: list[VictimOutcome]) -> "OutcomeAccumulator":
+        """An accumulator pre-folded over *outcomes*."""
+        accumulator = cls()
+        accumulator.extend(outcomes)
+        return accumulator
+
+    def add(self, outcome: VictimOutcome) -> None:
+        """Fold one outcome into the running tallies."""
+        self._victims += 1
+        self._succeeded += outcome.succeeded
+        model = self._models.setdefault(outcome.model_name, [0, 0, 0])
+        model[0] += 1
+        model[1] += outcome.identified_correctly
+        model[2] += outcome.image_recovered
+        board = self._boards.setdefault(
+            outcome.board_index, [outcome.board_name, 0, 0, 0, 0]
+        )
+        board[1] += 1
+        board[2] += outcome.succeeded
+        board[3] += outcome.nbytes
+        board[4] += outcome.devmem_reads
+
+    def extend(self, outcomes: list[VictimOutcome]) -> None:
+        """Fold a batch of outcomes in."""
+        for outcome in outcomes:
+            self.add(outcome)
+
+    @property
+    def victims(self) -> int:
+        """Outcomes folded in so far."""
+        return self._victims
+
+    @property
+    def succeeded(self) -> int:
+        """Victims that leaked anything at all, so far."""
+        return self._succeeded
+
+    def per_model(self) -> list[ModelBreakdown]:
+        """Running per-model aggregates, sorted by model name."""
+        return [
+            ModelBreakdown(
+                model_name=name,
+                victims=tally[0],
+                identified=tally[1],
+                images_recovered=tally[2],
+            )
+            for name, tally in sorted(self._models.items())
+        ]
+
+    def per_board(self) -> list[BoardBreakdown]:
+        """Running per-board aggregates, by board index."""
+        return [
+            BoardBreakdown(
+                board_index=index,
+                board_name=tally[0],
+                victims=tally[1],
+                succeeded=tally[2],
+                nbytes=tally[3],
+                devmem_reads=tally[4],
+            )
+            for index, tally in sorted(self._boards.items())
+        ]
 
 
 @dataclass
@@ -110,35 +209,11 @@ class CampaignReport:
 
     def per_model(self) -> list[ModelBreakdown]:
         """Outcome aggregates per model, sorted by model name."""
-        grouped: dict[str, list[VictimOutcome]] = {}
-        for outcome in self.outcomes:
-            grouped.setdefault(outcome.model_name, []).append(outcome)
-        return [
-            ModelBreakdown(
-                model_name=name,
-                victims=len(group),
-                identified=sum(1 for o in group if o.identified_correctly),
-                images_recovered=sum(1 for o in group if o.image_recovered),
-            )
-            for name, group in sorted(grouped.items())
-        ]
+        return OutcomeAccumulator.of(self.outcomes).per_model()
 
     def per_board(self) -> list[BoardBreakdown]:
         """Outcome aggregates per fleet member, by board index."""
-        grouped: dict[int, list[VictimOutcome]] = {}
-        for outcome in self.outcomes:
-            grouped.setdefault(outcome.board_index, []).append(outcome)
-        return [
-            BoardBreakdown(
-                board_index=index,
-                board_name=group[0].board_name,
-                victims=len(group),
-                succeeded=sum(1 for o in group if o.succeeded),
-                nbytes=sum(o.nbytes for o in group),
-                devmem_reads=sum(o.devmem_reads for o in group),
-            )
-            for index, group in sorted(grouped.items())
-        ]
+        return OutcomeAccumulator.of(self.outcomes).per_board()
 
     def failures(self) -> list[VictimOutcome]:
         """Victims whose attack died mid-pipeline."""
@@ -213,11 +288,8 @@ class CampaignReport:
     def from_json(cls, text: str) -> "CampaignReport":
         """Rebuild a report from :meth:`to_json` output."""
         payload = json.loads(text)
-        spec_fields = dict(payload["spec"])
-        for key in ("model_mix", "board_names"):
-            spec_fields[key] = tuple(spec_fields[key])
         return cls(
-            spec=CampaignSpec(**spec_fields),
+            spec=spec_from_dict(payload["spec"]),
             outcomes=[
                 VictimOutcome(**record) for record in payload["outcomes"]
             ],

@@ -1,0 +1,57 @@
+"""Process-parallel, checkpointable campaign runtime.
+
+PR 1's engine ran every board on one thread pool in one process and
+kept everything in memory until the end — fine for a demo fleet,
+fragile for the fleet-scale scraping scenario the paper implies (and
+the Resurrection-Attack / Pentimento-style long-horizon variants in
+PAPERS.md demand).  This package turns the engine into a restartable,
+service-grade runtime:
+
+- :mod:`~repro.campaign.runtime.executors` — the placement layer:
+  boards on threads (:class:`InProcessExecutor`) or sharded across a
+  ``multiprocessing`` pool (:class:`MultiprocessExecutor`), streaming
+  wave outcomes back over a queue; :func:`resolve_executor` applies
+  the small-fleet fallback policy.
+- :mod:`~repro.campaign.runtime.spool` — :class:`DumpSpool`, the
+  content-addressed on-disk store every scraped dump lands in the
+  moment step-4 analysis finishes, keeping resident memory flat
+  regardless of campaign size.
+- :mod:`~repro.campaign.runtime.checkpoint` — :class:`RunDirectory`:
+  the spec, the per-wave outcome journal, telemetry, and the final
+  report, with :func:`canonical_outcome` making journaled results
+  deterministic.
+- :mod:`~repro.campaign.runtime.runner` — :class:`CampaignRuntime`,
+  which ties the three together so ``repro campaign run --resume``
+  continues an interrupted campaign to a byte-identical report.
+
+See ``docs/campaigns.md`` for the operator runbook.
+"""
+
+from repro.campaign.runtime.checkpoint import (
+    JournalState,
+    RunDirectory,
+    canonical_outcome,
+)
+from repro.campaign.runtime.executors import (
+    MULTIPROCESS_AUTO_BOARDS,
+    CampaignExecutionError,
+    InProcessExecutor,
+    MultiprocessExecutor,
+    resolve_executor,
+)
+from repro.campaign.runtime.runner import CampaignRuntime
+from repro.campaign.runtime.spool import DumpSpool, SpoolEntry
+
+__all__ = [
+    "MULTIPROCESS_AUTO_BOARDS",
+    "CampaignExecutionError",
+    "CampaignRuntime",
+    "DumpSpool",
+    "InProcessExecutor",
+    "JournalState",
+    "MultiprocessExecutor",
+    "RunDirectory",
+    "SpoolEntry",
+    "canonical_outcome",
+    "resolve_executor",
+]

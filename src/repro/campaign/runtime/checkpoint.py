@@ -1,0 +1,259 @@
+"""The run directory — spec, journal, spool, telemetry, report.
+
+A checkpointable campaign lives in one directory::
+
+    <run_dir>/
+      spec.json        the CampaignSpec the run was started with
+      journal.jsonl    append-only outcome journal (one line per wave)
+      spool/           content-addressed dump store (see spool.py)
+      telemetry.json   real wall-clock numbers (non-canonical)
+      report.json      the final CampaignReport, written at completion
+
+**Journal format** — one JSON object per line, flushed and fsynced per
+wave so a kill at any instant loses at most the wave in flight::
+
+    {"type": "wave", "board": 1, "wave": 0, "outcomes": [...]}
+    {"type": "board_complete", "board": 1}
+
+**Canonical outcomes.**  A restartable runtime cannot promise
+wall-clock identity across a crash, so everything it journals is
+*canonicalized* first: :func:`canonical_outcome` zeroes the two
+wall-clock fields (``wall_seconds``, ``teardown_seconds``), which are
+the only nondeterministic bits of a
+:class:`~repro.campaign.worker.VictimOutcome`.  Every other field —
+pids, byte counts, scores, scrub work, dump digests — is a pure
+function of the spec, so an interrupted-and-resumed campaign produces
+a ``report.json`` byte-identical to an uninterrupted one.  Real
+timings are not lost; they land in ``telemetry.json``.
+
+**Resume unit = the board.**  Waves on one board share kernel state
+(scheduler ticks, the frame allocator, pid numbering, DRAM residue),
+so a wave cannot be replayed in isolation; boards are fully
+independent simulations.  The journal therefore records per wave (for
+progress observability — ``tail -f journal.jsonl``) but resume reuses
+only boards whose ``board_complete`` marker landed, and re-runs the
+rest from scratch — deterministically, because each board's simulation
+is a pure function of ``(spec, board_index)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+from repro.campaign.report import CampaignReport
+from repro.campaign.schedule import (
+    CampaignSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.campaign.runtime.spool import DumpSpool
+from repro.campaign.worker import VictimOutcome
+
+SPEC_FORMAT = 1
+
+
+def canonical_outcome(outcome: VictimOutcome) -> VictimOutcome:
+    """Zero the wall-clock fields — the only nondeterministic ones."""
+    return replace(outcome, wall_seconds=0.0, teardown_seconds=0.0)
+
+
+@dataclass
+class JournalState:
+    """What a journal says happened so far."""
+
+    complete_boards: set[int] = field(default_factory=set)
+    outcomes_by_board: dict[int, list[VictimOutcome]] = field(
+        default_factory=dict
+    )
+    journaled_outcomes: int = 0
+
+    def reusable_outcomes(self) -> list[VictimOutcome]:
+        """Outcomes of boards that finished — what resume keeps."""
+        return [
+            outcome
+            for board in sorted(self.complete_boards)
+            for outcome in self.outcomes_by_board.get(board, [])
+        ]
+
+
+class RunDirectory:
+    """One checkpointable campaign's on-disk home."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self._root = Path(root)
+
+    # -- creation / opening --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, root: str | os.PathLike[str], spec: CampaignSpec
+    ) -> "RunDirectory":
+        """Initialize a fresh run directory for *spec*.
+
+        Refuses a directory that already holds a campaign (resume it
+        instead — silently restarting would orphan its journal).
+        """
+        run_dir = cls(root)
+        if run_dir.spec_path.exists():
+            raise ValueError(
+                f"{run_dir._root} already holds a campaign "
+                f"(spec.json exists); resume it or pick a fresh directory"
+            )
+        run_dir._root.mkdir(parents=True, exist_ok=True)
+        run_dir.spec_path.write_text(
+            json.dumps(
+                {"format": SPEC_FORMAT, "spec": spec_to_dict(spec)},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return run_dir
+
+    @classmethod
+    def open(cls, root: str | os.PathLike[str]) -> "RunDirectory":
+        """Open an existing run directory (for resume or inspection)."""
+        run_dir = cls(root)
+        if not run_dir.spec_path.exists():
+            raise FileNotFoundError(
+                f"{run_dir._root} is not a run directory (no spec.json)"
+            )
+        return run_dir
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The run directory itself."""
+        return self._root
+
+    @property
+    def spec_path(self) -> Path:
+        """``spec.json`` — the campaign spec the run was started with."""
+        return self._root / "spec.json"
+
+    @property
+    def journal_path(self) -> Path:
+        """``journal.jsonl`` — the append-only outcome journal."""
+        return self._root / "journal.jsonl"
+
+    @property
+    def report_path(self) -> Path:
+        """``report.json`` — the canonical final report."""
+        return self._root / "report.json"
+
+    @property
+    def telemetry_path(self) -> Path:
+        """``telemetry.json`` — real wall-clock numbers, non-canonical."""
+        return self._root / "telemetry.json"
+
+    @property
+    def spool(self) -> DumpSpool:
+        """The run's content-addressed dump store."""
+        return DumpSpool(self._root / "spool")
+
+    # -- spec ----------------------------------------------------------------
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec this run was started with."""
+        payload = json.loads(self.spec_path.read_text())
+        if payload.get("format") != SPEC_FORMAT:
+            raise ValueError(
+                f"{self.spec_path}: unsupported format "
+                f"{payload.get('format')!r} (expected {SPEC_FORMAT})"
+            )
+        return spec_from_dict(payload["spec"])
+
+    # -- journal -------------------------------------------------------------
+
+    def append_wave(
+        self, board: int, wave: int, outcomes: list[VictimOutcome]
+    ) -> None:
+        """Journal one completed wave (already canonicalized).
+
+        The line is flushed and fsynced before returning, so a crash
+        immediately after a wave never loses it.
+        """
+        line = json.dumps(
+            {
+                "type": "wave",
+                "board": board,
+                "wave": wave,
+                "outcomes": [asdict(outcome) for outcome in outcomes],
+            },
+            sort_keys=True,
+        )
+        self._append_line(line)
+
+    def mark_board_complete(self, board: int) -> None:
+        """Journal that every wave of *board* has been recorded."""
+        self._append_line(
+            json.dumps({"type": "board_complete", "board": board})
+        )
+
+    def _append_line(self, line: str) -> None:
+        with open(self.journal_path, "a+b") as handle:
+            # A previous run killed mid-write can leave a torn final
+            # line with no newline; terminate it first so the fragment
+            # stays its own (skipped) line instead of corrupting this
+            # record.  (Append mode: every write lands at the end.)
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_journal(self) -> JournalState:
+        """Replay the journal into a :class:`JournalState`.
+
+        A truncated trailing line (crash mid-write) is ignored — the
+        wave it described is simply re-run.  A job journaled twice
+        (an interrupted attempt left partial waves, and the resume
+        re-ran that board from scratch) is kept once: canonical
+        outcomes are deterministic, so the copies are identical and
+        the first wins.
+        """
+        state = JournalState()
+        if not self.journal_path.exists():
+            return state
+        seen_jobs: set[int] = set()
+        for line in self.journal_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing write; its wave re-runs
+            if record["type"] == "wave":
+                outcomes = state.outcomes_by_board.setdefault(
+                    record["board"], []
+                )
+                for payload in record["outcomes"]:
+                    if payload["job_id"] in seen_jobs:
+                        continue  # re-run of a partially journaled board
+                    seen_jobs.add(payload["job_id"])
+                    outcomes.append(VictimOutcome(**payload))
+                    state.journaled_outcomes += 1
+            elif record["type"] == "board_complete":
+                state.complete_boards.add(record["board"])
+        return state
+
+    # -- results -------------------------------------------------------------
+
+    def write_report(self, report: CampaignReport) -> Path:
+        """Persist the canonical final report."""
+        self.report_path.write_text(report.to_json() + "\n")
+        return self.report_path
+
+    def write_telemetry(self, telemetry: dict) -> Path:
+        """Persist the run's real (non-canonical) operational numbers."""
+        self.telemetry_path.write_text(
+            json.dumps(telemetry, indent=2, sort_keys=True) + "\n"
+        )
+        return self.telemetry_path

@@ -1,0 +1,367 @@
+"""Campaign executors — how board shards actually get scheduled.
+
+Both executors present one contract: given a spec and a set of board
+indices, run each board's waves and stream results through two
+callbacks — ``on_wave(board, wave, outcomes)`` as each wave completes
+and ``on_board_complete(board)`` once a board's whole schedule has
+been delivered.  The caller (the engine for plain runs, the
+:class:`~repro.campaign.runtime.runner.CampaignRuntime` for
+checkpointed ones) owns ordering, journaling, and aggregation; the
+executor owns only placement and transport.
+
+- :class:`InProcessExecutor` — one thread per board in the calling
+  process, sharing the prepped :class:`ProfileStore` and the compiled
+  signature automaton by reference.  The right choice for small
+  fleets and the only one that supports ``teardown_hook`` (a live
+  callable cannot cross a process boundary).
+- :class:`MultiprocessExecutor` — boards sharded round-robin across a
+  ``multiprocessing`` worker pool.  Each worker receives the spec and
+  the offline prep *by value* (spec dict + profiles JSON), rebuilds
+  its own signature automaton, provisions only its own boards, and
+  streams wave outcomes back over a queue as plain dicts.  Because a
+  board simulation is a pure function of ``(spec, board_index)`` and
+  the profile notebook round-trips losslessly through JSON, the
+  outcomes are **identical** to the in-process executor's — the
+  regression suite pins this.
+
+:func:`resolve_executor` applies the default placement policy: fleets
+of :data:`MULTIPROCESS_AUTO_BOARDS` boards or more go multiprocess,
+smaller ones stay in-process where thread startup is free and the
+shared automaton is warm.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Callable, Iterable, Sequence
+
+from repro.attack.config import AttackConfig
+from repro.attack.identify import SignatureDatabase
+from repro.attack.profiling import ProfileStore
+from repro.campaign.fleet import provision_board
+from repro.campaign.runtime.spool import DumpSpool
+from repro.campaign.schedule import (
+    CampaignSpec,
+    build_schedule,
+    jobs_by_board,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.campaign.worker import BoardWorker, TeardownHook, VictimOutcome
+from repro.petalinux.kernel import KernelConfig
+
+WaveSink = Callable[[int, int, list[VictimOutcome]], None]
+"""``on_wave(board_index, wave, outcomes)`` — invoked as each wave
+completes.  May be called from several threads at once (in-process
+executor); the multiprocess executor serializes calls through its
+parent-side queue drain.  Raising
+:class:`~repro.errors.CampaignInterrupted` from the sink aborts the
+run (the runtime's fault-injection point)."""
+
+BoardSink = Callable[[int], None]
+"""``on_board_complete(board_index)`` — every wave of the board has
+been delivered to the wave sink."""
+
+MULTIPROCESS_AUTO_BOARDS = 8
+"""Fleet size at which ``executor="auto"`` switches to processes."""
+
+_QUEUE_POLL_SECONDS = 1.0
+
+
+class CampaignExecutionError(RuntimeError):
+    """A worker process died; carries its formatted traceback."""
+
+
+def resolve_executor(
+    spec: CampaignSpec,
+    executor: "str | InProcessExecutor | MultiprocessExecutor" = "auto",
+    *,
+    processes: int | None = None,
+    teardown_hook: TeardownHook | None = None,
+) -> "InProcessExecutor | MultiprocessExecutor":
+    """Turn an executor name (or instance) into a ready executor.
+
+    ``"auto"`` picks processes for fleets of
+    :data:`MULTIPROCESS_AUTO_BOARDS`+ boards, threads otherwise — and
+    always threads when a *teardown_hook* is present, since a live
+    callable cannot be shipped to a worker process.  Passing an
+    executor instance returns it unchanged (after the hook check).
+    """
+    if not isinstance(executor, str):
+        if isinstance(executor, MultiprocessExecutor) and teardown_hook:
+            raise ValueError(
+                "teardown_hook requires the in-process executor"
+            )
+        return executor
+    name = executor
+    if name == "auto":
+        name = (
+            "multiprocess"
+            if spec.boards >= MULTIPROCESS_AUTO_BOARDS
+            and teardown_hook is None
+            else "inprocess"
+        )
+    if name == "inprocess":
+        return InProcessExecutor()
+    if name == "multiprocess":
+        if teardown_hook is not None:
+            raise ValueError("teardown_hook requires the in-process executor")
+        return MultiprocessExecutor(processes=processes)
+    raise ValueError(
+        f"unknown executor {executor!r} "
+        f"(expected 'auto', 'inprocess', or 'multiprocess')"
+    )
+
+
+def _populated_boards(
+    spec: CampaignSpec,
+    board_indices: Iterable[int],
+    on_board_complete: BoardSink,
+) -> tuple[list[int], dict[int, list]]:
+    """The requested boards that actually have jobs, plus the grouping.
+
+    Boards the schedule assigned nothing to are reported complete
+    immediately — no provisioning, no worker.
+    """
+    grouped = jobs_by_board(build_schedule(spec))
+    populated = [index for index in board_indices if grouped.get(index)]
+    populated_set = set(populated)
+    for index in board_indices:
+        if index not in populated_set:
+            on_board_complete(index)
+    return populated, grouped
+
+
+class InProcessExecutor:
+    """One thread per board, sharing the prep objects by reference."""
+
+    name = "inprocess"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self._max_workers = max_workers
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        board_indices: Sequence[int],
+        profiles: ProfileStore,
+        database: SignatureDatabase,
+        *,
+        kernel_config: KernelConfig | None = None,
+        teardown_hook: TeardownHook | None = None,
+        spool: DumpSpool | None = None,
+        on_wave: WaveSink,
+        on_board_complete: BoardSink,
+    ) -> None:
+        """Run the boards on a thread pool, streaming waves out.
+
+        When a sink raises (the runtime's interrupt point), boards not
+        yet started are cancelled, boards already running finish their
+        current schedule — journal writes for those still land, which
+        only gives a later resume more to reuse.
+        """
+        populated, grouped = _populated_boards(
+            spec, board_indices, on_board_complete
+        )
+        if not populated:
+            return
+        config = AttackConfig(coalesce_reads=spec.coalesce_reads)
+
+        def run_board(index: int) -> None:
+            board = provision_board(spec, index, kernel_config)
+            worker = BoardWorker(
+                board,
+                profiles,
+                database,
+                config,
+                teardown_hook=teardown_hook,
+                spool=spool,
+            )
+            for wave, outcomes in worker.iter_waves(grouped[index]):
+                on_wave(index, wave, outcomes)
+            on_board_complete(index)
+
+        max_workers = (
+            self._max_workers or spec.max_workers or len(populated)
+        )
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+        futures = [pool.submit(run_board, index) for index in populated]
+        try:
+            for future in futures:
+                future.result()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _shard_main(
+    shard_index: int,
+    spec_payload: dict,
+    profiles_json: str,
+    kernel_config: KernelConfig | None,
+    board_indices: tuple[int, ...],
+    spool_root: str | None,
+    queue: "multiprocessing.Queue",
+) -> None:
+    """Worker-process entry point: run a shard of boards, stream back.
+
+    Everything arrives by value (spec dict, profiles JSON) so the
+    worker is self-sufficient under any start method; outcomes leave
+    as ``asdict`` payloads and are rebuilt parent-side.
+    """
+    board = -1
+    try:
+        spec = spec_from_dict(spec_payload)
+        profiles = ProfileStore.from_json(profiles_json)
+        database = SignatureDatabase.from_profiles(profiles)
+        config = AttackConfig(coalesce_reads=spec.coalesce_reads)
+        spool = DumpSpool(spool_root) if spool_root is not None else None
+        grouped = jobs_by_board(build_schedule(spec))
+        for board in board_indices:
+            provisioned = provision_board(spec, board, kernel_config)
+            worker = BoardWorker(
+                provisioned, profiles, database, config, spool=spool
+            )
+            for wave, outcomes in worker.iter_waves(grouped.get(board, [])):
+                queue.put(
+                    (
+                        "wave",
+                        board,
+                        wave,
+                        [asdict(outcome) for outcome in outcomes],
+                    )
+                )
+            queue.put(("board_complete", board))
+    except Exception:  # noqa: BLE001 — ship the traceback to the parent
+        queue.put(("error", board, traceback.format_exc()))
+    finally:
+        queue.put(("shard_done", shard_index))
+
+
+class MultiprocessExecutor:
+    """Boards sharded round-robin across a process pool."""
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._processes = processes
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._start_method = start_method
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        board_indices: Sequence[int],
+        profiles: ProfileStore,
+        database: SignatureDatabase,
+        *,
+        kernel_config: KernelConfig | None = None,
+        teardown_hook: TeardownHook | None = None,
+        spool: DumpSpool | None = None,
+        on_wave: WaveSink,
+        on_board_complete: BoardSink,
+    ) -> None:
+        """Shard the boards over worker processes and drain the queue.
+
+        The parent provisions nothing: workers rebuild the schedule,
+        the profile notebook, and the signature automaton from the
+        values shipped to them, boot only their own boards, and write
+        dumps straight into the shared spool (content-addressed writes
+        are concurrency-safe).  Sinks run on the parent thread in
+        queue-arrival order; a sink raising aborts the run and
+        terminates the workers — exactly the crash the checkpoint
+        journal is designed to survive.
+        """
+        del database  # workers rebuild their own from the profiles
+        if teardown_hook is not None:
+            raise ValueError("teardown_hook requires the in-process executor")
+        populated, _ = _populated_boards(
+            spec, board_indices, on_board_complete
+        )
+        if not populated:
+            return
+
+        shard_count = min(
+            self._processes or os.cpu_count() or 1, len(populated)
+        )
+        shards = [populated[offset::shard_count] for offset in range(shard_count)]
+        context = multiprocessing.get_context(self._start_method)
+        queue: multiprocessing.Queue = context.Queue()
+        profiles_json = profiles.to_json()
+        spool_root = str(spool.root) if spool is not None else None
+        workers = [
+            context.Process(
+                target=_shard_main,
+                args=(
+                    shard_index,
+                    spec_to_dict(spec),
+                    profiles_json,
+                    kernel_config,
+                    tuple(shard),
+                    spool_root,
+                    queue,
+                ),
+                daemon=True,
+            )
+            for shard_index, shard in enumerate(shards)
+        ]
+        for worker in workers:
+            worker.start()
+        done_shards: set[int] = set()
+        try:
+            while len(done_shards) < len(workers):
+                # Poll in short slices so a worker that died without a
+                # word (OOM kill, spawn bootstrap failure) is detected
+                # promptly.  A slow-but-alive fleet is never timed
+                # out — only a dead worker with an unfinished shard
+                # aborts the run.
+                try:
+                    message = queue.get(timeout=_QUEUE_POLL_SECONDS)
+                except queue_module.Empty:
+                    dead = [
+                        shard_index
+                        for shard_index, worker in enumerate(workers)
+                        if shard_index not in done_shards
+                        and not worker.is_alive()
+                    ]
+                    if dead:
+                        raise CampaignExecutionError(
+                            f"board-shard worker(s) {dead} exited "
+                            f"without reporting completion (killed "
+                            f"before or outside the shard loop)"
+                        ) from None
+                    continue
+                kind = message[0]
+                if kind == "wave":
+                    _, board, wave, records = message
+                    on_wave(
+                        board,
+                        wave,
+                        [VictimOutcome(**record) for record in records],
+                    )
+                elif kind == "board_complete":
+                    on_board_complete(message[1])
+                elif kind == "error":
+                    raise CampaignExecutionError(
+                        f"board shard died around board {message[1]}:\n"
+                        f"{message[2]}"
+                    )
+                elif kind == "shard_done":
+                    done_shards.add(message[1])
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                worker.join(timeout=10)
+            queue.close()

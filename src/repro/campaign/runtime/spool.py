@@ -1,0 +1,152 @@
+"""The dump spool — a content-addressed on-disk store for residue.
+
+A long campaign scrapes one dump per victim; keeping them all resident
+would grow memory linearly with campaign size.  The spool instead
+files each :class:`~repro.attack.extraction.ScrapedDump` on disk the
+moment step-4 analysis finishes, addressed by the dump's own SHA-256
+(:attr:`ScrapedDump.sha256 <repro.attack.extraction.ScrapedDump.sha256>`),
+and the worker drops its reference — peak resident dump memory is
+bounded by one wave per board, regardless of how many victims the
+campaign schedules.
+
+Layout on disk::
+
+    <root>/
+      objects/<aa>/<sha256>.bin   raw dump bytes (aa = first digest byte)
+      manifest.json               job_id -> digest map, written by the
+                                  runtime when the campaign completes
+
+Content addressing buys three operational properties:
+
+- **deduplication** — identical residue (every all-zero dump a
+  zero-on-free kernel yields, co-residents with identical heaps) is
+  stored once fleet-wide;
+- **idempotent writes** — re-running a board after a crash re-puts the
+  same objects under the same names, so resume never corrupts or
+  duplicates the store (writes go through a temp file + atomic
+  ``os.replace``, safe under concurrent multiprocess workers);
+- **verifiability** — any object can be checked against its own file
+  name.
+
+>>> import tempfile
+>>> from repro.attack.extraction import ScrapedDump
+>>> spool = DumpSpool(tempfile.mkdtemp() + "/spool")
+>>> dump = ScrapedDump(pid=871, heap_start=0, data=b"residue",
+...                    pages_read=1, pages_skipped=0, devmem_reads=1)
+>>> entry = spool.put(dump)
+>>> spool.read(entry.sha256)
+b'residue'
+>>> spool.put(dump).deduplicated  # identical residue is stored once
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.attack.extraction import ScrapedDump
+
+
+@dataclass(frozen=True)
+class SpoolEntry:
+    """Receipt for one spooled dump."""
+
+    sha256: str
+    nbytes: int
+    deduplicated: bool
+    """True when an identical dump was already in the store."""
+
+
+class DumpSpool:
+    """Content-addressed dump store rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self._root = Path(root)
+        (self._root / "objects").mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The spool's root directory."""
+        return self._root
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where the runtime files the job → digest manifest."""
+        return self._root / "manifest.json"
+
+    def object_path(self, sha256: str) -> Path:
+        """Where a digest's bytes live (whether or not they exist yet)."""
+        return self._root / "objects" / sha256[:2] / f"{sha256}.bin"
+
+    def put(self, dump: ScrapedDump) -> SpoolEntry:
+        """File one dump's bytes; a no-op when the content is known.
+
+        The write lands in a temp file first and is published with an
+        atomic rename, so concurrent workers (threads or processes)
+        racing on the same digest converge on one valid object.
+        """
+        digest = dump.sha256
+        path = self.object_path(digest)
+        if path.exists():
+            return SpoolEntry(digest, dump.nbytes, deduplicated=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Scratch name is unique per writer (pid *and* thread: the
+        # in-process executor runs one board per thread on one pid),
+        # so racing writers never share a temp file and both renames
+        # publish identical content.
+        scratch = path.parent / (
+            f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        scratch.write_bytes(dump.data)
+        os.replace(scratch, path)
+        return SpoolEntry(digest, dump.nbytes, deduplicated=False)
+
+    def read(self, sha256: str) -> bytes:
+        """The raw dump bytes filed under *sha256*.
+
+        Raises :class:`FileNotFoundError` for digests never spooled.
+        """
+        return self.object_path(sha256).read_bytes()
+
+    def __contains__(self, sha256: str) -> bool:
+        return self.object_path(sha256).exists()
+
+    def digests(self) -> list[str]:
+        """Every object in the store, sorted."""
+        return sorted(
+            path.stem
+            for path in (self._root / "objects").glob("*/*.bin")
+        )
+
+    def total_bytes(self) -> int:
+        """Bytes the store holds on disk (deduplicated)."""
+        return sum(
+            path.stat().st_size
+            for path in (self._root / "objects").glob("*/*.bin")
+        )
+
+    # -- manifest ------------------------------------------------------------
+
+    def write_manifest(self, records: list[dict]) -> Path:
+        """Write the job → digest manifest (one record per outcome).
+
+        *records* is the runtime's deterministic view of which spooled
+        object belongs to which ``(job_id, board, wave)``; orphaned
+        objects from interrupted runs may exist on disk beyond it —
+        harmless, and reclaimed the next time the digest recurs.
+        """
+        payload = {"format": 1, "dumps": records}
+        self.manifest_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return self.manifest_path
+
+    def load_manifest(self) -> list[dict]:
+        """The manifest's dump records ([] when never written)."""
+        if not self.manifest_path.exists():
+            return []
+        return json.loads(self.manifest_path.read_text())["dumps"]

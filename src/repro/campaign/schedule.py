@@ -11,12 +11,27 @@ Victims on the same board and wave are *co-resident*: they are
 launched together, live simultaneously (multi-tenant occupancy), and
 terminate together before the next wave starts — the staggered
 launch/terminate choreography one board of a busy cloud region sees.
+
+Two equal specs always yield element-for-element equal schedules, and
+a spec round-trips losslessly through :func:`spec_to_dict` /
+:func:`spec_from_dict` — which is what lets the checkpointable runtime
+rebuild the exact schedule from a run directory's ``spec.json`` and
+lets multiprocess workers rebuild their own jobs from the spec alone:
+
+>>> spec = CampaignSpec(boards=2, victims=4, seed=7)
+>>> jobs = build_schedule(spec)
+>>> [(j.job_id, j.board_index, j.launch_wave) for j in jobs]
+[(0, 0, 0), (1, 1, 0), (2, 0, 0), (3, 1, 0)]
+>>> build_schedule(spec_from_dict(spec_to_dict(spec))) == jobs
+True
+>>> sorted(jobs_by_board(jobs))
+[0, 1]
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.vitis.zoo import MODEL_NAMES
 
@@ -114,3 +129,16 @@ def jobs_by_board(jobs: list[VictimJob]) -> dict[int, list[VictimJob]]:
     for job in jobs:
         grouped.setdefault(job.board_index, []).append(job)
     return grouped
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """The spec as a JSON-trivial dict (tuples become lists)."""
+    return asdict(spec)
+
+
+def spec_from_dict(payload: dict) -> CampaignSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output (or its JSON)."""
+    fields = dict(payload)
+    for key in ("model_mix", "board_names"):
+        fields[key] = tuple(fields[key])
+    return CampaignSpec(**fields)

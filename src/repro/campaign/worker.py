@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.attack.addressing import AddressHarvester
 from repro.attack.config import AttackConfig
@@ -53,6 +53,9 @@ from repro.evaluation.metrics import image_fidelity, nonzero_bytes
 from repro.petalinux.kernel import PetaLinuxKernel
 from repro.vitis.app import VictimApplication, VictimRun
 from repro.vitis.image import Image
+
+if TYPE_CHECKING:
+    from repro.campaign.runtime.spool import DumpSpool
 
 TeardownHook = Callable[[PetaLinuxKernel], None]
 """Called once per wave, after every victim of the wave terminated and
@@ -91,6 +94,11 @@ class VictimOutcome:
     latency cost at teardown time."""
     frames_scrubbed_sync: int = 0
     """Frames scrubbed synchronously during this victim's teardown."""
+    dump_sha256: str | None = None
+    """Content digest of the scraped dump when a spool filed it —
+    the key to read the raw residue back from the run directory's
+    content-addressed store.  ``None`` for unspooled runs and for
+    victims whose attack failed before extraction."""
 
     @property
     def identified_correctly(self) -> bool:
@@ -134,12 +142,14 @@ class BoardWorker:
         database: SignatureDatabase,
         config: AttackConfig,
         teardown_hook: TeardownHook | None = None,
+        spool: "DumpSpool | None" = None,
     ) -> None:
         self._board = board
         self._profiles = profiles
         self._database = database
         self._config = config
         self._teardown_hook = teardown_hook
+        self._spool = spool
         self._claimed_pids: set[int] = set()
         # Early-snapshot harvester: shares the board cache with every
         # attack pipeline, so the pipeline's own harvest is a hit.
@@ -152,12 +162,26 @@ class BoardWorker:
     def run_jobs(self, jobs: list[VictimJob]) -> list[VictimOutcome]:
         """Play every wave of this board's schedule; returns outcomes."""
         outcomes: list[VictimOutcome] = []
+        for _, wave_outcomes in self.iter_waves(jobs):
+            outcomes.extend(wave_outcomes)
+        return outcomes
+
+    def iter_waves(
+        self, jobs: list[VictimJob]
+    ) -> Iterator[tuple[int, list[VictimOutcome]]]:
+        """Play the schedule wave by wave, yielding each wave's outcomes.
+
+        This is the campaign runtime's streaming interface: outcomes
+        reach the journal (and the incremental aggregator) as soon as
+        their wave completes, and the dump bytes behind them are
+        already spooled to disk — nothing accumulates in the worker
+        between waves.
+        """
         waves: dict[int, list[VictimJob]] = {}
         for job in jobs:
             waves.setdefault(job.launch_wave, []).append(job)
         for wave in sorted(waves):
-            outcomes.extend(self._run_wave(waves[wave]))
-        return outcomes
+            yield wave, self._run_wave(waves[wave])
 
     def _run_wave(self, jobs: list[VictimJob]) -> list[VictimOutcome]:
         session = self._board.session
@@ -261,6 +285,12 @@ class BoardWorker:
                     report.reconstruction.image, entry.secret
                 )
         entry.elapsed += time.perf_counter() - started
+        # Spool handoff: the dump's bytes go to the content-addressed
+        # store now, so the outcome (a few scalars) is all that stays
+        # resident once this wave ends.
+        dump_sha256 = (
+            self._spool.put(dump).sha256 if self._spool is not None else None
+        )
         return VictimOutcome(
             job_id=entry.job.job_id,
             board_index=self._board.index,
@@ -283,6 +313,7 @@ class BoardWorker:
             residue_nbytes=nonzero_bytes(dump.data),
             teardown_seconds=entry.teardown_seconds,
             frames_scrubbed_sync=entry.frames_scrubbed_sync,
+            dump_sha256=dump_sha256,
         )
 
     def _failed(

@@ -9,8 +9,10 @@ Commands map one-to-one onto the evaluation entry points:
 - ``boards``    — list the supported evaluation boards
 - ``profile``   — run offline profiling and emit the JSON notebook
 - ``campaign``  — fleet-scale orchestration: ``campaign run`` executes a
-  multi-board, multi-victim campaign; ``campaign report`` re-renders a
-  saved JSON report
+  multi-board, multi-victim campaign (``--executor multiprocess``
+  shards boards across worker processes; ``--run-dir`` makes the run
+  checkpointable and ``--resume`` continues an interrupted one);
+  ``campaign report`` re-renders a saved JSON report
 - ``defense``   — the attack/defense arena: ``defense sweep`` runs the
   fleet campaign under each hardening profile and prints the
   leakage-vs-overhead matrix; ``defense report`` re-renders a saved
@@ -134,28 +136,97 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignSpec, run_campaign
-
-    spec = CampaignSpec(
-        boards=args.boards,
-        victims=args.victims,
-        model_mix=tuple(args.models.split(",")),
-        tenants_per_board=args.tenants,
-        wave_size=args.wave_size,
-        seed=args.seed,
-        input_hw=args.input_hw,
-        board_names=tuple(args.board_mix.split(",")),
-        max_workers=args.workers,
-        coalesce_reads=not args.word_reads,
-    )
-    report = run_campaign(spec)
+def _emit_campaign_report(report, output: str | None, extra: list[str]) -> int:
+    """Render a campaign report, honor ``-o``, map failures to exit 1."""
     print(report.render())
-    if args.output is not None:
-        with open(args.output, "w") as handle:
+    for line in extra:
+        print(line)
+    if output is not None:
+        with open(output, "w") as handle:
             handle.write(report.to_json() + "\n")
-        print(f"\nwrote report to {args.output}")
+        print(f"wrote report to {output}")
     return 0 if not report.failures() else 1
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRuntime, CampaignSpec, run_campaign
+    from repro.errors import CampaignInterrupted
+
+    if args.run_dir is not None and args.resume is not None:
+        print(
+            "--run-dir and --resume are mutually exclusive: a resumed "
+            "run already has its run directory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.interrupt_after is not None and not (args.run_dir or args.resume):
+        print(
+            "--interrupt-after needs a checkpointable run "
+            "(--run-dir or --resume)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume is not None:
+        # The spec comes from the run directory; spec-shaped flags on
+        # the command line are ignored.
+        try:
+            runtime = CampaignRuntime.resume(
+                args.resume,
+                executor=args.executor,
+                processes=args.processes,
+                interrupt_after=args.interrupt_after,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            # Missing directory, or a spec.json with a bad/foreign format.
+            print(error, file=sys.stderr)
+            return 2
+    else:
+        spec = CampaignSpec(
+            boards=args.boards,
+            victims=args.victims,
+            model_mix=tuple(args.models.split(",")),
+            tenants_per_board=args.tenants,
+            wave_size=args.wave_size,
+            seed=args.seed,
+            input_hw=args.input_hw,
+            board_names=tuple(args.board_mix.split(",")),
+            max_workers=args.workers,
+            coalesce_reads=not args.word_reads,
+        )
+        if args.run_dir is None:
+            report = run_campaign(
+                spec, executor=args.executor, processes=args.processes
+            )
+            return _emit_campaign_report(report, args.output, extra=[])
+        try:
+            runtime = CampaignRuntime(
+                spec,
+                args.run_dir,
+                executor=args.executor,
+                processes=args.processes,
+                interrupt_after=args.interrupt_after,
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    try:
+        report = runtime.run()
+    except CampaignInterrupted as interruption:
+        print(f"INTERRUPTED: {interruption}", file=sys.stderr)
+        print(
+            f"journal: {runtime.run_dir.journal_path}",
+            file=sys.stderr,
+        )
+        return 3
+    return _emit_campaign_report(
+        report,
+        args.output,
+        extra=[
+            f"\nrun directory: {runtime.run_dir.root}",
+            f"canonical report: {runtime.run_dir.report_path}",
+            f"wall-clock telemetry: {runtime.run_dir.telemetry_path}",
+        ],
+    )
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -293,6 +364,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_run.add_argument(
         "--input-hw", type=int, default=32, help="square input edge (default: 32)"
+    )
+    campaign_run.add_argument(
+        "--executor",
+        default="auto",
+        choices=("auto", "inprocess", "multiprocess"),
+        help="board placement: threads, a multiprocessing pool, or auto "
+        "(processes for fleets of 8+ boards)",
+    )
+    campaign_run.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for the multiprocess executor "
+        "(default: one per CPU)",
+    )
+    campaign_run.add_argument(
+        "--run-dir",
+        default=None,
+        help="make the run checkpointable: journal outcomes, spool dumps, "
+        "and write the canonical report under this directory",
+    )
+    campaign_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help="continue an interrupted checkpointable run; the campaign "
+        "spec comes from RUN_DIR/spec.json and spec flags are ignored",
+    )
+    campaign_run.add_argument(
+        "--interrupt-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-injection drill: crash (exit 3) once N outcomes are "
+        "journaled, leaving a resumable run directory",
     )
     campaign_run.add_argument(
         "-o", "--output", default=None, help="also write the report as JSON"

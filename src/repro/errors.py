@@ -130,3 +130,22 @@ class ReconstructionError(AttackError):
 
 class ProfilingError(AttackError):
     """Offline profiling failed to locate the marker in the dump."""
+
+
+class CampaignInterrupted(ReproError):
+    """A checkpointable campaign stopped before finishing every board.
+
+    Raised by the campaign runtime when its configured fault-injection
+    point (``interrupt_after``) fires — the simulated equivalent of the
+    operator's process dying mid-run.  The run directory's journal and
+    spool survive; ``repro campaign run --resume <dir>`` continues the
+    campaign deterministically.
+    """
+
+    def __init__(self, run_dir: str, outcomes_journaled: int) -> None:
+        self.run_dir = run_dir
+        self.outcomes_journaled = outcomes_journaled
+        super().__init__(
+            f"campaign interrupted after {outcomes_journaled} journaled "
+            f"outcome(s); resume from {run_dir}"
+        )

@@ -1,0 +1,459 @@
+"""Tests for the checkpointable, process-parallel campaign runtime.
+
+The acceptance claims, pinned:
+
+- a campaign interrupted mid-run and resumed yields a ``report.json``
+  **byte-identical** to an uninterrupted run's, on both executors (and
+  even when the resume uses a different executor than the interrupted
+  run);
+- the in-process and multiprocess executors produce identical
+  canonical outcomes;
+- every scraped dump lands in the content-addressed spool and no dump
+  object survives the campaign in memory (the flat-memory property);
+- the journal survives torn writes, and board-completion markers bound
+  what resume may reuse.
+"""
+
+import gc
+import json
+import weakref
+
+import pytest
+
+from repro.attack.extraction import ScrapedDump
+from repro.campaign import (
+    CampaignRuntime,
+    CampaignSpec,
+    DumpSpool,
+    RunDirectory,
+    run_campaign,
+)
+from repro.campaign.runtime import (
+    InProcessExecutor,
+    MultiprocessExecutor,
+    canonical_outcome,
+    resolve_executor,
+)
+from repro.campaign.worker import VictimOutcome
+from repro.errors import CampaignInterrupted
+
+SPEC = CampaignSpec(boards=3, victims=9, seed=5)
+
+
+def _canonical_json(report) -> str:
+    """A plain run's report with the wall-clock fields normalized."""
+    canonical = [canonical_outcome(o) for o in report.outcomes]
+    return json.dumps(
+        [json.loads(json.dumps(o.__dict__, sort_keys=True)) for o in canonical],
+        sort_keys=True,
+    )
+
+
+class TestSpool:
+    def _dump(self, data: bytes) -> ScrapedDump:
+        return ScrapedDump(
+            pid=1,
+            heap_start=0,
+            data=data,
+            pages_read=1,
+            pages_skipped=0,
+            devmem_reads=1,
+        )
+
+    def test_round_trip(self, tmp_path):
+        spool = DumpSpool(tmp_path / "spool")
+        entry = spool.put(self._dump(b"leaked bytes"))
+        assert spool.read(entry.sha256) == b"leaked bytes"
+        assert entry.sha256 in spool
+        assert not entry.deduplicated
+
+    def test_concurrent_same_digest_puts_from_threads(self, tmp_path):
+        """Board threads share one pid; racing on one digest must not
+        crash either writer (the all-zero-residue case)."""
+        import threading
+
+        spool = DumpSpool(tmp_path / "spool")
+        dump = self._dump(b"\x00" * 65536)
+        errors: list[Exception] = []
+
+        def hammer() -> None:
+            try:
+                for _ in range(50):
+                    spool.put(dump)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert spool.read(dump.sha256) == dump.data
+        assert len(spool.digests()) == 1
+
+    def test_content_addressing_dedupes(self, tmp_path):
+        spool = DumpSpool(tmp_path / "spool")
+        first = spool.put(self._dump(b"\x00" * 4096))
+        second = spool.put(self._dump(b"\x00" * 4096))
+        assert first.sha256 == second.sha256
+        assert second.deduplicated
+        assert len(spool.digests()) == 1
+        assert spool.total_bytes() == 4096
+
+    def test_digest_matches_dump_property(self, tmp_path):
+        dump = self._dump(b"abc")
+        assert DumpSpool(tmp_path).put(dump).sha256 == dump.sha256
+
+    def test_missing_digest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DumpSpool(tmp_path).read("0" * 64)
+
+    def test_manifest_round_trip(self, tmp_path):
+        spool = DumpSpool(tmp_path)
+        records = [{"job_id": 0, "sha256": "f" * 64, "nbytes": 12}]
+        spool.write_manifest(records)
+        assert spool.load_manifest() == records
+
+
+class TestRunDirectory:
+    def test_create_then_open_preserves_spec(self, tmp_path):
+        RunDirectory.create(tmp_path / "run", SPEC)
+        assert RunDirectory.open(tmp_path / "run").load_spec() == SPEC
+
+    def test_create_refuses_existing_run(self, tmp_path):
+        RunDirectory.create(tmp_path / "run", SPEC)
+        with pytest.raises(ValueError, match="already holds a campaign"):
+            RunDirectory.create(tmp_path / "run", SPEC)
+
+    def test_open_refuses_non_run_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunDirectory.open(tmp_path / "nowhere")
+
+    def _outcome(self, job_id: int, wave: int = 0) -> VictimOutcome:
+        return VictimOutcome(
+            job_id=job_id,
+            board_index=0,
+            board_name="ZCU104",
+            model_name="resnet50_pt",
+            tenant_index=0,
+            launch_wave=wave,
+            pid=800 + job_id,
+            identified_model="resnet50_pt",
+            pixel_match_rate=1.0,
+            nbytes=4096,
+            devmem_reads=1,
+            pages_read=1,
+            wall_seconds=0.0,
+        )
+
+    def test_journal_round_trip(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "run", SPEC)
+        run.append_wave(0, 0, [self._outcome(0), self._outcome(1)])
+        run.append_wave(0, 1, [self._outcome(2, wave=1)])
+        run.mark_board_complete(0)
+        state = run.load_journal()
+        assert state.complete_boards == {0}
+        assert state.journaled_outcomes == 3
+        assert [o.job_id for o in state.reusable_outcomes()] == [0, 1, 2]
+
+    def test_incomplete_board_not_reusable(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "run", SPEC)
+        run.append_wave(1, 0, [self._outcome(4)])
+        state = run.load_journal()
+        assert state.complete_boards == set()
+        assert state.reusable_outcomes() == []
+        assert state.journaled_outcomes == 1
+
+    def test_torn_trailing_write_is_ignored(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "run", SPEC)
+        run.append_wave(0, 0, [self._outcome(0)])
+        with open(run.journal_path, "a") as handle:
+            handle.write('{"type": "wave", "board": 0, "wa')  # kill -9 here
+        state = run.load_journal()
+        assert state.journaled_outcomes == 1
+
+    def test_append_after_torn_write_does_not_glue(self, tmp_path):
+        """A resume appending onto a torn tail must not corrupt its record."""
+        run = RunDirectory.create(tmp_path / "run", SPEC)
+        run.append_wave(0, 0, [self._outcome(0)])
+        with open(run.journal_path, "a") as handle:
+            handle.write('{"type": "wave", "board": 1, "wa')  # kill -9 here
+        run.append_wave(1, 0, [self._outcome(4)])
+        run.mark_board_complete(1)
+        state = run.load_journal()
+        assert state.journaled_outcomes == 2
+        assert state.complete_boards == {1}
+        assert [o.job_id for o in state.reusable_outcomes()] == [4]
+
+    def test_canonical_outcome_zeroes_only_wall_clock(self):
+        noisy = self._outcome(0)
+        noisy = type(noisy)(
+            **{**noisy.__dict__, "wall_seconds": 1.5, "teardown_seconds": 0.2}
+        )
+        clean = canonical_outcome(noisy)
+        assert clean.wall_seconds == 0.0
+        assert clean.teardown_seconds == 0.0
+        assert clean.pid == noisy.pid
+        assert clean.nbytes == noisy.nbytes
+
+
+class TestExecutorEquivalence:
+    def test_multiprocess_matches_inprocess(self):
+        inproc = run_campaign(SPEC, executor="inprocess")
+        multi = run_campaign(SPEC, executor="multiprocess", processes=2)
+        assert _canonical_json(inproc) == _canonical_json(multi)
+
+    def test_process_count_does_not_change_outcomes(self):
+        one = run_campaign(SPEC, executor="multiprocess", processes=1)
+        three = run_campaign(SPEC, executor="multiprocess", processes=3)
+        assert _canonical_json(one) == _canonical_json(three)
+
+    def test_resolve_auto_small_fleet_is_threads(self):
+        chosen = resolve_executor(SPEC, "auto")
+        assert isinstance(chosen, InProcessExecutor)
+
+    def test_resolve_auto_large_fleet_is_processes(self):
+        large = CampaignSpec(boards=8, victims=8)
+        assert isinstance(resolve_executor(large, "auto"), MultiprocessExecutor)
+
+    def test_teardown_hook_forces_threads_on_auto(self):
+        large = CampaignSpec(boards=8, victims=8)
+        chosen = resolve_executor(large, "auto", teardown_hook=lambda k: None)
+        assert isinstance(chosen, InProcessExecutor)
+
+    def test_teardown_hook_rejected_by_multiprocess(self):
+        with pytest.raises(ValueError, match="in-process"):
+            resolve_executor(
+                SPEC, "multiprocess", teardown_hook=lambda k: None
+            )
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor(SPEC, "distributed")
+
+    def test_custom_database_rejected_by_multiprocess(self):
+        """A hand-tuned database cannot ship to workers; refuse loudly."""
+        from repro.attack.identify import SignatureDatabase
+        from repro.campaign import prepare_offline
+
+        profiles, database = prepare_offline(SPEC)
+        assert isinstance(database, SignatureDatabase)
+        with pytest.raises(ValueError, match="custom SignatureDatabase"):
+            run_campaign(
+                SPEC,
+                profiles=profiles,
+                database=database,
+                executor="multiprocess",
+                processes=2,
+            )
+        # Profiles alone are fine — workers rebuild the database.
+        report = run_campaign(
+            SPEC, profiles=profiles, executor="multiprocess", processes=2
+        )
+        assert report.victims == SPEC.victims
+
+    def test_auto_with_custom_database_falls_back_to_threads(self):
+        """The documented prep-reuse pattern keeps working at any fleet
+        size: 'auto' routes a custom database in-process instead of
+        raising."""
+        from repro.campaign import prepare_offline
+        from repro.campaign.runtime.executors import (
+            MULTIPROCESS_AUTO_BOARDS,
+        )
+
+        spec = CampaignSpec(
+            boards=MULTIPROCESS_AUTO_BOARDS,
+            victims=MULTIPROCESS_AUTO_BOARDS,
+            seed=2,
+        )
+        profiles, database = prepare_offline(spec)
+        report = run_campaign(spec, profiles=profiles, database=database)
+        assert report.victims == spec.victims
+
+    def test_silently_dying_workers_fail_fast(self, monkeypatch):
+        """A worker killed before its shard loop must not hang the run."""
+        import os as os_module
+
+        from repro.campaign.runtime import executors
+        from repro.campaign.runtime.executors import CampaignExecutionError
+
+        monkeypatch.setattr(
+            executors,
+            "_shard_main",
+            lambda *args: os_module._exit(1),
+        )
+        with pytest.raises(CampaignExecutionError, match="without"):
+            run_campaign(SPEC, executor="multiprocess", processes=2)
+
+
+class TestCheckpointResume:
+    def _uninterrupted(self, tmp_path, **kwargs):
+        return CampaignRuntime(
+            SPEC, tmp_path / "full", **kwargs
+        ).run()
+
+    @pytest.mark.parametrize("executor", ["inprocess", "multiprocess"])
+    def test_interrupt_then_resume_is_byte_identical(self, tmp_path, executor):
+        full = self._uninterrupted(tmp_path, executor=executor, processes=2)
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime(
+                SPEC,
+                tmp_path / "crashed",
+                executor=executor,
+                processes=2,
+                interrupt_after=3,
+            ).run()
+        resumed = CampaignRuntime.resume(
+            tmp_path / "crashed", executor=executor, processes=2
+        ).run()
+        assert resumed.to_json() == full.to_json()
+        assert (tmp_path / "crashed" / "report.json").read_bytes() == (
+            tmp_path / "full" / "report.json"
+        ).read_bytes()
+
+    def test_resume_across_executors(self, tmp_path):
+        full = self._uninterrupted(tmp_path)
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime(
+                SPEC,
+                tmp_path / "crashed",
+                executor="multiprocess",
+                processes=2,
+                interrupt_after=2,
+            ).run()
+        resumed = CampaignRuntime.resume(
+            tmp_path / "crashed", executor="inprocess"
+        ).run()
+        assert resumed.to_json() == full.to_json()
+
+    def test_checkpointed_report_is_timing_free(self, tmp_path):
+        report = self._uninterrupted(tmp_path)
+        assert report.wall_seconds == 0.0
+        assert all(o.wall_seconds == 0.0 for o in report.outcomes)
+        assert all(o.teardown_seconds == 0.0 for o in report.outcomes)
+
+    def test_checkpointed_matches_plain_spooled_run(self, tmp_path):
+        checkpointed = self._uninterrupted(tmp_path)
+        plain = run_campaign(SPEC, spool=DumpSpool(tmp_path / "spool"))
+        assert _canonical_json(checkpointed) == _canonical_json(plain)
+
+    def test_interrupt_preserves_journal_and_telemetry(self, tmp_path):
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime(
+                SPEC, tmp_path / "run", interrupt_after=1
+            ).run()
+        run = RunDirectory.open(tmp_path / "run")
+        assert run.load_journal().journaled_outcomes >= 1
+        telemetry = json.loads(run.telemetry_path.read_text())
+        assert telemetry["complete"] is False
+        assert not run.report_path.exists()
+
+    def test_resume_reuses_complete_boards(self, tmp_path):
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime(
+                SPEC, tmp_path / "run", interrupt_after=6
+            ).run()
+        before = RunDirectory.open(tmp_path / "run").load_journal()
+        CampaignRuntime.resume(tmp_path / "run").run()
+        telemetry = json.loads(
+            (tmp_path / "run" / "telemetry.json").read_text()
+        )
+        assert telemetry["complete"] is True
+        assert telemetry["boards_reused"] == sorted(before.complete_boards)
+        assert telemetry["outcomes_reused"] == len(
+            before.reusable_outcomes()
+        )
+
+    def test_double_interrupt_does_not_duplicate_outcomes(self, tmp_path):
+        """An interrupted resume re-journals a board's waves; the next
+        resume must keep each job once, not once per attempt.
+
+        Sequential boards (max_workers=1) make the choreography exact:
+        attempt 1 leaves board 0 partially journaled (wave 0 only);
+        attempt 2 re-journals board 0 fully — its wave-0 outcomes now
+        appear twice — and crashes on board 1; attempt 3 reuses
+        board 0 straight from the journal.
+        """
+        spec = CampaignSpec(boards=3, victims=9, seed=5, max_workers=1)
+        full = CampaignRuntime(spec, tmp_path / "full").run()
+        crash_dir = tmp_path / "crashed"
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime(spec, crash_dir, interrupt_after=1).run()
+        with pytest.raises(CampaignInterrupted):
+            CampaignRuntime.resume(crash_dir, interrupt_after=4).run()
+        journal = RunDirectory.open(crash_dir).load_journal()
+        assert 0 in journal.complete_boards  # the scenario is armed
+        resumed = CampaignRuntime.resume(crash_dir).run()
+        assert resumed.victims == spec.victims
+        assert resumed.to_json() == full.to_json()
+
+    def test_resume_of_finished_run_reuses_everything(self, tmp_path):
+        first = self._uninterrupted(tmp_path)
+        again = CampaignRuntime.resume(tmp_path / "full").run()
+        assert again.to_json() == first.to_json()
+        telemetry = json.loads(
+            (tmp_path / "full" / "telemetry.json").read_text()
+        )
+        assert telemetry["outcomes_journaled_this_run"] == 0
+
+
+class TestSpoolIntegration:
+    def test_every_successful_outcome_is_spooled(self, tmp_path):
+        runtime = CampaignRuntime(SPEC, tmp_path / "run")
+        report = runtime.run()
+        spool = runtime.run_dir.spool
+        for outcome in report.outcomes:
+            if outcome.failed_step is None:
+                assert outcome.dump_sha256 is not None
+                data = spool.read(outcome.dump_sha256)
+                assert len(data) == outcome.nbytes
+
+    def test_manifest_maps_jobs_to_digests(self, tmp_path):
+        runtime = CampaignRuntime(SPEC, tmp_path / "run")
+        report = runtime.run()
+        manifest = runtime.run_dir.spool.load_manifest()
+        assert [record["job_id"] for record in manifest] == [
+            o.job_id for o in report.outcomes if o.dump_sha256
+        ]
+
+    def test_no_dump_survives_the_campaign_in_memory(self, tmp_path):
+        """The flat-memory claim: dumps are spooled and dropped."""
+        residents: list[weakref.ref] = []
+        original_put = DumpSpool.put
+
+        def tracking_put(self, dump):
+            residents.append(weakref.ref(dump))
+            return original_put(self, dump)
+
+        DumpSpool.put = tracking_put
+        try:
+            report = CampaignRuntime(SPEC, tmp_path / "run").run()
+        finally:
+            DumpSpool.put = original_put
+        succeeded = [o for o in report.outcomes if o.failed_step is None]
+        assert len(residents) == len(succeeded)
+        del report
+        gc.collect()
+        alive = [ref for ref in residents if ref() is not None]
+        assert not alive, f"{len(alive)} dumps still resident after the run"
+
+    def test_unspooled_run_has_no_digests(self):
+        report = run_campaign(SPEC)
+        assert all(o.dump_sha256 is None for o in report.outcomes)
+
+
+class TestPlainEngineStillWorks:
+    def test_spool_kwarg_on_run_campaign(self, tmp_path):
+        spool = DumpSpool(tmp_path / "spool")
+        report = run_campaign(SPEC, spool=spool)
+        assert len(spool.digests()) > 0
+        assert all(
+            o.dump_sha256 in spool
+            for o in report.outcomes
+            if o.failed_step is None
+        )
+
+    def test_plain_run_keeps_real_wall_clock(self):
+        report = run_campaign(SPEC)
+        assert report.wall_seconds > 0.0

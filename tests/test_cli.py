@@ -80,3 +80,94 @@ class TestCommands:
         ) == 0
         payload = json.loads(target.read_text())
         assert set(payload) == {"resnet50_pt", "squeezenet_pt"}
+
+
+class TestCampaignCheckpointCli:
+    """``repro campaign run`` with the checkpointable runtime flags."""
+
+    RUN = [
+        "campaign", "run", "--boards", "2", "--victims", "4", "--seed", "3",
+    ]
+
+    def test_run_dir_writes_canonical_artifacts(self, tmp_path, capsys):
+        run_dir = tmp_path / "fleet"
+        assert main(self.RUN + ["--run-dir", str(run_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "Campaign report" in output
+        assert str(run_dir) in output
+        assert (run_dir / "report.json").exists()
+        assert (run_dir / "journal.jsonl").exists()
+        assert (run_dir / "telemetry.json").exists()
+        assert (run_dir / "spool" / "manifest.json").exists()
+
+    def test_interrupt_exits_3_and_resume_matches_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        full_dir = tmp_path / "full"
+        assert main(self.RUN + ["--run-dir", str(full_dir)]) == 0
+        crash_dir = tmp_path / "crash"
+        assert (
+            main(
+                self.RUN
+                + ["--run-dir", str(crash_dir), "--interrupt-after", "1"]
+            )
+            == 3
+        )
+        error_output = capsys.readouterr().err
+        assert "INTERRUPTED" in error_output
+        assert not (crash_dir / "report.json").exists()
+        assert main(["campaign", "run", "--resume", str(crash_dir)]) == 0
+        assert (crash_dir / "report.json").read_bytes() == (
+            full_dir / "report.json"
+        ).read_bytes()
+
+    def test_interrupt_requires_checkpointable_run(self, capsys):
+        assert main(self.RUN + ["--interrupt-after", "1"]) == 2
+        assert "--interrupt-after" in capsys.readouterr().err
+
+    def test_resume_of_missing_directory_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(["campaign", "run", "--resume", str(tmp_path / "typo")])
+            == 2
+        )
+        assert "not a run directory" in capsys.readouterr().err
+
+    def test_run_dir_refuses_existing_campaign(self, tmp_path, capsys):
+        run_dir = tmp_path / "fleet"
+        assert main(self.RUN + ["--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(self.RUN + ["--run-dir", str(run_dir)]) == 2
+        assert "already holds a campaign" in capsys.readouterr().err
+
+    def test_run_dir_and_resume_are_mutually_exclusive(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(
+                self.RUN
+                + [
+                    "--run-dir",
+                    str(tmp_path / "a"),
+                    "--resume",
+                    str(tmp_path / "b"),
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert not (tmp_path / "a").exists()
+
+    def test_multiprocess_executor_flag(self, capsys):
+        assert (
+            main(self.RUN + ["--executor", "multiprocess", "--processes", "2"])
+            == 0
+        )
+        assert "Campaign report" in capsys.readouterr().out
+
+    def test_executor_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", "--executor", "quantum"]
+            )

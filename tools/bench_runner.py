@@ -206,6 +206,12 @@ def main() -> int:
     campaign_wall, report = best_of(1, run_campaign, spec)
     throughput = report.throughput
 
+    def run_multiprocess() -> object:
+        return run_campaign(spec, executor="multiprocess", processes=2)
+
+    mp_wall, mp_report = best_of(1, run_multiprocess)
+    mp_throughput = mp_report.throughput
+
     def lane(fast: float, reference: float) -> dict:
         return {
             "fast_seconds": round(fast, 6),
@@ -237,6 +243,19 @@ def main() -> int:
                 throughput.bytes_per_second / (1024 * 1024), 2
             ),
         },
+        "campaign_multiprocess": {
+            "boards": spec.boards,
+            "victims": mp_throughput.victims,
+            "processes": 2,
+            "wall_seconds": round(mp_wall, 3),
+            "victims_per_second": round(
+                mp_throughput.victims_per_second, 3
+            ),
+            "mib_per_second": round(
+                mp_throughput.bytes_per_second / (1024 * 1024), 2
+            ),
+            "speedup_vs_inprocess": round(campaign_wall / mp_wall, 2),
+        },
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"map_dump : {payload['map_dump']['speedup']:>7.2f}x "
@@ -245,6 +264,10 @@ def main() -> int:
           f"({payload['identify']['fast_mib_per_s']} MiB/s)")
     print(f"nonzero  : {payload['nonzero']['speedup']:>7.2f}x")
     print(f"campaign : {payload['campaign']['victims_per_second']} victims/s")
+    print(f"campaign (multiprocess): "
+          f"{payload['campaign_multiprocess']['victims_per_second']} victims/s "
+          f"({payload['campaign_multiprocess']['speedup_vs_inprocess']}x vs "
+          f"in-process)")
     print(f"wrote {args.output}")
     return 0
 

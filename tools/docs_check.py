@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """The ``make docs-check`` gate: docstrings, links, and live examples.
 
-Four invariants, enforced so the documentation surface cannot rot
+Six invariants, enforced so the documentation surface cannot rot
 silently as the codebase grows:
 
 1. every Python module under ``src/repro`` (packages included) carries
@@ -11,11 +11,17 @@ silently as the codebase grows:
    ``repro.<name>`` the map mentions resolves to a real package or
    module;
 3. every relative link in README.md and ``docs/*.md`` points at a file
-   or directory that actually exists (external ``http(s)`` links and
-   pure ``#anchors`` are out of scope);
-4. the usage examples in the docstrings of :data:`DOCTESTED_MODULES`
-   execute cleanly (``doctest``), so the documented attack and defense
-   walkthroughs stay runnable.
+   or directory that actually exists (external ``http(s)`` links are
+   out of scope);
+4. every ``#fragment`` in a relative or same-document link resolves to
+   a real heading of the target markdown file (GitHub slug rules,
+   duplicate-heading ``-1``/``-2`` suffixes included);
+5. ``docs/cli.md`` matches what ``tools/gen_cli_docs.py`` generates
+   from the live argparse tree — the CLI reference cannot drift from
+   ``src/repro/cli.py``;
+6. the usage examples in the docstrings of :data:`DOCTESTED_MODULES`
+   execute cleanly (``doctest``), so the documented attack, defense,
+   and campaign walkthroughs stay runnable.
 
 Exit status 0 = clean; 1 = violations (each printed on its own line).
 """
@@ -39,6 +45,9 @@ DOCTESTED_MODULES = (
     "repro.attack.weights",
     "repro.campaign",
     "repro.campaign.engine",
+    "repro.campaign.report",
+    "repro.campaign.runtime.spool",
+    "repro.campaign.schedule",
     "repro.defense",
     "repro.defense.profiles",
     "repro.petalinux.sanitizer",
@@ -109,25 +118,100 @@ def stale_package_map_entries() -> list[str]:
     return failures
 
 
+def heading_slug(title: str) -> str:
+    """The GitHub anchor slug one heading title produces.
+
+    GitHub slugs a heading by lowercasing it, dropping every character
+    that is not alphanumeric, space, hyphen, or underscore, and turning
+    spaces into hyphens; inline markup (backticks, bold, links)
+    contributes only its text.  Shared with ``gen_cli_docs.py`` so the
+    anchors the CLI reference *emits* are judged by the same rules this
+    gate *validates* with.
+    """
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title.strip())
+    title = title.replace("`", "").replace("*", "")
+    return "".join(
+        "-" if char in (" ", "-") else char
+        for char in title.lower()
+        if char.isalnum() or char in (" ", "-", "_")
+    )
+
+
+def _heading_anchors(document: Path) -> set[str]:
+    """Every anchor slug *document*'s headings produce.
+
+    A repeated heading gets ``-1``, ``-2``, … suffixes; headings
+    inside fenced code blocks do not count.
+    """
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in document.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not re.match(r"^#{1,6}\s", line):
+            continue
+        slug = heading_slug(line.lstrip("#"))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
 def broken_links() -> list[str]:
-    """Relative markdown links that resolve to nothing on disk."""
+    """Relative links that resolve to nothing — file or ``#anchor``.
+
+    A target like ``campaigns.md#the-journal`` must both exist on disk
+    and contain a heading whose GitHub slug is ``the-journal``; a bare
+    ``#anchor`` is checked against the linking document itself.
+    """
     failures = []
     documents = [README] + sorted(DOCS_DIR.glob("*.md"))
     for document in documents:
         if not document.exists():
             continue
         for target in _LINK.findall(document.read_text()):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            if not (document.parent / relative).exists():
+            relative, _, fragment = target.partition("#")
+            destination = (
+                document if not relative else document.parent / relative
+            )
+            if relative and not destination.exists():
                 failures.append(
                     f"{document.relative_to(REPO_ROOT)}: broken link "
                     f"-> {target}"
                 )
+                continue
+            if not fragment:
+                continue
+            if destination.is_dir() or destination.suffix != ".md":
+                continue  # anchors only mean something in markdown
+            if fragment not in _heading_anchors(destination):
+                failures.append(
+                    f"{document.relative_to(REPO_ROOT)}: broken anchor "
+                    f"-> {target} (no heading slugs to #{fragment})"
+                )
     return failures
+
+
+def stale_cli_reference() -> list[str]:
+    """Whether docs/cli.md matches the live argparse tree."""
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import gen_cli_docs
+    except Exception as error:  # noqa: BLE001 — report, don't crash
+        return [f"tools/gen_cli_docs.py failed to import: {error}"]
+    reference = DOCS_DIR / "cli.md"
+    if not reference.exists():
+        return ["docs/cli.md does not exist (python tools/gen_cli_docs.py)"]
+    if reference.read_text() != gen_cli_docs.generate():
+        return [
+            "docs/cli.md is stale — regenerate with: "
+            "python tools/gen_cli_docs.py"
+        ]
+    return []
 
 
 def failing_doctests() -> list[str]:
@@ -160,6 +244,7 @@ def main() -> int:
         + missing_from_package_map()
         + stale_package_map_entries()
         + broken_links()
+        + stale_cli_reference()
         + failing_doctests()
     )
     for failure in failures:
@@ -168,8 +253,9 @@ def main() -> int:
         print(f"docs-check: {len(failures)} problem(s)", file=sys.stderr)
         return 1
     print(
-        "docs-check: modules documented, package map complete, "
-        "links resolve, docstring examples run"
+        "docs-check: modules documented, package map complete, links "
+        "and anchors resolve, CLI reference current, docstring "
+        "examples run"
     )
     return 0
 
