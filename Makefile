@@ -4,10 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json docs-check cli-docs
+.PHONY: test bench bench-json docs-check cli-docs coverage fuzz-smoke
 
-test: docs-check
-	$(PYTHON) -m pytest -x -q
+# Run the docs gate AND the test suite even when the first fails, then
+# report both statuses — a docs slip must never mask a test failure
+# (or vice versa).
+test:
+	@docs_status=0; pytest_status=0; \
+	$(PYTHON) tools/docs_check.py || docs_status=$$?; \
+	$(PYTHON) -m pytest -x -q || pytest_status=$$?; \
+	echo "----------------------------------------"; \
+	echo "docs-check: $$([ $$docs_status -eq 0 ] && echo PASS || echo "FAIL (exit $$docs_status)")"; \
+	echo "pytest:     $$([ $$pytest_status -eq 0 ] && echo PASS || echo "FAIL (exit $$pytest_status)")"; \
+	[ $$docs_status -eq 0 ] && [ $$pytest_status -eq 0 ]
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py"
@@ -28,3 +37,14 @@ docs-check:
 # Regenerate the CLI reference from src/repro/cli.py.
 cli-docs:
 	$(PYTHON) tools/gen_cli_docs.py
+
+# Branch coverage (coverage.py when installed; a line-coverage tracer
+# otherwise) over the fuzzlab tests, with a floor on repro.fuzzlab.
+# Prints the markdown summary table documented in docs/testing.md.
+coverage:
+	$(PYTHON) tools/coverage_gate.py
+
+# The bounded generative-fuzz lane CI runs: 25 sampled campaign
+# worlds, every oracle, deterministic for the fixed seed.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz run --budget 25 --seed 0 --quiet

@@ -28,6 +28,13 @@ property the regression suite pins byte for byte.
 journaled — the operator's fire-drill knob (``repro campaign run
 --interrupt-after N``) and the test suite's way of killing a campaign
 after wave N without racing a real signal.
+
+A runtime may also run a *hardened* fleet (``kernel_config=``, the
+same provisioning hook the defense arena uses) and reuse offline prep
+across runs (``prep=``); both are pure functions of their inputs, so
+neither weakens the determinism chain — the fuzz harness in
+:mod:`repro.fuzzlab` leans on exactly this to replay interrupted,
+defended campaigns cheaply.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from typing import TYPE_CHECKING
 
 from repro.campaign.report import CampaignReport, OutcomeAccumulator
 from repro.campaign.runtime.checkpoint import (
@@ -46,6 +54,11 @@ from repro.campaign.runtime.executors import resolve_executor
 from repro.campaign.schedule import CampaignSpec
 from repro.campaign.worker import VictimOutcome
 from repro.errors import CampaignInterrupted
+
+if TYPE_CHECKING:
+    from repro.attack.identify import SignatureDatabase
+    from repro.attack.profiling import ProfileStore
+    from repro.petalinux.kernel import KernelConfig
 
 
 class CampaignRuntime:
@@ -59,6 +72,8 @@ class CampaignRuntime:
         executor: str = "auto",
         processes: int | None = None,
         interrupt_after: int | None = None,
+        prep: "tuple[ProfileStore, SignatureDatabase] | None" = None,
+        kernel_config: "KernelConfig | None" = None,
     ) -> None:
         if not isinstance(run_dir, RunDirectory):
             run_dir = RunDirectory.create(run_dir, spec)
@@ -67,6 +82,8 @@ class CampaignRuntime:
         self._executor = executor
         self._processes = processes
         self._interrupt_after = interrupt_after
+        self._prep = prep
+        self._kernel_config = kernel_config
 
     @classmethod
     def resume(
@@ -76,12 +93,21 @@ class CampaignRuntime:
         executor: str = "auto",
         processes: int | None = None,
         interrupt_after: int | None = None,
+        prep: "tuple[ProfileStore, SignatureDatabase] | None" = None,
+        kernel_config: "KernelConfig | None" = None,
     ) -> "CampaignRuntime":
         """Reopen an interrupted run; the spec comes from ``spec.json``.
 
         The resumed run may use a different executor or process count
         than the original — placement never affects the canonical
-        outcomes.
+        outcomes.  *prep* (offline profiles + signature database) may
+        be passed to skip re-profiling; because offline prep is itself
+        a pure function of the spec, a resumed run reprepping from
+        scratch produces the identical report.  *kernel_config*, when
+        the original run hardened its fleet, must be re-supplied by
+        the caller — the defense is part of the simulated world, and a
+        resume under a different kernel would (detectably) break the
+        byte-identity contract.
         """
         directory = RunDirectory.open(run_dir)
         return cls(
@@ -90,6 +116,8 @@ class CampaignRuntime:
             executor=executor,
             processes=processes,
             interrupt_after=interrupt_after,
+            prep=prep,
+            kernel_config=kernel_config,
         )
 
     @property
@@ -125,7 +153,10 @@ class CampaignRuntime:
         ]
         reused = journal.reusable_outcomes()
 
-        profiles, database = prepare_offline(spec)
+        if self._prep is not None:
+            profiles, database = self._prep
+        else:
+            profiles, database = prepare_offline(spec)
         executor = resolve_executor(
             spec,
             self._executor,
@@ -169,6 +200,7 @@ class CampaignRuntime:
                 pending,
                 profiles,
                 database,
+                kernel_config=self._kernel_config,
                 spool=self._run_dir.spool,
                 on_wave=on_wave,
                 on_board_complete=on_board_complete,

@@ -189,7 +189,14 @@ class BoardWorker:
         for job in jobs:
             secret = Image.test_pattern(
                 session.input_hw, session.input_hw, seed=job.image_seed
-            ).corrupted(job.corruption_fraction)
+            )
+            # A zero fraction schedules an *uncorrupted* secret;
+            # Image.corrupted rejects it because corrupting zero rows
+            # is not a corruption.  (Found by the fuzzlab shrinker:
+            # CampaignSpec allows 0.0 but this call used to crash the
+            # whole board worker on it.)
+            if job.corruption_fraction > 0.0:
+                secret = secret.corrupted(job.corruption_fraction)
             run = VictimApplication(
                 self._board.tenant(job.tenant_index),
                 input_hw=session.input_hw,

@@ -17,6 +17,18 @@ Commands map one-to-one onto the evaluation entry points:
   fleet campaign under each hardening profile and prints the
   leakage-vs-overhead matrix; ``defense report`` re-renders a saved
   matrix (``defenses`` above is the older single-board ablation)
+- ``fuzz``      — the generative scenario fuzzer: ``fuzz run`` samples
+  whole campaign worlds from a seed, drives each through the real
+  attack stack, and holds every run to the differential-oracle
+  registry (failures are shrunk and written as replayable JSON
+  seeds); ``fuzz replay`` re-runs saved seeds — the regression-corpus
+  workflow (see ``docs/testing.md``)
+
+Exit codes, uniformly: 0 = success, 1 = the requested work ran but
+found failures (attack failed, figure claims broke, campaign victims
+failed, fuzz oracles fired), 2 = usage or input error (bad flags,
+malformed or missing files), 3 = a checkpointable campaign was
+interrupted and can be resumed.
 """
 
 from __future__ import annotations
@@ -45,11 +57,55 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _usage_error(message: object) -> int:
+    """Print one usage/input failure and return the documented exit 2."""
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _load_artifact(path: str, from_json, noun: str):
+    """Read + parse a saved JSON artifact; ``(obj, None)`` on success.
+
+    Any failure — unreadable file, bad JSON, JSON of the wrong shape —
+    becomes ``(None, 2)`` with one clean message, so every re-render
+    command shares the documented exit-2 contract.
+    """
+    import json
+
+    try:
+        with open(path) as handle:
+            return from_json(handle.read()), None
+    except OSError as error:
+        return None, _usage_error(error)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        return None, _usage_error(f"{path}: not a {noun} ({error})")
+
+
+def _write_artifact(path: str, text: str, label: str) -> int | None:
+    """Write an output file; ``None`` on success, exit 2 on OS errors.
+
+    Output paths are user input too — a typo'd ``-o`` directory must
+    not surface as a traceback after the work already ran.
+    """
+    try:
+        with open(path, "w") as handle:
+            handle.write(text)
+    except OSError as error:
+        return _usage_error(error)
+    print(f"wrote {label} to {path}")
+    return None
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.errors import UnknownModelError
+
     session = BoardSession.boot(
         board=board_by_name(args.board), input_hw=args.input_hw
     )
-    outcome = run_paper_attack(session, victim_model=args.model)
+    try:
+        outcome = run_paper_attack(session, victim_model=args.model)
+    except UnknownModelError as error:
+        return _usage_error(error)
     print(outcome.report.render())
     print()
     if outcome.fidelity is not None:
@@ -122,18 +178,23 @@ def _cmd_boards(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import UnknownModelError
+
     session = BoardSession.boot(
         board=board_by_name(args.board), input_hw=args.input_hw
     )
-    profiles = session.profile(args.models)
+    try:
+        profiles = session.profile(args.models)
+    except UnknownModelError as error:
+        return _usage_error(error)
     text = profiles.to_json()
     if args.output == "-":
         print(text)
-    else:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {len(args.models)} profiles to {args.output}")
-    return 0
+        return 0
+    status = _write_artifact(
+        args.output, text + "\n", f"{len(args.models)} profiles"
+    )
+    return status if status is not None else 0
 
 
 def _emit_campaign_report(report, output: str | None, extra: list[str]) -> int:
@@ -142,9 +203,9 @@ def _emit_campaign_report(report, output: str | None, extra: list[str]) -> int:
     for line in extra:
         print(line)
     if output is not None:
-        with open(output, "w") as handle:
-            handle.write(report.to_json() + "\n")
-        print(f"wrote report to {output}")
+        status = _write_artifact(output, report.to_json() + "\n", "report")
+        if status is not None:
+            return status
     return 0 if not report.failures() else 1
 
 
@@ -153,19 +214,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.errors import CampaignInterrupted
 
     if args.run_dir is not None and args.resume is not None:
-        print(
+        return _usage_error(
             "--run-dir and --resume are mutually exclusive: a resumed "
-            "run already has its run directory",
-            file=sys.stderr,
+            "run already has its run directory"
         )
-        return 2
     if args.interrupt_after is not None and not (args.run_dir or args.resume):
-        print(
+        return _usage_error(
             "--interrupt-after needs a checkpointable run "
-            "(--run-dir or --resume)",
-            file=sys.stderr,
+            "(--run-dir or --resume)"
         )
-        return 2
+    if args.processes is not None and args.processes < 1:
+        return _usage_error(
+            f"--processes must be a positive worker count, "
+            f"got {args.processes}"
+        )
     if args.resume is not None:
         # The spec comes from the run directory; spec-shaped flags on
         # the command line are ignored.
@@ -181,18 +243,23 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(error, file=sys.stderr)
             return 2
     else:
-        spec = CampaignSpec(
-            boards=args.boards,
-            victims=args.victims,
-            model_mix=tuple(args.models.split(",")),
-            tenants_per_board=args.tenants,
-            wave_size=args.wave_size,
-            seed=args.seed,
-            input_hw=args.input_hw,
-            board_names=tuple(args.board_mix.split(",")),
-            max_workers=args.workers,
-            coalesce_reads=not args.word_reads,
-        )
+        try:
+            spec = CampaignSpec(
+                boards=args.boards,
+                victims=args.victims,
+                model_mix=tuple(args.models.split(",")),
+                tenants_per_board=args.tenants,
+                wave_size=args.wave_size,
+                seed=args.seed,
+                input_hw=args.input_hw,
+                board_names=tuple(args.board_mix.split(",")),
+                max_workers=args.workers,
+                coalesce_reads=not args.word_reads,
+            )
+        except ValueError as error:
+            # Spec-shaped flags with impossible values (zero boards,
+            # an unknown model in the mix, ...).
+            return _usage_error(error)
         if args.run_dir is None:
             report = run_campaign(
                 spec, executor=args.executor, processes=args.processes
@@ -232,8 +299,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignReport
 
-    with open(args.report) as handle:
-        report = CampaignReport.from_json(handle.read())
+    report, status = _load_artifact(
+        args.report, CampaignReport.from_json, "campaign report"
+    )
+    if status is not None:
+        return status
     print(report.render())
     return 0
 
@@ -242,36 +312,155 @@ def _cmd_defense_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignSpec
     from repro.defense import run_defense_arena
 
-    spec = CampaignSpec(
-        boards=args.boards,
-        victims=args.victims,
-        model_mix=tuple(args.models.split(",")),
-        tenants_per_board=args.tenants,
-        wave_size=args.wave_size,
-        seed=args.seed,
-        input_hw=args.input_hw,
-    )
-    matrix = run_defense_arena(
-        spec,
-        profiles=tuple(args.profiles.split(",")),
-        scrape_delay_ticks=args.delay_ticks,
-        weight_theft=not args.no_weight_theft,
-    )
+    try:
+        spec = CampaignSpec(
+            boards=args.boards,
+            victims=args.victims,
+            model_mix=tuple(args.models.split(",")),
+            tenants_per_board=args.tenants,
+            wave_size=args.wave_size,
+            seed=args.seed,
+            input_hw=args.input_hw,
+        )
+        matrix = run_defense_arena(
+            spec,
+            profiles=tuple(args.profiles.split(",")),
+            scrape_delay_ticks=args.delay_ticks,
+            weight_theft=not args.no_weight_theft,
+        )
+    except ValueError as error:
+        # Bad spec values, an unknown or duplicated profile name, or
+        # conflicting '+'-composed axes.
+        return _usage_error(error)
     print(matrix.render_markdown() if args.markdown else matrix.render())
     if args.output is not None:
-        with open(args.output, "w") as handle:
-            handle.write(matrix.to_json() + "\n")
-        print(f"\nwrote matrix to {args.output}")
+        print()
+        status = _write_artifact(args.output, matrix.to_json() + "\n", "matrix")
+        if status is not None:
+            return status
     return 0
 
 
 def _cmd_defense_report(args: argparse.Namespace) -> int:
     from repro.defense import DefenseMatrix
 
-    with open(args.matrix) as handle:
-        matrix = DefenseMatrix.from_json(handle.read())
+    matrix, status = _load_artifact(
+        args.matrix, DefenseMatrix.from_json, "defense matrix"
+    )
+    if status is not None:
+        return status
     print(matrix.render_markdown() if args.markdown else matrix.render())
     return 0
+
+
+def _resolve_oracles(raw: str | None) -> tuple[str, ...] | None:
+    """Parse a ``--oracles a,b`` flag; raises ValueError on unknowns."""
+    from repro.fuzzlab import oracle_names
+
+    if raw is None:
+        return None
+    requested = tuple(name.strip() for name in raw.split(",") if name.strip())
+    unknown = sorted(set(requested) - set(oracle_names()))
+    if not requested or unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown or [raw]}; known: "
+            f"{', '.join(oracle_names())}"
+        )
+    return requested
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzzlab import run_fuzz, save_scenario, shrink
+
+    if args.budget < 1:
+        return _usage_error(
+            f"--budget must be a positive scenario count, got {args.budget}"
+        )
+    if args.shrink_reruns < 1:
+        return _usage_error(
+            f"--shrink-reruns must be a positive re-execution count, "
+            f"got {args.shrink_reruns}"
+        )
+    try:
+        oracles = _resolve_oracles(args.oracles)
+    except ValueError as error:
+        return _usage_error(error)
+
+    def progress(verdict) -> None:
+        status = "ok  " if verdict.ok else "FAIL"
+        print(f"{status} {verdict.scenario.label()}")
+
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        oracles=oracles,
+        on_verdict=progress if not args.quiet else None,
+    )
+    print()
+    print(report.render())
+    if args.output is not None:
+        status = _write_artifact(
+            args.output, report.to_json() + "\n", "fuzz report"
+        )
+        if status is not None:
+            return status
+    if report.ok:
+        return 0
+    if not args.no_shrink:
+        for verdict in report.failures():
+            result = shrink(
+                verdict.scenario,
+                oracles=oracles,
+                max_reruns=args.shrink_reruns,
+                verdict=verdict,
+            )
+            try:
+                seed_path = save_scenario(
+                    result.scenario,
+                    f"{args.artifacts}/scenario-"
+                    f"{result.scenario.scenario_id}.json",
+                    note=(
+                        f"shrunk from fuzz seed {args.seed} "
+                        f"scenario {verdict.scenario.scenario_id}; violates "
+                        f"{', '.join(result.verdict.violated_oracles)}"
+                    ),
+                )
+            except OSError as error:
+                # The violations above are already reported; a broken
+                # --artifacts path must not become a traceback now.
+                return _usage_error(error)
+            print(
+                f"\nshrunk scenario {verdict.scenario.scenario_id} in "
+                f"{result.reruns} rerun(s) "
+                f"({' '.join(result.steps) or 'already minimal'})"
+            )
+            print(f"  -> {seed_path}")
+            print(f"  replay: python -m repro fuzz replay {seed_path}")
+    return 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzzlab import replay
+
+    try:
+        oracles = _resolve_oracles(args.oracles)
+        results = replay(args.seeds, oracles=oracles)
+    except (FileNotFoundError, ValueError) as error:
+        return _usage_error(error)
+    if not results:
+        return _usage_error(f"no seed files under: {', '.join(args.seeds)}")
+    failures = 0
+    for seed_path, verdict in results:
+        status = "ok  " if verdict.ok else "FAIL"
+        print(f"{status} {seed_path} — {verdict.scenario.label()}")
+        for violation in verdict.violations:
+            failures += 1
+            print(f"     [{violation.oracle}] {violation.message}")
+    print(
+        f"\n{len(results)} seed(s) replayed, "
+        f"{sum(1 for _, v in results if not v.ok)} violating"
+    )
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -479,6 +668,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="render a markdown table"
     )
     defense_report.set_defaults(func=_cmd_defense_report)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="generative scenario fuzzing with differential oracles"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run",
+        help="sample campaign worlds from a seed and hold every oracle "
+        "to them",
+    )
+    fuzz_run.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="scenarios to generate and run (default: 25)",
+    )
+    fuzz_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generator seed; the scenario stream is a pure function "
+        "of it (default: 0)",
+    )
+    fuzz_run.add_argument(
+        "--oracles",
+        default=None,
+        metavar="A,B",
+        help="comma-separated oracle subset (default: all registered)",
+    )
+    fuzz_run.add_argument(
+        "--artifacts",
+        default="fuzz-artifacts",
+        metavar="DIR",
+        help="where shrunk failing seeds are written "
+        "(default: fuzz-artifacts)",
+    )
+    fuzz_run.add_argument(
+        "--shrink-reruns",
+        type=int,
+        default=48,
+        metavar="N",
+        help="re-executions the shrinker may spend per failure "
+        "(default: 48)",
+    )
+    fuzz_run.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing them",
+    )
+    fuzz_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-scenario progress lines",
+    )
+    fuzz_run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the byte-deterministic verdict report as JSON",
+    )
+    fuzz_run.set_defaults(func=_cmd_fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay",
+        help="re-run saved scenario seeds (files or corpus directories)",
+    )
+    fuzz_replay.add_argument(
+        "seeds",
+        nargs="+",
+        help="seed files or directories of *.json seeds",
+    )
+    fuzz_replay.add_argument(
+        "--oracles",
+        default=None,
+        metavar="A,B",
+        help="comma-separated oracle subset (default: all registered)",
+    )
+    fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
     return parser
 
 

@@ -1,0 +1,98 @@
+"""Fuzzlab — generative scenario fuzzing with differential oracles.
+
+The hand-written test suite exercises the attack stack on scenarios
+someone thought of; the fuzzlab exercises it on scenarios nobody did.
+A deterministic generator samples whole campaign worlds — fleet
+geometry, victim mixes and lifetimes, hardening profiles, executor
+placement, injected crash points, carve windows — and every world is
+driven through the *real* four-step attack and campaign runtime, then
+held to a registry of cross-cutting oracles: fast-path vs reference
+byte-identity, region maps that tile their dump, crash/resume report
+byte-identity, spool round-trip integrity, defense monotonicity,
+report-aggregation consistency, and coalesced vs word-mode extraction
+equivalence.  Failures shrink to a minimal scenario and serialize as
+replayable JSON seeds; committed seeds become permanent regression
+tests.
+
+The pieces:
+
+- :mod:`repro.fuzzlab.scenario` — the scenario model and the
+  deterministic ``(seed, id) -> Scenario`` generator;
+- :mod:`repro.fuzzlab.oracles`  — the oracle registry and the world
+  artifact they consume;
+- :mod:`repro.fuzzlab.runner`   — world building (real campaigns, real
+  resume drills), planted faults, the fuzz loop, verdict reports;
+- :mod:`repro.fuzzlab.shrink`   — greedy scenario minimization;
+- :mod:`repro.fuzzlab.corpus`   — JSON seeds, corpus replay.
+
+Scenario generation is pure and cheap; the streams are stable:
+
+>>> from repro.fuzzlab import ScenarioGenerator
+>>> scenarios = ScenarioGenerator(seed=0).generate(2)
+>>> [s.scenario_id for s in scenarios]
+[0, 1]
+>>> scenarios == ScenarioGenerator(seed=0).generate(2)
+True
+
+See ``docs/testing.md`` for the test taxonomy and the corpus-replay
+workflow, and ``repro fuzz run --budget 25 --seed 0`` for the CI lane.
+"""
+
+from repro.fuzzlab.corpus import (
+    iter_corpus,
+    load_scenario,
+    replay,
+    save_scenario,
+)
+from repro.fuzzlab.oracles import (
+    ORACLES,
+    WORLD_INTEGRITY,
+    ScenarioWorld,
+    Violation,
+    check_world,
+    oracle_names,
+)
+from repro.fuzzlab.runner import (
+    PLANTED_FAULTS,
+    FuzzReport,
+    ScenarioVerdict,
+    build_world,
+    plant_fault,
+    run_fuzz,
+    run_scenario,
+)
+from repro.fuzzlab.scenario import (
+    Scenario,
+    ScenarioGenerator,
+    scenario_from_dict,
+    scenario_to_dict,
+    with_plant,
+)
+from repro.fuzzlab.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "FuzzReport",
+    "ORACLES",
+    "PLANTED_FAULTS",
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioVerdict",
+    "ScenarioWorld",
+    "ShrinkResult",
+    "Violation",
+    "WORLD_INTEGRITY",
+    "build_world",
+    "check_world",
+    "iter_corpus",
+    "load_scenario",
+    "oracle_names",
+    "plant_fault",
+    "replay",
+    "run_fuzz",
+    "run_scenario",
+    "save_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "shrink",
+    "with_plant",
+]

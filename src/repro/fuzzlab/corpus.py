@@ -1,0 +1,113 @@
+"""The regression corpus — every found bug becomes a permanent test.
+
+A corpus seed is one :class:`~repro.fuzzlab.scenario.Scenario` frozen
+as JSON, with a human note about why it is interesting.  The workflow:
+
+1. ``repro fuzz run`` finds a violation, shrinks it, and writes the
+   minimal scenario as a seed file;
+2. the developer triages it (``repro fuzz replay seed.json`` reproduces
+   the violation deterministically, forever);
+3. once the bug is fixed, the seed is committed under
+   ``tests/corpus/fuzzlab/`` — the tier-1 suite replays every
+   committed seed and demands green, so the bug can never quietly
+   return.
+
+Seed files are small, diff-able, and self-contained: no pickles, no
+paths, no environment.  :func:`iter_corpus` accepts files and
+directories (directories contribute their ``*.json`` members, sorted),
+so the CLI, the test suite, and CI all share one loader.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.fuzzlab.runner import ScenarioVerdict, run_scenario
+from repro.fuzzlab.scenario import (
+    Scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+CORPUS_FORMAT = 1
+
+
+def save_scenario(
+    scenario: Scenario, path: str | os.PathLike[str], note: str = ""
+) -> Path:
+    """Freeze one scenario as a replayable JSON seed file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {
+                "format": CORPUS_FORMAT,
+                "note": note,
+                "scenario": scenario_to_dict(scenario),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return path
+
+
+def load_scenario(path: str | os.PathLike[str]) -> tuple[Scenario, str]:
+    """Read one seed file back; returns ``(scenario, note)``.
+
+    Raises :class:`ValueError` for malformed seeds (bad JSON, wrong
+    format marker, missing or invalid scenario fields) so callers can
+    turn any of it into one clean usage error.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+    found = (
+        payload.get("format")
+        if isinstance(payload, dict)
+        else f"a JSON {type(payload).__name__}"
+    )
+    if not isinstance(payload, dict) or found != CORPUS_FORMAT:
+        raise ValueError(
+            f"{path}: not a fuzzlab seed (expected format "
+            f"{CORPUS_FORMAT}, got {found!r})"
+        )
+    try:
+        scenario = scenario_from_dict(payload["scenario"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"{path}: invalid scenario: {error}") from None
+    return scenario, str(payload.get("note", ""))
+
+
+def iter_corpus(
+    paths: Iterable[str | os.PathLike[str]],
+) -> list[Path]:
+    """Expand files and directories into a sorted list of seed files."""
+    seeds: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seeds.extend(sorted(path.glob("*.json")))
+        elif path.exists():
+            seeds.append(path)
+        else:
+            raise FileNotFoundError(f"no such seed file or corpus: {path}")
+    return seeds
+
+
+def replay(
+    paths: Iterable[str | os.PathLike[str]],
+    oracles: tuple[str, ...] | None = None,
+) -> list[tuple[Path, ScenarioVerdict]]:
+    """Re-run every seed under *paths*; returns per-seed verdicts."""
+    results = []
+    for seed_path in iter_corpus(paths):
+        scenario, _ = load_scenario(seed_path)
+        results.append((seed_path, run_scenario(scenario, oracles=oracles)))
+    return results

@@ -1,0 +1,592 @@
+"""Differential and invariant oracles over one fuzzed campaign world.
+
+An oracle is a named pure function from a :class:`ScenarioWorld` — the
+artifacts the runner collected while driving the real attack stack
+through one :class:`~repro.fuzzlab.scenario.Scenario` — to a list of
+human-readable violation messages.  Empty list = the invariant held.
+
+The registry covers every cross-cutting contract the codebase claims:
+
+``scan_equivalence``
+    every fast path in :mod:`repro.analysis.scan` (region maps, window
+    classification, entropy, printable fraction, nonzero counting, the
+    Aho–Corasick signature matcher) is byte-/score-identical to its
+    per-byte reference in :mod:`repro.analysis.reference`, on real
+    scraped residue;
+``region_partition``
+    a region map is a partition of the dump: starts at zero, covers
+    every byte, no gaps, no overlaps, maximal runs, and the bisecting
+    ``region_at`` agrees with the linear reference everywhere;
+``resume_identity``
+    a campaign crashed at an arbitrary journaled-outcome count and
+    resumed (possibly on a different executor) writes a ``report.json``
+    byte-identical to the uninterrupted run's;
+``spool_integrity``
+    every spooled dump reads back as bytes hashing to its own name,
+    and the manifest/outcome digests all resolve in the store;
+``defense_monotonicity``
+    strictly strengthening a hardening profile never leaks more: a
+    ``zero_on_free`` fleet leaks nothing, and doubling the scrub rate
+    never increases surviving residue;
+``report_consistency``
+    outcomes are exactly the schedule (one per scheduled victim, with
+    matching placement), streaming and batch aggregation agree, JSON
+    round-trips losslessly, and the in-memory report matches the bytes
+    the runtime persisted;
+``extraction_equivalence``
+    coalesced (batched) and word-at-a-time extraction scrape
+    byte-identical residue and reach identical verdicts.
+
+Violation messages carry only deterministic facts (digests, job ids,
+counts) — never wall-clock values or filesystem paths — so a fuzz
+report is byte-stable for a given seed and budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.reference import (
+    reference_classify_window,
+    reference_map_dump,
+    reference_match,
+    reference_nonzero_bytes,
+    reference_printable_fraction,
+    reference_region_at,
+    reference_shannon_entropy,
+)
+from repro.attack.carving import (
+    DumpCartographer,
+    Region,
+    printable_fraction,
+    shannon_entropy,
+)
+from repro.attack.identify import SignatureDatabase
+from repro.campaign.report import CampaignReport, OutcomeAccumulator
+from repro.campaign.schedule import CampaignSpec, VictimJob, build_schedule
+from repro.campaign.worker import VictimOutcome
+from repro.evaluation.metrics import nonzero_bytes
+from repro.petalinux.sanitizer import SanitizePolicy
+
+ENTROPY_TOLERANCE = 1e-9
+"""Float tolerance for entropy equivalence (the fast path sums the
+same terms in a different order; everything else is exact)."""
+
+SAMPLED_WINDOWS = 8
+"""Random windows / offsets probed per dump by the sampling checks."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle's verdict that an invariant broke."""
+
+    oracle: str
+    message: str
+
+
+@dataclass(frozen=True)
+class RegionMapArtifact:
+    """One dump slice and the fast-path region map computed over it."""
+
+    digest: str
+    data: bytes
+    regions: tuple[Region, ...]
+
+
+@dataclass(frozen=True)
+class MonotonicityArtifact:
+    """One profile-vs-strengthened-profile campaign pair."""
+
+    base_profile: str
+    stronger_profile: str
+    stronger_axis: str
+    """Which axis was strengthened: ``zero_on_free`` (sanitize added),
+    ``scrub_rate`` (daemon rate doubled), or ``already_zeroing``."""
+    base_outcomes: tuple[VictimOutcome, ...]
+    stronger_outcomes: tuple[VictimOutcome, ...]
+
+
+@dataclass
+class ScenarioWorld:
+    """Everything the runner observed driving one scenario.
+
+    Mutable on purpose: planted faults corrupt a built world in place,
+    which is how the fuzzer's own failure-detection machinery is
+    itself tested end to end.
+    """
+
+    scenario: object  # repro.fuzzlab.scenario.Scenario (kept duck-typed)
+    spec: CampaignSpec
+    schedule: tuple[VictimJob, ...]
+    database: SignatureDatabase
+    cartographer: DumpCartographer
+    baseline_report: CampaignReport
+    baseline_report_bytes: bytes
+    resumed_report_bytes: bytes
+    interrupted: bool
+    spool_digests: tuple[str, ...]
+    manifest: tuple[dict, ...]
+    dumps: list[tuple[str, bytes]]
+    """Selected ``(digest, full bytes)`` pairs read back from the
+    spool (capped in count, never in bytes — the hash check needs the
+    whole object)."""
+    region_maps: list[RegionMapArtifact]
+    alt_outcomes: tuple[VictimOutcome, ...]
+    monotonicity: MonotonicityArtifact
+    notes: list[str] = field(default_factory=list)
+
+    def sampling_rng(self, salt: int) -> random.Random:
+        """A deterministic per-oracle sampling stream."""
+        return random.Random((self.spec.seed + 1) * 7_919 + salt)
+
+
+WORLD_INTEGRITY = "world_integrity"
+"""Reserved pseudo-oracle name: the runner reports a crash *while
+building the world* (a campaign, resume drill, or spool read blowing
+up) under this name, so stack crashes are first-class fuzz findings —
+shrinkable and replayable like any oracle violation.  Not in the
+registry because it has no check function of its own."""
+
+OracleFn = Callable[[ScenarioWorld], list[str]]
+
+ORACLES: dict[str, OracleFn] = {}
+
+
+def oracle(name: str) -> Callable[[OracleFn], OracleFn]:
+    """Register a world invariant under *name*."""
+
+    def register(fn: OracleFn) -> OracleFn:
+        if name in ORACLES:
+            raise ValueError(f"duplicate oracle {name!r}")
+        ORACLES[name] = fn
+        return fn
+
+    return register
+
+
+def oracle_names() -> tuple[str, ...]:
+    """Every registered oracle, sorted."""
+    return tuple(sorted(ORACLES))
+
+
+def check_world(
+    world: ScenarioWorld, names: tuple[str, ...] | None = None
+) -> list[Violation]:
+    """Run the named oracles (default: all) over one built world."""
+    selected = oracle_names() if names is None else names
+    unknown = sorted(set(selected) - set(ORACLES))
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; known: {list(oracle_names())}"
+        )
+    violations = []
+    for name in selected:
+        violations.extend(
+            Violation(oracle=name, message=message)
+            for message in ORACLES[name](world)
+        )
+    return violations
+
+
+# -- 1. fast paths vs reference implementations -------------------------------
+
+
+@oracle("scan_equivalence")
+def _scan_equivalence(world: ScenarioWorld) -> list[str]:
+    """Fast scan paths must match their per-byte references exactly."""
+    problems = []
+    rng = world.sampling_rng(salt=1)
+    for artifact in world.region_maps:
+        data = artifact.data
+        window = world.scenario.carve_window
+        reference = tuple(reference_map_dump(data, window=window))
+        if artifact.regions != reference:
+            problems.append(
+                f"dump {artifact.digest[:12]}: fast map_dump produced "
+                f"{len(artifact.regions)} region(s), reference "
+                f"{len(reference)} — maps diverge"
+            )
+        if nonzero_bytes(data) != reference_nonzero_bytes(data):
+            problems.append(
+                f"dump {artifact.digest[:12]}: nonzero_bytes diverges "
+                f"from reference"
+            )
+        for sample in _sample_windows(rng, data, window):
+            fast = world.cartographer.classify_window(sample)
+            slow = reference_classify_window(sample)
+            if fast is not slow:
+                problems.append(
+                    f"dump {artifact.digest[:12]}: window classified "
+                    f"{fast.value} by the fast path, {slow.value} by the "
+                    f"reference"
+                )
+            delta = abs(
+                shannon_entropy(sample) - reference_shannon_entropy(sample)
+            )
+            if delta > ENTROPY_TOLERANCE:
+                problems.append(
+                    f"dump {artifact.digest[:12]}: entropy diverges by "
+                    f"{delta:.3e} (tolerance {ENTROPY_TOLERANCE:.0e})"
+                )
+            if printable_fraction(sample) != reference_printable_fraction(
+                sample
+            ):
+                problems.append(
+                    f"dump {artifact.digest[:12]}: printable_fraction "
+                    f"diverges from reference"
+                )
+        if world.database.match(data) != reference_match(
+            world.database, data
+        ):
+            problems.append(
+                f"dump {artifact.digest[:12]}: Aho–Corasick signature "
+                f"match diverges from scan-per-token reference"
+            )
+    return problems
+
+
+def _sample_windows(
+    rng: random.Random, data: bytes, window: int
+) -> list[bytes]:
+    """Deterministic window samples: edges plus random interior cuts."""
+    if not data:
+        return [b""]
+    samples = [data[:window], data[-(len(data) % window or window):]]
+    for _ in range(SAMPLED_WINDOWS):
+        start = rng.randrange(len(data))
+        samples.append(data[start : start + window])
+    return samples
+
+
+# -- 2. region maps partition the dump ----------------------------------------
+
+
+@oracle("region_partition")
+def _region_partition(world: ScenarioWorld) -> list[str]:
+    """A region map must tile its dump exactly, with maximal runs."""
+    problems = []
+    rng = world.sampling_rng(salt=2)
+    for artifact in world.region_maps:
+        data, regions = artifact.data, artifact.regions
+        tag = f"dump {artifact.digest[:12]}"
+        if not data:
+            if regions:
+                problems.append(f"{tag}: empty dump mapped to regions")
+            continue
+        if not regions:
+            problems.append(f"{tag}: non-empty dump mapped to no regions")
+            continue
+        if regions[0].start != 0:
+            problems.append(
+                f"{tag}: map starts at {regions[0].start:#x}, not 0"
+            )
+        if regions[-1].end != len(data):
+            problems.append(
+                f"{tag}: map ends at {regions[-1].end:#x}, dump has "
+                f"{len(data):#x} bytes"
+            )
+        for left, right in zip(regions, regions[1:]):
+            if left.end != right.start:
+                problems.append(
+                    f"{tag}: gap/overlap between {left.end:#x} and "
+                    f"{right.start:#x}"
+                )
+            if left.kind is right.kind:
+                problems.append(
+                    f"{tag}: adjacent regions both {left.kind.value} — "
+                    f"runs are not maximal"
+                )
+        if any(region.length <= 0 for region in regions):
+            problems.append(f"{tag}: empty or negative-length region")
+        totals = DumpCartographer.kind_totals(list(regions))
+        if sum(totals.values()) != len(data):
+            problems.append(
+                f"{tag}: kind totals sum to {sum(totals.values())}, dump "
+                f"has {len(data)} bytes"
+            )
+        offsets = [0, len(data) - 1] + [
+            rng.randrange(len(data)) for _ in range(SAMPLED_WINDOWS)
+        ]
+        region_list = list(regions)
+        for offset in offsets:
+            # On a well-formed map neither lookup may raise; on a
+            # corrupt one both must agree the offset is unmapped.
+            try:
+                fast = world.cartographer.region_at(region_list, offset)
+            except ValueError:
+                fast = None
+            try:
+                slow = reference_region_at(region_list, offset)
+            except ValueError:
+                slow = None
+            if fast != slow:
+                problems.append(
+                    f"{tag}: region_at({offset:#x}) bisects to "
+                    f"{_span(fast)} but linear scan finds {_span(slow)}"
+                )
+            elif fast is None:
+                problems.append(
+                    f"{tag}: offset {offset:#x} inside the dump is not "
+                    f"covered by any region"
+                )
+    return problems
+
+
+def _span(region: Region | None) -> str:
+    if region is None:
+        return "no region"
+    return f"[{region.start:#x},{region.end:#x})"
+
+
+# -- 3. resume determinism ----------------------------------------------------
+
+
+@oracle("resume_identity")
+def _resume_identity(world: ScenarioWorld) -> list[str]:
+    """Crash + resume must reproduce the uninterrupted report, byte for byte."""
+    scenario = world.scenario
+    problems = []
+    if not world.interrupted:
+        problems.append(
+            f"interrupt_after={scenario.interrupt_after} never fired "
+            f"(campaign has {world.spec.victims} victims)"
+        )
+    if not world.baseline_report_bytes:
+        problems.append("uninterrupted run produced no report.json")
+    if world.resumed_report_bytes != world.baseline_report_bytes:
+        problems.append(
+            f"resumed report diverges from uninterrupted report "
+            f"(crash after {scenario.interrupt_after} outcome(s), "
+            f"{scenario.executor} -> {scenario.resume_executor}): "
+            f"{_digest(world.resumed_report_bytes)} != "
+            f"{_digest(world.baseline_report_bytes)}"
+        )
+    return problems
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:12]
+
+
+# -- 4. spool round-trip integrity --------------------------------------------
+
+
+@oracle("spool_integrity")
+def _spool_integrity(world: ScenarioWorld) -> list[str]:
+    """Content-addressed storage must read back what it was named for."""
+    problems = []
+    stored = set(world.spool_digests)
+    for digest, data in world.dumps:
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            problems.append(
+                f"spool object {digest[:12]} reads back as bytes hashing "
+                f"to {actual[:12]}"
+            )
+    by_digest = dict(world.dumps)
+    for record in world.manifest:
+        if record["sha256"] not in stored:
+            problems.append(
+                f"manifest job {record['job_id']} names digest "
+                f"{record['sha256'][:12]} which the spool does not hold"
+            )
+        data = by_digest.get(record["sha256"])
+        if data is not None and len(data) != record["nbytes"]:
+            problems.append(
+                f"manifest job {record['job_id']} claims {record['nbytes']} "
+                f"bytes, object holds {len(data)}"
+            )
+    for outcome in world.baseline_report.outcomes:
+        if outcome.dump_sha256 is not None and outcome.dump_sha256 not in stored:
+            problems.append(
+                f"outcome job {outcome.job_id} cites dump "
+                f"{outcome.dump_sha256[:12]} missing from the spool"
+            )
+    return problems
+
+
+# -- 5. defense monotonicity --------------------------------------------------
+
+
+@oracle("defense_monotonicity")
+def _defense_monotonicity(world: ScenarioWorld) -> list[str]:
+    """Strengthening a profile must never increase leaked residue."""
+    pair = world.monotonicity
+    problems = []
+    base = {outcome.job_id: outcome for outcome in pair.base_outcomes}
+    strong = {outcome.job_id: outcome for outcome in pair.stronger_outcomes}
+    if sorted(base) != sorted(strong):
+        problems.append(
+            f"profile pair {pair.base_profile!r} vs "
+            f"{pair.stronger_profile!r} attacked different victim sets"
+        )
+        return problems
+    base_total = sum(outcome.residue_nbytes for outcome in pair.base_outcomes)
+    strong_total = sum(
+        outcome.residue_nbytes for outcome in pair.stronger_outcomes
+    )
+    if strong_total > base_total:
+        problems.append(
+            f"strengthening {pair.base_profile!r} -> "
+            f"{pair.stronger_profile!r} ({pair.stronger_axis}) increased "
+            f"total residue {base_total} -> {strong_total}"
+        )
+    if pair.stronger_axis in ("zero_on_free", "already_zeroing"):
+        # Synchronous zeroing is absolute: no per-victim residue at all.
+        for job_id in sorted(strong):
+            outcome = strong[job_id]
+            if outcome.residue_nbytes != 0:
+                problems.append(
+                    f"job {job_id} leaked {outcome.residue_nbytes} residue "
+                    f"byte(s) under zero-on-free profile "
+                    f"{pair.stronger_profile!r}"
+                )
+            if outcome.residue_nbytes > base[job_id].residue_nbytes:
+                problems.append(
+                    f"job {job_id} residue grew "
+                    f"{base[job_id].residue_nbytes} -> "
+                    f"{outcome.residue_nbytes} under the stronger profile"
+                )
+    return problems
+
+
+def strengthened_axis(policy: SanitizePolicy) -> str:
+    """Which monotonicity axis applies to a profile's sanitize policy."""
+    if policy is SanitizePolicy.NONE:
+        return "zero_on_free"
+    if policy is SanitizePolicy.SCRUB_POOL:
+        return "scrub_rate"
+    return "already_zeroing"
+
+
+# -- 6. report-aggregation consistency ----------------------------------------
+
+
+@oracle("report_consistency")
+def _report_consistency(world: ScenarioWorld) -> list[str]:
+    """One outcome per scheduled victim; all aggregation views agree."""
+    report = world.baseline_report
+    problems = []
+    problems.extend(_schedule_conformance(report, world.schedule))
+    problems.extend(_aggregation_agreement(report, world))
+    rendered = report.to_json() + "\n"
+    if rendered.encode("utf-8") != world.baseline_report_bytes:
+        problems.append(
+            "in-memory report diverges from the report.json the runtime "
+            "persisted"
+        )
+    round_tripped = CampaignReport.from_json(report.to_json())
+    if round_tripped.to_json() != report.to_json():
+        problems.append("report JSON round-trip is not lossless")
+    return problems
+
+
+def _schedule_conformance(
+    report: CampaignReport, schedule: tuple[VictimJob, ...]
+) -> list[str]:
+    problems = []
+    outcomes = {outcome.job_id: outcome for outcome in report.outcomes}
+    jobs = {job.job_id: job for job in schedule}
+    missing = sorted(set(jobs) - set(outcomes))
+    extra = sorted(set(outcomes) - set(jobs))
+    if missing:
+        problems.append(f"scheduled job(s) {missing} have no outcome")
+    if extra:
+        problems.append(f"outcome(s) {extra} match no scheduled job")
+    if [o.job_id for o in report.outcomes] != sorted(outcomes):
+        problems.append("report outcomes are not sorted by job_id")
+    for job_id in sorted(set(jobs) & set(outcomes)):
+        job, outcome = jobs[job_id], outcomes[job_id]
+        placement = (
+            outcome.board_index,
+            outcome.tenant_index,
+            outcome.launch_wave,
+            outcome.model_name,
+        )
+        scheduled = (
+            job.board_index,
+            job.tenant_index,
+            job.launch_wave,
+            job.model_name,
+        )
+        if placement != scheduled:
+            problems.append(
+                f"job {job_id} ran as {placement}, scheduled as {scheduled}"
+            )
+    return problems
+
+
+def _aggregation_agreement(
+    report: CampaignReport, world: ScenarioWorld
+) -> list[str]:
+    problems = []
+    tally = OutcomeAccumulator.of(report.outcomes)
+    shuffled = list(report.outcomes)
+    world.sampling_rng(salt=6).shuffle(shuffled)
+    reordered = OutcomeAccumulator.of(shuffled)
+    if tally.victims != report.victims:
+        problems.append(
+            f"accumulator counts {tally.victims} victims, report "
+            f"{report.victims}"
+        )
+    succeeded = sum(1 for o in report.outcomes if o.succeeded)
+    if tally.succeeded != succeeded:
+        problems.append(
+            f"accumulator counts {tally.succeeded} successes, outcomes "
+            f"say {succeeded}"
+        )
+    if (tally.per_model(), tally.per_board()) != (
+        reordered.per_model(),
+        reordered.per_board(),
+    ):
+        problems.append("aggregation depends on outcome fold order")
+    if (report.per_model(), report.per_board()) != (
+        tally.per_model(),
+        tally.per_board(),
+    ):
+        problems.append("report breakdowns diverge from streaming tallies")
+    model_victims = sum(row.victims for row in report.per_model())
+    board_victims = sum(row.victims for row in report.per_board())
+    if model_victims != report.victims or board_victims != report.victims:
+        problems.append(
+            f"breakdown victim counts (model={model_victims}, "
+            f"board={board_victims}) do not sum to {report.victims}"
+        )
+    return problems
+
+
+# -- 7. coalesced vs word-at-a-time extraction --------------------------------
+
+
+@oracle("extraction_equivalence")
+def _extraction_equivalence(world: ScenarioWorld) -> list[str]:
+    """Batched and word-mode extraction must scrape identical residue."""
+    problems = []
+    base = {o.job_id: o for o in world.baseline_report.outcomes}
+    alt = {o.job_id: o for o in world.alt_outcomes}
+    if sorted(base) != sorted(alt):
+        problems.append(
+            "coalesce-flipped campaign attacked a different victim set"
+        )
+        return problems
+    for job_id in sorted(base):
+        one, other = base[job_id], alt[job_id]
+        fields = (
+            ("dump_sha256", one.dump_sha256, other.dump_sha256),
+            ("residue_nbytes", one.residue_nbytes, other.residue_nbytes),
+            ("nbytes", one.nbytes, other.nbytes),
+            ("pages_read", one.pages_read, other.pages_read),
+            ("identified_model", one.identified_model, other.identified_model),
+            ("pixel_match_rate", one.pixel_match_rate, other.pixel_match_rate),
+            ("failed_step", one.failed_step, other.failed_step),
+        )
+        for name, lhs, rhs in fields:
+            if lhs != rhs:
+                problems.append(
+                    f"job {job_id}: {name} differs between coalesced and "
+                    f"word-mode extraction ({lhs!r} != {rhs!r})"
+                )
+    return problems

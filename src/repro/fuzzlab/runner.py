@@ -1,0 +1,495 @@
+"""The fuzz runner — drive one scenario through the real attack stack.
+
+:func:`build_world` is the heart of the fuzzlab: it takes one
+:class:`~repro.fuzzlab.scenario.Scenario` and actually runs it —
+no mocks, no shortcuts — collecting every artifact the oracles need:
+
+1. one *uninterrupted* checkpointed campaign
+   (:class:`~repro.campaign.runtime.runner.CampaignRuntime` under the
+   scenario's executor and hardening profile), whose ``report.json``,
+   journal, and dump spool become the reference world;
+2. one *crashed* campaign (``interrupt_after`` at the scenario's
+   chosen point) plus its resume — possibly on a different executor —
+   for the byte-identity oracle;
+3. a coalesce-flipped campaign (batched ⇄ word-at-a-time extraction)
+   for the extraction-equivalence oracle;
+4. a profile-vs-strengthened-profile campaign pair, run through the
+   defense arena's teardown-delay hook, for the monotonicity oracle;
+5. fast-path region maps over spooled residue for the differential
+   scan oracles.
+
+Offline prep (profiling + signature mining) is cached per
+``(model mix, input size)`` across scenarios — it is a pure function
+of those inputs, and it dominates the cost of a small campaign.
+
+:func:`run_fuzz` loops a :class:`ScenarioGenerator` over a budget and
+folds every verdict into a :class:`FuzzReport` whose JSON is
+byte-deterministic for a given ``(seed, budget, oracles)``.
+
+**Planted faults.**  A fuzzer that never fires is indistinguishable
+from a fuzzer that cannot fire.  :data:`PLANTED_FAULTS` corrupts a
+*built* world in one precise way per fault name (a dropped region, a
+flipped report byte, a tampered spool object, an inflated residue
+count, a swallowed outcome) so the test suite can prove, end to end,
+that each oracle detects its failure class, that the shrinker reduces
+a failing scenario, and that ``repro fuzz replay`` reproduces it from
+the serialized seed alone.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable
+
+from repro.attack.carving import DumpCartographer, Region, RegionKind
+from repro.attack.identify import SignatureDatabase
+from repro.attack.profiling import ProfileStore
+from repro.campaign.engine import prepare_offline, run_campaign
+from repro.campaign.runtime.runner import CampaignRuntime
+from repro.campaign.runtime.spool import DumpSpool
+from repro.campaign.schedule import build_schedule
+from repro.defense.arena import ScrapeDelayHook
+from repro.defense.profiles import DefenseConfig, defense_profile
+from repro.errors import CampaignInterrupted
+from repro.fuzzlab.oracles import (
+    WORLD_INTEGRITY,
+    MonotonicityArtifact,
+    RegionMapArtifact,
+    ScenarioWorld,
+    Violation,
+    check_world,
+    oracle_names,
+    strengthened_axis,
+)
+from repro.fuzzlab.scenario import (
+    Scenario,
+    ScenarioGenerator,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+MAX_ANALYZED_DUMPS = 3
+"""Spool objects the analysis oracles read back per scenario (the
+reference implementations are deliberate per-byte loops)."""
+
+_PREP_CACHE: dict[tuple, tuple[ProfileStore, SignatureDatabase]] = {}
+
+
+def _prepared(spec) -> tuple[ProfileStore, SignatureDatabase]:
+    """Offline prep, cached by what it is a pure function of."""
+    key = (tuple(sorted(set(spec.model_mix))), spec.input_hw)
+    if key not in _PREP_CACHE:
+        _PREP_CACHE[key] = prepare_offline(spec)
+    return _PREP_CACHE[key]
+
+
+def strengthen(profile: DefenseConfig) -> tuple[DefenseConfig, str]:
+    """A strictly-no-weaker profile plus the axis that was tightened.
+
+    - sanitize ``NONE``       -> compose in synchronous ``zero_on_free``;
+    - ``SCRUB_POOL``          -> double the background daemon's rate;
+    - already ``ZERO_ON_FREE``-> unchanged (residue is provably zero).
+    """
+    axis = strengthened_axis(profile.sanitize_policy)
+    if axis == "zero_on_free":
+        return profile.compose(defense_profile("zero_on_free")), axis
+    if axis == "scrub_rate":
+        stronger = replace(
+            profile,
+            name=f"{profile.name}@2x",
+            scrub_rate_per_tick=profile.scrub_rate_per_tick * 2,
+        )
+        return stronger, axis
+    return profile, axis
+
+
+def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
+    """Run *scenario* end to end and collect the oracle artifacts."""
+    workdir = Path(workdir)
+    spec = scenario.to_spec()
+    profiles, database = _prepared(spec)
+    profile = defense_profile(scenario.defense_profile)
+    kernel_config = profile.kernel_config(spec)
+    prep = (profiles, database)
+
+    # 1. The uninterrupted reference run.
+    full = CampaignRuntime(
+        spec,
+        workdir / "full",
+        executor=scenario.executor,
+        processes=scenario.processes,
+        prep=prep,
+        kernel_config=kernel_config,
+    )
+    baseline_report = full.run()
+    baseline_bytes = full.run_dir.report_path.read_bytes()
+
+    # 2. Crash at the scenario's interrupt point, then resume.
+    crash = CampaignRuntime(
+        spec,
+        workdir / "crash",
+        executor=scenario.executor,
+        processes=scenario.processes,
+        interrupt_after=scenario.interrupt_after,
+        prep=prep,
+        kernel_config=kernel_config,
+    )
+    try:
+        crash.run()
+        interrupted = False
+    except CampaignInterrupted:
+        interrupted = True
+        CampaignRuntime.resume(
+            workdir / "crash",
+            executor=scenario.resume_executor,
+            prep=prep,
+            kernel_config=kernel_config,
+        ).run()
+    resumed_bytes = crash.run_dir.report_path.read_bytes()
+
+    # 3. Flip the extraction mode; everything else identical.
+    alt_report = run_campaign(
+        replace(spec, coalesce_reads=not spec.coalesce_reads),
+        profiles,
+        database,
+        kernel_config=kernel_config,
+        executor="inprocess",
+        spool=DumpSpool(workdir / "alt-spool"),
+    )
+
+    # 4. The monotonicity pair, through the arena's teardown-delay hook.
+    stronger, axis = strengthen(profile)
+    pair_reports = [
+        run_campaign(
+            spec,
+            profiles,
+            database,
+            kernel_config=config.kernel_config(spec),
+            teardown_hook=ScrapeDelayHook(scenario.scrape_delay_ticks),
+            executor="inprocess",
+        )
+        for config in ((profile,) if stronger is profile else (profile, stronger))
+    ]
+    if stronger is profile:
+        # Already-zeroing profiles strengthen to themselves; the oracle
+        # still asserts residue == 0 on the single run's outcomes.
+        pair_reports.append(pair_reports[0])
+
+    # 5. Read residue back from the spool; map it with the fast paths.
+    spool = full.run_dir.spool
+    digests = spool.digests()
+    rng = random.Random((spec.seed + 1) * 31 + scenario.scenario_id)
+    selected = sorted(
+        rng.sample(digests, min(MAX_ANALYZED_DUMPS, len(digests)))
+    )
+    dumps = [(digest, spool.read(digest)) for digest in selected]
+    cartographer = DumpCartographer(window=scenario.carve_window)
+    region_maps = [
+        RegionMapArtifact(
+            digest=digest,
+            data=data[: scenario.analysis_cap],
+            regions=tuple(
+                cartographer.map_dump(data[: scenario.analysis_cap])
+            ),
+        )
+        for digest, data in dumps
+    ]
+
+    world = ScenarioWorld(
+        scenario=scenario,
+        spec=spec,
+        schedule=tuple(build_schedule(spec)),
+        database=database,
+        cartographer=cartographer,
+        baseline_report=baseline_report,
+        baseline_report_bytes=baseline_bytes,
+        resumed_report_bytes=resumed_bytes,
+        interrupted=interrupted,
+        spool_digests=tuple(digests),
+        manifest=tuple(spool.load_manifest()),
+        dumps=dumps,
+        region_maps=region_maps,
+        alt_outcomes=tuple(alt_report.outcomes),
+        monotonicity=MonotonicityArtifact(
+            base_profile=profile.name,
+            stronger_profile=stronger.name,
+            stronger_axis=axis,
+            base_outcomes=tuple(pair_reports[0].outcomes),
+            stronger_outcomes=tuple(pair_reports[1].outcomes),
+        ),
+    )
+    if scenario.planted_fault is not None:
+        plant_fault(world, scenario.planted_fault)
+    return world
+
+
+# -- planted faults -----------------------------------------------------------
+
+
+def _plant_map_tamper(world: ScenarioWorld) -> None:
+    """Corrupt one region map so it no longer tiles its dump."""
+    for index, artifact in enumerate(world.region_maps):
+        regions = list(artifact.regions)
+        if not regions:
+            continue
+        if len(regions) >= 2:
+            del regions[len(regions) // 2]
+        elif regions[0].length >= 2:
+            first = regions[0]
+            regions[0] = Region(first.start, first.end - 1, first.kind)
+        else:
+            regions.append(Region(1, 2, regions[0].kind))
+        world.region_maps[index] = RegionMapArtifact(
+            artifact.digest, artifact.data, tuple(regions)
+        )
+        return
+    # No residue was spooled (e.g. a pinned-Xen fleet): forge a map
+    # with a coverage gap over synthetic bytes.
+    world.region_maps.append(
+        RegionMapArtifact(
+            digest="0" * 64,
+            data=b"\x00" * 512,
+            regions=(Region(0, 256, RegionKind.ZERO),),
+        )
+    )
+
+
+def _plant_resume_tamper(world: ScenarioWorld) -> None:
+    """Flip one byte of the resumed run's canonical report."""
+    data = world.resumed_report_bytes
+    if len(data) < 2:
+        world.resumed_report_bytes = b"\x00"
+        return
+    world.resumed_report_bytes = (
+        data[:-2] + bytes([data[-2] ^ 0xFF]) + data[-1:]
+    )
+
+
+def _plant_spool_tamper(world: ScenarioWorld) -> None:
+    """Make one spool object's bytes disagree with its digest."""
+    if world.dumps:
+        digest, data = world.dumps[0]
+        tampered = (
+            data[:-1] + bytes([data[-1] ^ 0x5A]) if data else b"\x5a"
+        )
+        world.dumps[0] = (digest, tampered)
+    else:
+        world.dumps.append(("f" * 64, b"\x5a"))
+
+
+def _plant_residue_tamper(world: ScenarioWorld) -> None:
+    """Inflate a strengthened-profile outcome's leaked-byte count."""
+    pair = world.monotonicity
+    strong = list(pair.stronger_outcomes)
+    base_total = sum(o.residue_nbytes for o in pair.base_outcomes)
+    strong[0] = replace(
+        strong[0], residue_nbytes=strong[0].residue_nbytes + base_total + 1
+    )
+    world.monotonicity = replace(
+        pair, stronger_outcomes=tuple(strong)
+    )
+
+
+def _plant_report_tamper(world: ScenarioWorld) -> None:
+    """Swallow the last outcome of the baseline report."""
+    world.baseline_report.outcomes = world.baseline_report.outcomes[:-1]
+
+
+PLANTED_FAULTS: dict[str, Callable[[ScenarioWorld], None]] = {
+    "map-tamper": _plant_map_tamper,
+    "resume-tamper": _plant_resume_tamper,
+    "spool-tamper": _plant_spool_tamper,
+    "residue-tamper": _plant_residue_tamper,
+    "report-tamper": _plant_report_tamper,
+}
+"""Deliberate world corruptions, each aimed at one oracle's failure
+class.  Part of the public surface: a committed regression seed with a
+``planted_fault`` must keep reproducing its violation forever."""
+
+
+def plant_fault(world: ScenarioWorld, fault: str) -> None:
+    """Apply the named corruption to a built world."""
+    try:
+        PLANTED_FAULTS[fault](world)
+    except KeyError:
+        raise ValueError(
+            f"unknown planted fault {fault!r}; known: "
+            f"{sorted(PLANTED_FAULTS)}"
+        ) from None
+    world.notes.append(f"planted fault: {fault}")
+
+
+# -- verdicts and the fuzz loop -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """One scenario's oracle outcome."""
+
+    scenario: Scenario
+    oracles: tuple[str, ...]
+    violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every oracle held."""
+        return not self.violations
+
+    @property
+    def violated_oracles(self) -> tuple[str, ...]:
+        """Names of the oracles that fired, sorted and deduplicated."""
+        return tuple(sorted({v.oracle for v in self.violations}))
+
+    def to_dict(self) -> dict:
+        """JSON-trivial form (deterministic for a fixed scenario)."""
+        return {
+            "scenario": scenario_to_dict(self.scenario),
+            "oracles": list(self.oracles),
+            "violations": [
+                {"oracle": v.oracle, "message": v.message}
+                for v in self.violations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioVerdict":
+        """Rebuild a verdict from :meth:`to_dict` output."""
+        return cls(
+            scenario=scenario_from_dict(payload["scenario"]),
+            oracles=tuple(payload["oracles"]),
+            violations=tuple(
+                Violation(oracle=v["oracle"], message=v["message"])
+                for v in payload["violations"]
+            ),
+        )
+
+
+def _checked(
+    scenario: Scenario, selected: tuple[str, ...], workdir: Path
+) -> list[Violation]:
+    """Build and check one world; a stack crash is itself a finding."""
+    try:
+        world = build_world(scenario, workdir)
+        return check_world(world, selected)
+    except Exception as error:  # noqa: BLE001 — crashes are fuzz findings
+        # The workdir is a fresh temp path each run; scrub it from the
+        # message so verdicts stay byte-deterministic.
+        detail = str(error).replace(str(workdir), "<workdir>")
+        return [
+            Violation(
+                oracle=WORLD_INTEGRITY,
+                message=(
+                    f"world build crashed: "
+                    f"{type(error).__name__}: {detail}"
+                ),
+            )
+        ]
+
+
+def run_scenario(
+    scenario: Scenario,
+    oracles: tuple[str, ...] | None = None,
+    workdir: str | Path | None = None,
+) -> ScenarioVerdict:
+    """Build *scenario*'s world and hold every requested oracle to it.
+
+    Campaign artifacts land in *workdir* (kept for post-mortems) or a
+    temporary directory cleaned up on return.  An exception escaping
+    the attack stack itself comes back as a
+    :data:`~repro.fuzzlab.oracles.WORLD_INTEGRITY` violation rather
+    than propagating — a fuzzer that dies on the bug it just found
+    cannot shrink it.
+    """
+    selected = oracle_names() if oracles is None else tuple(oracles)
+    if workdir is not None:
+        violations = _checked(scenario, selected, Path(workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="fuzzlab-") as tmp:
+            violations = _checked(scenario, selected, Path(tmp))
+    return ScenarioVerdict(
+        scenario=scenario,
+        oracles=selected,
+        violations=tuple(violations),
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Everything one ``repro fuzz run`` concluded."""
+
+    seed: int
+    budget: int
+    oracles: tuple[str, ...]
+    verdicts: list[ScenarioVerdict]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole run came back green."""
+        return all(verdict.ok for verdict in self.verdicts)
+
+    def failures(self) -> list[ScenarioVerdict]:
+        """Verdicts with at least one violation, in scenario order."""
+        return [verdict for verdict in self.verdicts if not verdict.ok]
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same seed+budget+oracles, same bytes."""
+        return json.dumps(
+            {
+                "format": 1,
+                "seed": self.seed,
+                "budget": self.budget,
+                "oracles": list(self.oracles),
+                "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """The text summary ``repro fuzz run`` prints."""
+        failures = self.failures()
+        lines = [
+            "=== Fuzzlab report ===",
+            (
+                f"seed {self.seed}, budget {self.budget}, "
+                f"{len(self.oracles)} oracle(s): "
+                f"{', '.join(self.oracles)}"
+            ),
+            (
+                f"verdicts: {len(self.verdicts) - len(failures)} ok, "
+                f"{len(failures)} violating"
+            ),
+        ]
+        for verdict in failures:
+            lines.append("")
+            lines.append(f"FAIL {verdict.scenario.label()}")
+            for violation in verdict.violations:
+                lines.append(f"  [{violation.oracle}] {violation.message}")
+        return "\n".join(lines)
+
+
+ProgressFn = Callable[[ScenarioVerdict], None]
+
+
+def run_fuzz(
+    budget: int,
+    seed: int = 0,
+    oracles: tuple[str, ...] | None = None,
+    on_verdict: ProgressFn | None = None,
+) -> FuzzReport:
+    """Fuzz *budget* scenarios from *seed*'s deterministic stream."""
+    selected = oracle_names() if oracles is None else tuple(oracles)
+    generator = ScenarioGenerator(seed)
+    verdicts = []
+    for scenario in generator.generate(budget):
+        verdict = run_scenario(scenario, oracles=selected)
+        verdicts.append(verdict)
+        if on_verdict is not None:
+            on_verdict(verdict)
+    return FuzzReport(
+        seed=seed, budget=budget, oracles=selected, verdicts=verdicts
+    )

@@ -1,0 +1,232 @@
+"""Fuzz scenarios — one sampled campaign world, fully serializable.
+
+A :class:`Scenario` is everything the fuzzer decided about one world:
+fleet geometry, victim mix and lifetimes, allocator-churning knobs
+(wave size, tenancy, corruption), the hardening profile the fleet
+boots, executor placement, where the injected crash lands, and how the
+dump-analysis oracles slice what was scraped.  It is deliberately a
+superset of :class:`~repro.campaign.schedule.CampaignSpec`: the spec
+describes the campaign, the scenario also describes how the *harness*
+exercises it (interrupt point, resume placement, carve window,
+planted fault).
+
+Two properties carry the whole fuzzlab design:
+
+- **determinism** — :class:`ScenarioGenerator` derives every scenario
+  from ``(generator seed, scenario_id)`` alone, so the same seed
+  always yields the same scenario stream, on any machine;
+- **replayability** — a scenario round-trips losslessly through
+  :func:`scenario_to_dict` / :func:`scenario_from_dict`, which is what
+  lets a shrunk failure be committed as a JSON seed and re-run by
+  ``repro fuzz replay`` forever after.
+
+>>> first = ScenarioGenerator(seed=0).generate(1)[0]
+>>> first == scenario_from_dict(scenario_to_dict(first))
+True
+>>> ScenarioGenerator(seed=0).generate(3) == ScenarioGenerator(seed=0).generate(3)
+True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+
+from repro.campaign.schedule import CampaignSpec
+from repro.defense.profiles import defense_profile
+from repro.vitis.zoo import MODEL_NAMES
+
+EXECUTORS = ("inprocess", "multiprocess")
+"""Board placements the fuzzer samples (``auto`` is just a policy over
+these two, so fuzzing the concrete ones covers it)."""
+
+PROFILE_POOL = (
+    "none",
+    "none",
+    "zero_on_free",
+    "scrub_pool",
+    "aslr",
+    "pinned_xen",
+    "passthrough_xen",
+    "scrub_pool+aslr",
+    "zero_on_free+pinned_xen",
+    "full",
+)
+"""Hardening profiles a generated fleet may boot (``none`` is weighted
+double: the undefended world is where most attack paths live)."""
+
+CARVE_WINDOWS = (16, 32, 48, 256, 300, 1024)
+"""Cartographer window sizes, deliberately including non-powers-of-two
+and the minimum legal window."""
+
+_SEED_STRIDE = 1_000_003
+"""Prime stride mixing the generator seed with the scenario id."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sampled campaign world plus how the harness drives it."""
+
+    scenario_id: int
+    seed: int
+    """Campaign scheduler seed — drives model/image/board assignment."""
+    boards: int
+    victims: int
+    tenants_per_board: int
+    wave_size: int
+    model_mix: tuple[str, ...]
+    board_names: tuple[str, ...]
+    input_hw: int
+    corruption_fraction: float
+    coalesce_reads: bool
+    """Primary extraction mode; the extraction-equivalence oracle runs
+    the opposite mode and demands identical dumps."""
+    executor: str
+    processes: int | None
+    resume_executor: str
+    """Executor of the post-crash resume — may differ from *executor*,
+    pinning the cross-executor half of the determinism contract."""
+    interrupt_after: int
+    """Journaled outcomes before the injected crash (clamped to
+    ``[1, victims]`` by construction)."""
+    defense_profile: str
+    scrape_delay_ticks: int
+    carve_window: int
+    analysis_cap: int
+    """Dump bytes the analysis oracles look at (reference
+    implementations are per-byte Python loops; capping keeps a fuzz
+    run's cost proportional to its budget, not its dump sizes)."""
+    planted_fault: str | None = None
+    """Name of a deliberate world corruption (see
+    :data:`repro.fuzzlab.runner.PLANTED_FAULTS`) used to prove the
+    oracles, shrinker, and replay lane actually catch failures.
+    ``None`` for every organically generated scenario."""
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{EXECUTORS}"
+            )
+        if self.resume_executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown resume_executor {self.resume_executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        if not 1 <= self.interrupt_after <= self.victims:
+            raise ValueError(
+                f"interrupt_after must be in [1, victims={self.victims}], "
+                f"got {self.interrupt_after}"
+            )
+        if self.analysis_cap < 256:
+            raise ValueError(
+                f"analysis_cap must be >= 256 bytes, got {self.analysis_cap}"
+            )
+        defense_profile(self.defense_profile)  # raises on unknown names
+        # Spec-shaped fields share CampaignSpec's validation.
+        self.to_spec()
+
+    def to_spec(self) -> CampaignSpec:
+        """The :class:`CampaignSpec` this scenario's campaigns run."""
+        return CampaignSpec(
+            boards=self.boards,
+            victims=self.victims,
+            model_mix=self.model_mix,
+            tenants_per_board=self.tenants_per_board,
+            wave_size=self.wave_size,
+            seed=self.seed,
+            input_hw=self.input_hw,
+            corruption_fraction=self.corruption_fraction,
+            board_names=self.board_names,
+            coalesce_reads=self.coalesce_reads,
+        )
+
+    def label(self) -> str:
+        """One-line summary for fuzz-run progress output."""
+        parts = [
+            f"#{self.scenario_id}",
+            f"{self.boards}b/{self.victims}v",
+            f"mix={len(self.model_mix)}",
+            self.defense_profile,
+            self.executor
+            + ("" if self.executor == self.resume_executor else
+               f"->{self.resume_executor}"),
+            f"crash@{self.interrupt_after}",
+        ]
+        if self.planted_fault:
+            parts.append(f"plant={self.planted_fault}")
+        return " ".join(parts)
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """The scenario as a JSON-trivial dict (tuples become lists)."""
+    return asdict(scenario)
+
+
+def scenario_from_dict(payload: dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    fields = dict(payload)
+    for key in ("model_mix", "board_names"):
+        fields[key] = tuple(fields[key])
+    return Scenario(**fields)
+
+
+class ScenarioGenerator:
+    """Deterministic scenario sampler: ``(seed, id) -> Scenario``.
+
+    Each scenario gets its own :class:`random.Random` stream derived
+    from the generator seed and the scenario id, so scenario *k* of
+    seed *s* is identical whether generated alone or as part of a
+    batch — the property that makes ``repro fuzz run`` reproducible
+    and lets the shrinker regenerate nothing.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The generator's base seed."""
+        return self._seed
+
+    def scenario(self, scenario_id: int) -> Scenario:
+        """Sample scenario number *scenario_id* of this seed's stream."""
+        rng = random.Random(self._seed * _SEED_STRIDE + scenario_id)
+        boards = rng.randint(1, 3)
+        victims = rng.randint(1, 6)
+        executor = rng.choices(EXECUTORS, weights=(5, 1))[0]
+        mix_size = rng.choices((1, 2, 3), weights=(3, 4, 2))[0]
+        return Scenario(
+            scenario_id=scenario_id,
+            seed=rng.randrange(1 << 16),
+            boards=boards,
+            victims=victims,
+            tenants_per_board=rng.randint(1, 3),
+            wave_size=rng.randint(1, 3),
+            model_mix=tuple(rng.sample(MODEL_NAMES, mix_size)),
+            board_names=tuple(
+                rng.sample(("ZCU104", "ZCU102"), rng.randint(1, 2))
+            ),
+            input_hw=rng.choice((16, 16, 24, 32)),
+            corruption_fraction=round(rng.uniform(0.0, 0.5), 3),
+            coalesce_reads=rng.random() < 0.8,
+            executor=executor,
+            processes=rng.randint(1, 2) if executor == "multiprocess" else None,
+            resume_executor=rng.choices(EXECUTORS, weights=(5, 1))[0],
+            interrupt_after=rng.randint(1, victims),
+            defense_profile=rng.choice(PROFILE_POOL),
+            scrape_delay_ticks=rng.randint(0, 4),
+            carve_window=rng.choice(CARVE_WINDOWS),
+            analysis_cap=rng.choice((4096, 16384, 65536)),
+        )
+
+    def generate(self, budget: int) -> list[Scenario]:
+        """The first *budget* scenarios of this seed's stream."""
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        return [self.scenario(index) for index in range(budget)]
+
+
+def with_plant(scenario: Scenario, fault: str) -> Scenario:
+    """A copy of *scenario* carrying a planted fault."""
+    return replace(scenario, planted_fault=fault)

@@ -1,0 +1,146 @@
+"""Scenario shrinking — reduce a failing world to its smallest witness.
+
+A fuzz failure at ``3 boards x 6 victims x scrub_pool+aslr x
+multiprocess`` is a fact; a failure at ``1 board x 1 victim x none x
+inprocess`` is a *diagnosis*.  :func:`shrink` performs classic greedy
+delta-debugging over the scenario's fields: propose one strictly
+simpler variant at a time (fewer victims, one board, the undefended
+profile, the in-process executor, the default carve window…), re-run
+it through the full oracle harness, and keep the reduction whenever
+the **same oracle family** still fires.  Because every accepted step
+strictly reduces the scenario and rejected steps change nothing, the
+loop terminates at a local minimum — reported with the reduction trail
+so a triager can read how much of the original world was incidental.
+
+Reruns are the currency here (each one drives several real campaigns),
+so the search is bounded by ``max_reruns`` and proposes coarse jumps
+(halving, collapse-to-one) before considering itself done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.fuzzlab.runner import ScenarioVerdict, run_scenario
+from repro.fuzzlab.scenario import Scenario
+
+DEFAULT_MAX_RERUNS = 48
+"""Re-executions the greedy pass may spend before settling."""
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal failing scenario and how it was reached."""
+
+    scenario: Scenario
+    verdict: ScenarioVerdict
+    """The minimal scenario's (still-violating) verdict."""
+    reruns: int
+    steps: tuple[str, ...]
+    """Accepted reductions, in order — the triage narrative."""
+
+
+def _proposals(scenario: Scenario) -> list[tuple[str, Scenario]]:
+    """Strictly simpler one-step variants of *scenario*, coarsest first."""
+    out: list[tuple[str, Scenario]] = []
+
+    def propose(step: str, **changes) -> None:
+        try:
+            out.append((step, replace(scenario, **changes)))
+        except ValueError:
+            pass  # the combination is invalid; skip the proposal
+
+    if scenario.victims > 1:
+        propose("victims->1", victims=1, interrupt_after=1)
+        half = scenario.victims // 2
+        if half > 1:
+            propose(
+                f"victims->{half}",
+                victims=half,
+                interrupt_after=min(scenario.interrupt_after, half),
+            )
+    if scenario.boards > 1:
+        propose("boards->1", boards=1)
+    if scenario.tenants_per_board > 1:
+        propose("tenants->1", tenants_per_board=1)
+    if scenario.wave_size > 1:
+        propose("wave_size->1", wave_size=1)
+    if len(scenario.model_mix) > 1:
+        propose("model_mix->first", model_mix=(scenario.model_mix[0],))
+        propose("model_mix->drop_last", model_mix=scenario.model_mix[:-1])
+    if len(scenario.board_names) > 1:
+        propose(
+            "board_names->first", board_names=(scenario.board_names[0],)
+        )
+    if scenario.interrupt_after > 1:
+        propose("interrupt_after->1", interrupt_after=1)
+    if scenario.defense_profile != "none":
+        propose("profile->none", defense_profile="none")
+    if scenario.scrape_delay_ticks:
+        propose("delay_ticks->0", scrape_delay_ticks=0)
+    if scenario.executor != "inprocess":
+        propose("executor->inprocess", executor="inprocess", processes=None)
+    if scenario.resume_executor != "inprocess":
+        propose("resume_executor->inprocess", resume_executor="inprocess")
+    if not scenario.coalesce_reads:
+        propose("coalesce_reads->on", coalesce_reads=True)
+    if scenario.corruption_fraction:
+        propose("corruption->0", corruption_fraction=0.0)
+    if scenario.input_hw != 16:
+        propose("input_hw->16", input_hw=16)
+    if scenario.carve_window != 256:
+        propose("carve_window->256", carve_window=256)
+    if scenario.analysis_cap != 4096:
+        propose("analysis_cap->4096", analysis_cap=4096)
+    if scenario.seed != 0:
+        propose("seed->0", seed=0)
+    return out
+
+
+def shrink(
+    scenario: Scenario,
+    oracles: tuple[str, ...] | None = None,
+    max_reruns: int = DEFAULT_MAX_RERUNS,
+    verdict: ScenarioVerdict | None = None,
+) -> ShrinkResult:
+    """Greedily minimize *scenario* while its failure keeps reproducing.
+
+    The scenario is run once to learn which oracles it violates
+    (raises :class:`ValueError` if it is green — there is nothing to
+    shrink); a caller that already holds the scenario's *verdict* (the
+    fuzz loop does) passes it in and saves that whole-world rerun.
+    Each accepted reduction must keep at least one of the original
+    oracles firing, so the shrinker cannot wander onto an unrelated
+    failure.
+    """
+    reruns = 0
+    if verdict is None:
+        verdict = run_scenario(scenario, oracles=oracles)
+        reruns = 1
+    target = set(verdict.violated_oracles)
+    if not target:
+        raise ValueError(
+            f"scenario {scenario.scenario_id} violates no oracle; "
+            f"nothing to shrink"
+        )
+    steps: list[str] = []
+    improved = True
+    while improved and reruns < max_reruns:
+        improved = False
+        for step, candidate in _proposals(scenario):
+            if reruns >= max_reruns:
+                break
+            candidate_verdict = run_scenario(candidate, oracles=oracles)
+            reruns += 1
+            if target & set(candidate_verdict.violated_oracles):
+                scenario = candidate
+                verdict = candidate_verdict
+                steps.append(step)
+                improved = True
+                break  # restart proposals from the reduced scenario
+    return ShrinkResult(
+        scenario=scenario,
+        verdict=verdict,
+        reruns=reruns,
+        steps=tuple(steps),
+    )

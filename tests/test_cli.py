@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -171,3 +172,187 @@ class TestCampaignCheckpointCli:
             build_parser().parse_args(
                 ["campaign", "run", "--executor", "quantum"]
             )
+
+
+class TestCliErrorPaths:
+    """Bad inputs must exit 2 with a message, never a traceback."""
+
+    def test_campaign_report_missing_file(self, tmp_path, capsys):
+        assert main(["campaign", "report", str(tmp_path / "ghost.json")]) == 2
+        assert "ghost.json" in capsys.readouterr().err
+
+    def test_campaign_report_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["campaign", "report", str(path)]) == 2
+        assert "not a campaign report" in capsys.readouterr().err
+
+    def test_campaign_report_wrong_shape(self, tmp_path, capsys):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"something": "else"}))
+        assert main(["campaign", "report", str(path)]) == 2
+        assert "not a campaign report" in capsys.readouterr().err
+
+    def test_defense_report_missing_file(self, tmp_path, capsys):
+        assert main(["defense", "report", str(tmp_path / "ghost.json")]) == 2
+        assert "ghost.json" in capsys.readouterr().err
+
+    def test_defense_report_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("][")
+        assert main(["defense", "report", str(path)]) == 2
+        assert "not a defense matrix" in capsys.readouterr().err
+
+    def test_campaign_run_rejects_zero_boards(self, capsys):
+        assert main(["campaign", "run", "--boards", "0"]) == 2
+        assert "boards must be positive" in capsys.readouterr().err
+
+    def test_campaign_run_rejects_unknown_model(self, capsys):
+        assert (
+            main(["campaign", "run", "--models", "resnet50_pt,notanet"])
+            == 2
+        )
+        assert "unknown models" in capsys.readouterr().err
+
+    def test_campaign_run_rejects_nonpositive_processes(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign", "run",
+                    "--executor", "multiprocess",
+                    "--processes", "0",
+                ]
+            )
+            == 2
+        )
+        assert "--processes" in capsys.readouterr().err
+
+    def test_demo_rejects_unknown_model(self, capsys):
+        assert main(["demo", "--model", "notanet"]) == 2
+        assert "notanet" in capsys.readouterr().err
+
+    def test_profile_rejects_unknown_model(self, capsys):
+        assert main(["profile", "notanet"]) == 2
+        assert "notanet" in capsys.readouterr().err
+
+    def test_defense_sweep_rejects_unknown_profile(self, capsys):
+        assert (
+            main(
+                [
+                    "defense", "sweep",
+                    "--boards", "1", "--victims", "1",
+                    "--profiles", "adamantium",
+                ]
+            )
+            == 2
+        )
+        assert "unknown defense profile" in capsys.readouterr().err
+
+    def test_campaign_output_path_error_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "no_such_dir" / "out.json")
+        assert (
+            main(
+                ["campaign", "run", "--boards", "1", "--victims", "1",
+                 "-o", bad]
+            )
+            == 2
+        )
+        assert "no_such_dir" in capsys.readouterr().err
+
+    def test_profile_output_path_error_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "no_such_dir" / "profiles.json")
+        assert main(["profile", "resnet50_pt", "-o", bad]) == 2
+        assert "no_such_dir" in capsys.readouterr().err
+
+    def test_resume_of_wrong_format_spec(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "spec.json").write_text(json.dumps({"format": 99}))
+        assert main(["campaign", "run", "--resume", str(run_dir)]) == 2
+        assert "unsupported format" in capsys.readouterr().err
+
+
+class TestFuzzCli:
+    """The ``repro fuzz`` lane: run, replay, and its exit codes."""
+
+    CORPUS = str(Path(__file__).parent / "corpus" / "fuzzlab")
+
+    def test_run_green_exits_0(self, capsys):
+        assert main(["fuzz", "run", "--budget", "2", "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "Fuzzlab report" in output
+        assert "2 ok, 0 violating" in output
+
+    def test_run_writes_deterministic_report(self, tmp_path, capsys):
+        target = tmp_path / "fuzz.json"
+        assert (
+            main(
+                [
+                    "fuzz", "run", "--budget", "1", "--seed", "0",
+                    "--quiet", "-o", str(target),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        assert payload["seed"] == 0
+        assert payload["budget"] == 1
+        assert len(payload["verdicts"]) == 1
+
+    def test_run_rejects_zero_budget(self, capsys):
+        assert main(["fuzz", "run", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_oracle(self, capsys):
+        assert (
+            main(["fuzz", "run", "--budget", "1", "--oracles", "vibes"]) == 2
+        )
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_run_rejects_nonpositive_shrink_reruns(self, capsys):
+        assert (
+            main(["fuzz", "run", "--budget", "1", "--shrink-reruns", "0"])
+            == 2
+        )
+        assert "--shrink-reruns" in capsys.readouterr().err
+
+    def test_run_output_path_error_exits_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "no_such_dir" / "fuzz.json")
+        assert (
+            main(
+                ["fuzz", "run", "--budget", "1", "--seed", "0",
+                 "--quiet", "-o", bad]
+            )
+            == 2
+        )
+        assert "no_such_dir" in capsys.readouterr().err
+
+    def test_replay_non_object_seed_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        assert main(["fuzz", "replay", str(path)]) == 2
+        assert "not a fuzzlab seed" in capsys.readouterr().err
+
+    def test_replay_committed_corpus_green(self, capsys):
+        assert main(["fuzz", "replay", self.CORPUS]) == 0
+        output = capsys.readouterr().out
+        assert "violating" in output
+        assert "FAIL" not in output
+
+    def test_replay_planted_seed_exits_1(self, tmp_path, capsys):
+        from repro.fuzzlab import load_scenario, save_scenario, with_plant
+
+        scenario, _ = load_scenario(
+            sorted(Path(self.CORPUS).glob("*.json"))[0]
+        )
+        seed = save_scenario(
+            with_plant(scenario, "spool-tamper"),
+            tmp_path / "planted.json",
+            note="deliberate",
+        )
+        assert main(["fuzz", "replay", str(seed)]) == 1
+        assert "spool_integrity" in capsys.readouterr().out
+
+    def test_replay_missing_seed_exits_2(self, tmp_path, capsys):
+        assert main(["fuzz", "replay", str(tmp_path / "ghost.json")]) == 2
+        assert "ghost.json" in capsys.readouterr().err

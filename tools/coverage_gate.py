@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""The ``make coverage`` gate: a coverage floor on ``repro.fuzzlab``.
+
+Runs the fuzzlab test module under coverage measurement and fails when
+the package's aggregate coverage drops below :data:`FLOOR` percent —
+the fuzz harness is the machinery that vouches for everything else, so
+it does not get to rot quietly.
+
+Two measurement backends, picked automatically:
+
+- **coverage.py** (preferred, when installed): branch coverage,
+  ``Coverage(branch=True)``, scoped to ``src/repro/fuzzlab``;
+- **stdlib fallback** (this repo adds no dependencies): a
+  ``sys.settrace`` line tracer scoped to the same files, with the
+  executable-line denominator derived from each module's AST.  Line
+  coverage only — install ``coverage`` for branch numbers.
+
+Either way the output ends with the markdown summary table documented
+in ``docs/testing.md`` (one row per fuzzlab module — no badges, no
+services), and the exit status enforces the floor: 0 = at or above,
+1 = below (or the tests themselves failed).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+PACKAGE_DIR = SRC_ROOT / "repro" / "fuzzlab"
+TEST_TARGET = "tests/test_fuzzlab.py"
+
+FLOOR = 80.0
+"""Minimum aggregate coverage (percent) of ``repro.fuzzlab``."""
+
+
+def _target_files() -> list[Path]:
+    return sorted(PACKAGE_DIR.glob("*.py"))
+
+
+def _run_tests() -> int:
+    import pytest
+
+    return pytest.main(["-q", "-x", str(REPO_ROOT / TEST_TARGET)])
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """Line numbers the fallback tracer can be held to.
+
+    Every statement's first line, except docstring expressions (they
+    execute at import time whether or not anything is 'covered') —
+    derived from the AST, so the denominator tracks the code, not a
+    guess.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    docstrings: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                docstrings.add(body[0].lineno)
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.lineno not in docstrings:
+            lines.add(node.lineno)
+    return lines
+
+
+def _measure_with_coverage_py() -> tuple[dict[str, tuple[int, int]], str]:
+    """Branch-coverage measurement via coverage.py.
+
+    Numbers come from the JSON report so branch arcs genuinely count:
+    covered = covered_lines + covered_branches, possible =
+    num_statements + num_branches per file.
+    """
+    import json
+    import tempfile
+
+    import coverage
+
+    cov = coverage.Coverage(
+        branch=True, include=[str(PACKAGE_DIR / "*")]
+    )
+    cov.start()
+    try:
+        status = _run_tests()
+    finally:
+        cov.stop()
+    if status != 0:
+        raise SystemExit(status)
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as report:
+        cov.json_report(outfile=report.name)
+        payload = json.load(open(report.name))
+    summaries = {
+        Path(file_path).name: entry["summary"]
+        for file_path, entry in payload["files"].items()
+    }
+    rows = {}
+    for path in _target_files():
+        summary = summaries.get(
+            path.name,
+            {"covered_lines": 0, "num_statements": 0,
+             "covered_branches": 0, "num_branches": 0},
+        )
+        rows[path.name] = (
+            summary["covered_lines"] + summary.get("covered_branches", 0),
+            summary["num_statements"] + summary.get("num_branches", 0),
+        )
+    return rows, "line+branch (coverage.py)"
+
+
+def _measure_with_tracer() -> tuple[dict[str, tuple[int, int]], str]:
+    """Line-coverage measurement with a stdlib settrace tracer."""
+    targets = {str(path): path for path in _target_files()}
+    executed: dict[str, set[int]] = {name: set() for name in targets}
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed[frame.f_code.co_filename].add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename in targets:
+            return local_trace
+        return None
+
+    import threading
+
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        status = _run_tests()
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+    if status != 0:
+        raise SystemExit(status)
+    rows = {}
+    for name, path in targets.items():
+        lines = _executable_lines(path)
+        rows[path.name] = (len(lines & executed[name]), len(lines))
+    return rows, "line (stdlib tracer; install coverage.py for branch)"
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC_ROOT))
+    try:
+        import coverage  # noqa: F401 — availability probe only
+
+        rows, mode = _measure_with_coverage_py()
+    except ImportError:
+        rows, mode = _measure_with_tracer()
+
+    covered_total = sum(covered for covered, _ in rows.values())
+    possible_total = sum(possible for _, possible in rows.values())
+    percent = 100.0 * covered_total / possible_total if possible_total else 0.0
+
+    print()
+    print(f"repro.fuzzlab coverage — {mode}")
+    print()
+    print("| module | covered | of | % |")
+    print("| --- | ---: | ---: | ---: |")
+    for name in sorted(rows):
+        covered, possible = rows[name]
+        share = 100.0 * covered / possible if possible else 100.0
+        print(f"| `{name}` | {covered} | {possible} | {share:.1f} |")
+    print(
+        f"| **total** | **{covered_total}** | **{possible_total}** "
+        f"| **{percent:.1f}** |"
+    )
+    print()
+    if percent < FLOOR:
+        print(
+            f"coverage gate: {percent:.1f}% is below the "
+            f"{FLOOR:.0f}% floor on repro.fuzzlab",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"coverage gate: {percent:.1f}% >= {FLOOR:.0f}% floor — ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

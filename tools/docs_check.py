@@ -50,6 +50,8 @@ DOCTESTED_MODULES = (
     "repro.campaign.schedule",
     "repro.defense",
     "repro.defense.profiles",
+    "repro.fuzzlab",
+    "repro.fuzzlab.scenario",
     "repro.petalinux.sanitizer",
     "repro.petalinux.xen",
 )
