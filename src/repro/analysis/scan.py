@@ -10,6 +10,14 @@ module is the shared engine those paths now route through:
   every byte to a two-bit class (printable / low-magnitude), so class
   membership counts over any window are C-speed ``bytes.translate`` +
   ``bytes.count`` calls instead of per-byte Python loops.
+- **Buffer-generic dispatch** — every entry point accepts any
+  C-contiguous bytes-like object (``bytes``, ``bytearray``,
+  ``memoryview``, ``mmap.mmap``) without copying it: ``bytes`` and
+  ``bytearray`` keep their C-level ``count``/``translate`` fast paths,
+  everything else routes through zero-copy ``np.frombuffer`` views
+  (see :func:`as_uint8`) and vectorized equivalents.  An mmap-backed
+  spool object therefore scans at the same speed as a slurped copy,
+  minus the copy.
 - **Windowed counts over ``memoryview`` slices** — per-window byte
   histograms come from ``np.bincount`` over zero-copy ``memoryview``
   slices; the batch classifier histograms thousands of windows in one
@@ -65,9 +73,14 @@ LOW_MAGNITUDE_BYTES = bytes(
 )
 """Every low-magnitude byte value (see :data:`CLASS_LOW_MAGNITUDE`)."""
 
-_LOW_MAGNITUDE_VALUES = np.flatnonzero(
-    np.frombuffer(CLASS_TABLE, dtype=np.uint8) & CLASS_LOW_MAGNITUDE
-)
+CLASS_NP = np.frombuffer(CLASS_TABLE, dtype=np.uint8)
+"""The translate table as a numpy gather table: ``CLASS_NP[arr]`` is
+the vectorized equivalent of ``data.translate(CLASS_TABLE)`` for
+buffers (mmap, memoryview) that have no ``translate`` method."""
+
+_LOW_MAGNITUDE_VALUES = np.flatnonzero(CLASS_NP & CLASS_LOW_MAGNITUDE)
+
+_PRINTABLE_VALUES = np.flatnonzero(CLASS_NP & CLASS_PRINTABLE)
 
 # Window-kind codes produced by the classifiers.  repro.attack.carving
 # maps them onto its public RegionKind enum; the numeric order encodes
@@ -80,9 +93,40 @@ KIND_QUANTIZED = 4
 KIND_MIXED = 5
 
 
+def as_uint8(data, start: int = 0, end: int | None = None) -> np.ndarray:
+    """Zero-copy ``uint8`` array view of ``data[start:end]``.
+
+    Works for any C-contiguous bytes-like buffer — ``bytes``,
+    ``bytearray``, ``memoryview``, ``mmap.mmap`` — and never copies:
+    the array aliases the caller's buffer (and keeps it alive via the
+    buffer protocol, so an mmap cannot be closed while the array is
+    referenced).
+    """
+    view = memoryview(data)
+    if start or end is not None:
+        view = view[start : view.nbytes if end is None else end]
+    return np.frombuffer(view, dtype=np.uint8)
+
+
 def nonzero_count(data) -> int:
-    """Bytes of *data* that are not 0x00, via one C-level ``count``."""
-    return len(data) - data.count(0)
+    """Bytes of *data* that are not 0x00, without copying *data*.
+
+    ``bytes``/``bytearray`` use the single C-level ``count`` call;
+    other buffers (mmap, memoryview) have no ``count`` and go through
+    a zero-copy numpy view instead.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        return len(data) - data.count(0)
+    return int(np.count_nonzero(as_uint8(data)))
+
+
+def count_value(data, value: int, start: int = 0, end: int | None = None) -> int:
+    """Occurrences of byte *value* in ``data[start:end]``, copy-free."""
+    if end is None:
+        end = len(data)
+    if isinstance(data, (bytes, bytearray)):
+        return data.count(value, start, end)
+    return int(np.count_nonzero(as_uint8(data, start, end) == value))
 
 
 def count_positive(values) -> int:
@@ -153,8 +197,7 @@ class ScanCore:
     @staticmethod
     def byte_counts(data, start: int = 0, end: int | None = None) -> np.ndarray:
         """256-bin byte histogram of ``data[start:end]`` (zero-copy slice)."""
-        view = memoryview(data)[start : len(data) if end is None else end]
-        return np.bincount(np.frombuffer(view, dtype=np.uint8), minlength=256)
+        return np.bincount(as_uint8(data, start, end), minlength=256)
 
     def entropy(self, data, start: int = 0, end: int | None = None) -> float:
         """Bits of Shannon entropy per byte of ``data[start:end]``.
@@ -173,21 +216,32 @@ class ScanCore:
 
     @staticmethod
     def printable_count(data, start: int = 0, end: int | None = None) -> int:
-        """Printable-class bytes in ``data[start:end]`` (translate-delete)."""
-        segment = bytes(
-            memoryview(data)[start : len(data) if end is None else end]
-        )
-        return len(segment) - len(segment.translate(None, PRINTABLE_BYTES))
+        """Printable-class bytes in ``data[start:end]``.
+
+        ``bytes``/``bytearray`` use the C-level translate-delete trick
+        on the (window-sized) slice; other buffers sum the printable
+        bins of a zero-copy histogram instead of materializing a copy.
+        """
+        if end is None:
+            end = len(data)
+        if isinstance(data, (bytes, bytearray)):
+            segment = data if (start == 0 and end == len(data)) else data[start:end]
+            return len(segment) - len(segment.translate(None, PRINTABLE_BYTES))
+        counts = ScanCore.byte_counts(data, start, end)
+        return int(counts[_PRINTABLE_VALUES].sum())
 
     @staticmethod
     def low_magnitude_count(
         data, start: int = 0, end: int | None = None
     ) -> int:
-        """Low-magnitude-class bytes in ``data[start:end]``."""
-        segment = bytes(
-            memoryview(data)[start : len(data) if end is None else end]
-        )
-        return len(segment) - len(segment.translate(None, LOW_MAGNITUDE_BYTES))
+        """Low-magnitude-class bytes in ``data[start:end]`` (copy-free)."""
+        if end is None:
+            end = len(data)
+        if isinstance(data, (bytes, bytearray)):
+            segment = data if (start == 0 and end == len(data)) else data[start:end]
+            return len(segment) - len(segment.translate(None, LOW_MAGNITUDE_BYTES))
+        counts = ScanCore.byte_counts(data, start, end)
+        return int(counts[_LOW_MAGNITUDE_VALUES].sum())
 
     @staticmethod
     def nonzero_bytes(data) -> int:
@@ -198,7 +252,7 @@ class ScanCore:
 
     def classify_span(
         self,
-        data: bytes,
+        data,
         start: int,
         end: int,
         text_threshold: float,
@@ -209,11 +263,12 @@ class ScanCore:
 
         The decision order matches the reference implementation
         exactly: zero → constant → text → random → quantized → mixed.
+        *data* may be any bytes-like buffer; nothing is copied.
         """
         n = end - start
-        if n <= 0 or data.count(0, start, end) == n:
+        if n <= 0 or count_value(data, 0, start, end) == n:
             return KIND_ZERO
-        if data.count(data[start], start, end) == n:
+        if count_value(data, data[start], start, end) == n:
             return KIND_CONSTANT
         if self.printable_count(data, start, end) / n >= text_threshold:
             return KIND_TEXT
@@ -230,7 +285,7 @@ class ScanCore:
 
     def classify_windows(
         self,
-        data: bytes,
+        data,
         window: int,
         text_threshold: float,
         random_entropy: float,
@@ -252,14 +307,18 @@ class ScanCore:
         codes: list[int] = []
         full = (n // window) * window
         if full:
-            arr = np.frombuffer(memoryview(data)[:full], dtype=np.uint8)
-            arr = arr.reshape(-1, window)
+            arr = as_uint8(data, 0, full).reshape(-1, window)
             nwin = arr.shape[0]
             # Class-bit counts for every window at once: one C-level
-            # translate of the dump, then two vectorized bit sums.
-            classes = np.frombuffer(
-                data.translate(CLASS_TABLE)[:full], dtype=np.uint8
-            ).reshape(-1, window)
+            # translate of the dump (bytes/bytearray), or the numpy
+            # gather equivalent for buffers without a translate method.
+            if isinstance(data, (bytes, bytearray)):
+                classes = np.frombuffer(
+                    memoryview(data.translate(CLASS_TABLE))[:full],
+                    dtype=np.uint8,
+                ).reshape(-1, window)
+            else:
+                classes = CLASS_NP[arr]
             printable = np.add.reduce(classes & 1, axis=1, dtype=np.intp)
             low = np.add.reduce(classes >> 1, axis=1, dtype=np.intp)
             text = (printable / window) >= text_threshold

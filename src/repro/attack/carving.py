@@ -92,16 +92,16 @@ class Region:
         return self.start <= offset < self.end
 
 
-def shannon_entropy(data: bytes) -> float:
+def shannon_entropy(data) -> float:
     """Bits of entropy per byte of *data* (0.0 for empty input)."""
-    if not data:
+    if len(data) == 0:
         return 0.0
     return _SHARED_CORE.entropy(data)
 
 
-def printable_fraction(data: bytes) -> float:
+def printable_fraction(data) -> float:
     """Fraction of bytes in the printable ASCII range (1.0 for empty)."""
-    if not data:
+    if len(data) == 0:
         return 1.0
     return _SHARED_CORE.printable_count(data) / len(data)
 
@@ -125,10 +125,8 @@ class DumpCartographer:
         self._quantized_max_alphabet = quantized_max_alphabet
         self._core = core if core is not None else _SHARED_CORE
 
-    def classify_window(self, data: bytes) -> RegionKind:
-        """Classify one window of bytes."""
-        if not isinstance(data, bytes):
-            data = bytes(data)
+    def classify_window(self, data) -> RegionKind:
+        """Classify one window of any bytes-like buffer (never copied)."""
         code = self._core.classify_span(
             data, 0, len(data),
             self._text_threshold,
@@ -137,10 +135,12 @@ class DumpCartographer:
         )
         return _KIND_BY_CODE[code]
 
-    def map_dump(self, data: bytes) -> list[Region]:
-        """The full region map of *data*, adjacent windows merged."""
-        if not isinstance(data, bytes):
-            data = bytes(data)
+    def map_dump(self, data) -> list[Region]:
+        """The full region map of *data*, adjacent windows merged.
+
+        *data* may be bytes, bytearray, memoryview or an mmap-backed
+        spool object; the scan never materializes a copy of it.
+        """
         codes = self._core.classify_windows(
             data, self._window,
             self._text_threshold,

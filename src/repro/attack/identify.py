@@ -101,6 +101,35 @@ class SignatureDatabase:
             )
         return cls(signatures)
 
+    def to_payload(self) -> dict[str, list[str]]:
+        """A JSON-safe snapshot of the mined signatures.
+
+        The campaign's multiprocess executor ships this over the
+        process boundary so workers reconstruct the database with
+        :meth:`from_payload` instead of re-mining it from profiles —
+        mining is O(models² × strings) and used to dominate worker
+        startup on small fleets.
+        """
+        return {
+            name: sorted(signature.tokens)
+            for name, signature in self._signatures.items()
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, list[str]]) -> "SignatureDatabase":
+        """Rebuild a database from :meth:`to_payload` output.
+
+        Model order is preserved from the source database (dict order
+        survives pickling), so score dictionaries and tie-breaking in
+        the worker match the parent process exactly.
+        """
+        return cls(
+            [
+                ModelSignature(model_name=name, tokens=frozenset(tokens))
+                for name, tokens in payload.items()
+            ]
+        )
+
     def signature(self, model_name: str) -> ModelSignature:
         """The signature for one model."""
         return self._signatures[model_name]
@@ -109,8 +138,8 @@ class SignatureDatabase:
         """All models with signatures, sorted."""
         return sorted(self._signatures)
 
-    def match(self, dump_data: bytes) -> dict[str, tuple[float, list[str]]]:
-        """Score every model against raw dump bytes.
+    def match(self, dump_data) -> dict[str, tuple[float, list[str]]]:
+        """Score every model against a raw dump buffer (never copied).
 
         Score = fraction of the model's signature tokens present
         verbatim in the dump.  Models with empty signatures score 0.

@@ -39,7 +39,10 @@ from repro.attack.profiling import ProfileStore
 from repro.attack.reconstruct import ImageReconstructor, ReconstructionResult
 from repro.errors import AttackError, ReconstructionError
 from repro.petalinux.shell import Shell
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.utils.buffers import BufferPool
 
 
 class AttackPhase(enum.Enum):
@@ -147,6 +150,7 @@ class MemoryScrapingAttack:
         config: AttackConfig | None = None,
         database: SignatureDatabase | None = None,
         translation_cache: TranslationCache | None = None,
+        buffer_pool: "BufferPool | None" = None,
     ) -> None:
         self._shell = shell
         self._profiles = profiles
@@ -158,7 +162,10 @@ class MemoryScrapingAttack:
             shell.procfs, caller=shell.user, cache=translation_cache
         )
         self._scraper = MemoryScraper(
-            shell.devmem_tool, caller=shell.user, config=self._config
+            shell.devmem_tool,
+            caller=shell.user,
+            config=self._config,
+            buffer_pool=buffer_pool,
         )
         self.phase = AttackPhase.IDLE
         self._sighting: VictimSighting | None = None

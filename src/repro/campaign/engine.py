@@ -44,10 +44,7 @@ import time
 from repro.attack.identify import SignatureDatabase
 from repro.attack.profiling import ProfileStore
 from repro.campaign.report import CampaignReport
-from repro.campaign.runtime.executors import (
-    InProcessExecutor,
-    resolve_executor,
-)
+from repro.campaign.runtime.executors import resolve_executor
 from repro.campaign.runtime.spool import DumpSpool
 from repro.campaign.schedule import CampaignSpec
 from repro.campaign.worker import TeardownHook, VictimOutcome
@@ -94,7 +91,6 @@ def run_campaign(
     local dumps are ever resident.
     """
     started = time.perf_counter()
-    custom_database = database is not None
     if profiles is None:
         prepped_profiles, prepped_database = prepare_offline(spec)
         profiles = prepped_profiles
@@ -105,20 +101,6 @@ def run_campaign(
     chosen = resolve_executor(
         spec, executor, processes=processes, teardown_hook=teardown_hook
     )
-    if custom_database and chosen.name == "multiprocess":
-        # Workers rebuild their database from the shipped profiles; a
-        # hand-tuned one would be silently ignored, changing results
-        # between executors.  Under "auto" fall back to threads (the
-        # documented prep-reuse pattern must keep working at any fleet
-        # size); an explicit multiprocess request is refused instead.
-        if executor == "auto":
-            chosen = InProcessExecutor()
-        else:
-            raise ValueError(
-                "a custom SignatureDatabase cannot be shipped to worker "
-                "processes (they rebuild from profiles); pass profiles "
-                "only, or use executor='inprocess'"
-            )
     outcomes: list[VictimOutcome] = []
     lock = threading.Lock()
 

@@ -40,7 +40,7 @@ from repro.campaign.runtime.executors import (
     resolve_executor,
 )
 from repro.campaign.runtime.runner import CampaignRuntime
-from repro.campaign.runtime.spool import DumpSpool, SpoolEntry
+from repro.campaign.runtime.spool import DumpSpool, MappedDump, SpoolEntry
 
 __all__ = [
     "MULTIPROCESS_AUTO_BOARDS",
@@ -49,6 +49,7 @@ __all__ = [
     "DumpSpool",
     "InProcessExecutor",
     "JournalState",
+    "MappedDump",
     "MultiprocessExecutor",
     "RunDirectory",
     "SpoolEntry",

@@ -16,13 +16,15 @@ executor owns only placement and transport.
   callable cannot cross a process boundary).
 - :class:`MultiprocessExecutor` — boards sharded round-robin across a
   ``multiprocessing`` worker pool.  Each worker receives the spec and
-  the offline prep *by value* (spec dict + profiles JSON), rebuilds
-  its own signature automaton, provisions only its own boards, and
-  streams wave outcomes back over a queue as plain dicts.  Because a
-  board simulation is a pure function of ``(spec, board_index)`` and
-  the profile notebook round-trips losslessly through JSON, the
-  outcomes are **identical** to the in-process executor's — the
-  regression suite pins this.
+  the offline prep *by value* (spec dict + profiles JSON + the mined
+  signature database as a token payload — re-mining signatures per
+  worker is quadratic in the model mix and was the dominant cost of
+  worker startup), provisions only its own boards, and streams wave
+  outcomes back over a queue as plain dicts.  Because a board
+  simulation is a pure function of ``(spec, board_index)`` and both
+  the profile notebook and the database payload round-trip
+  losslessly, the outcomes are **identical** to the in-process
+  executor's — the regression suite pins this.
 
 :func:`resolve_executor` applies the default placement policy: fleets
 of :data:`MULTIPROCESS_AUTO_BOARDS` boards or more go multiprocess,
@@ -198,26 +200,28 @@ class InProcessExecutor:
             pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _shard_main(
-    shard_index: int,
+def _run_shard(
     spec_payload: dict,
     profiles_json: str,
+    database_payload: dict[str, list[str]],
     kernel_config: KernelConfig | None,
     board_indices: tuple[int, ...],
     spool_root: str | None,
     queue: "multiprocessing.Queue",
 ) -> None:
-    """Worker-process entry point: run a shard of boards, stream back.
+    """Run one shard of boards and stream results onto *queue*.
 
-    Everything arrives by value (spec dict, profiles JSON) so the
-    worker is self-sufficient under any start method; outcomes leave
-    as ``asdict`` payloads and are rebuilt parent-side.
+    Everything arrives by value (spec dict, profiles JSON, signature
+    database payload) so the worker is self-sufficient under any start
+    method; outcomes leave as ``asdict`` payloads and are rebuilt
+    parent-side.  Rehydrating the database from its payload skips the
+    per-worker signature re-mining that used to dominate startup.
     """
     board = -1
     try:
         spec = spec_from_dict(spec_payload)
         profiles = ProfileStore.from_json(profiles_json)
-        database = SignatureDatabase.from_profiles(profiles)
+        database = SignatureDatabase.from_payload(database_payload)
         config = AttackConfig(coalesce_reads=spec.coalesce_reads)
         spool = DumpSpool(spool_root) if spool_root is not None else None
         grouped = jobs_by_board(build_schedule(spec))
@@ -238,12 +242,52 @@ def _shard_main(
             queue.put(("board_complete", board))
     except Exception:  # noqa: BLE001 — ship the traceback to the parent
         queue.put(("error", board, traceback.format_exc()))
-    finally:
-        queue.put(("shard_done", shard_index))
+
+
+def _worker_main(
+    worker_index: int,
+    tasks: "multiprocessing.Queue",
+    results: "multiprocessing.Queue",
+) -> None:
+    """Long-lived worker loop: run shard tasks until told to stop.
+
+    Keeping the process alive across :meth:`MultiprocessExecutor.run`
+    calls amortizes worker startup — fork/spawn, interpreter bring-up,
+    and (under ``fork``) the copy-on-write faulting of the parent's
+    heap — across every campaign an executor instance runs.  Each task
+    is one shard; ``shard_done`` answers it so the parent can await a
+    run without confusing it with the next one.
+    """
+    while True:
+        message = tasks.get()
+        if message[0] == "stop":
+            break
+        _, payload, board_indices = message
+        spec_payload, profiles_json, database_payload, kernel_config, \
+            spool_root = payload
+        _run_shard(
+            spec_payload,
+            profiles_json,
+            database_payload,
+            kernel_config,
+            board_indices,
+            spool_root,
+            results,
+        )
+        results.put(("shard_done", worker_index))
 
 
 class MultiprocessExecutor:
-    """Boards sharded round-robin across a process pool."""
+    """Boards sharded round-robin across a persistent process pool.
+
+    Workers are forked lazily on the first :meth:`run` and stay alive
+    for follow-up runs (a parameter sweep, the bench's repeat loop, a
+    resumed campaign), so worker startup is paid once per executor
+    instance, not once per campaign.  :meth:`close` (or the context
+    manager, or garbage collection — workers are daemons) retires the
+    pool; a run that aborts also retires it, since the queues may hold
+    stale messages.
+    """
 
     name = "multiprocess"
 
@@ -257,6 +301,64 @@ class MultiprocessExecutor:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._start_method = start_method
+        self._context = multiprocessing.get_context(self._start_method)
+        self._workers: list[multiprocessing.Process] = []
+        self._task_queues: list[multiprocessing.Queue] = []
+        self._results: multiprocessing.Queue | None = None
+
+    def _ensure_workers(self, count: int) -> None:
+        """Grow the pool to at least *count* live workers."""
+        self._workers = [w for w in self._workers if w.is_alive()]
+        if len(self._workers) != len(self._task_queues):
+            # A worker died outside a run; rebuild from scratch.
+            self._shutdown(terminate=True)
+        if self._results is None:
+            self._results = self._context.Queue()
+        while len(self._workers) < count:
+            tasks: multiprocessing.Queue = self._context.Queue()
+            worker = self._context.Process(
+                target=_worker_main,
+                args=(len(self._workers), tasks, self._results),
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+            self._task_queues.append(tasks)
+
+    def _shutdown(self, terminate: bool) -> None:
+        """Retire the pool — politely or by force."""
+        if not terminate:
+            for tasks in self._task_queues:
+                tasks.put(("stop",))
+        for worker in self._workers:
+            if terminate and worker.is_alive():
+                worker.terminate()
+            worker.join(timeout=10)
+        for tasks in self._task_queues:
+            tasks.close()
+        if self._results is not None:
+            self._results.close()
+        self._workers = []
+        self._task_queues = []
+        self._results = None
+
+    def close(self) -> None:
+        """Stop the worker pool.  Idempotent; the executor may be
+        reused afterwards (a new pool forks on the next run)."""
+        self._shutdown(terminate=False)
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            if self._workers:
+                self._shutdown(terminate=True)
+        except Exception:  # pragma: no cover — interpreter teardown
+            pass
 
     def run(
         self,
@@ -274,7 +376,7 @@ class MultiprocessExecutor:
         """Shard the boards over worker processes and drain the queue.
 
         The parent provisions nothing: workers rebuild the schedule,
-        the profile notebook, and the signature automaton from the
+        the profile notebook, and the signature database from the
         values shipped to them, boot only their own boards, and write
         dumps straight into the shared spool (content-addressed writes
         are concurrency-safe).  Sinks run on the parent thread in
@@ -282,7 +384,6 @@ class MultiprocessExecutor:
         terminates the workers — exactly the crash the checkpoint
         journal is designed to survive.
         """
-        del database  # workers rebuild their own from the profiles
         if teardown_hook is not None:
             raise ValueError("teardown_hook requires the in-process executor")
         populated, _ = _populated_boards(
@@ -295,44 +396,37 @@ class MultiprocessExecutor:
             self._processes or os.cpu_count() or 1, len(populated)
         )
         shards = [populated[offset::shard_count] for offset in range(shard_count)]
-        context = multiprocessing.get_context(self._start_method)
-        queue: multiprocessing.Queue = context.Queue()
-        profiles_json = profiles.to_json()
-        spool_root = str(spool.root) if spool is not None else None
-        workers = [
-            context.Process(
-                target=_shard_main,
-                args=(
-                    shard_index,
-                    spec_to_dict(spec),
-                    profiles_json,
-                    kernel_config,
-                    tuple(shard),
-                    spool_root,
-                    queue,
-                ),
-                daemon=True,
+        self._ensure_workers(shard_count)
+        results = self._results
+        assert results is not None
+        payload = (
+            spec_to_dict(spec),
+            profiles.to_json(),
+            database.to_payload(),
+            kernel_config,
+            str(spool.root) if spool is not None else None,
+        )
+        for shard_index, shard in enumerate(shards):
+            self._task_queues[shard_index].put(
+                ("run", payload, tuple(shard))
             )
-            for shard_index, shard in enumerate(shards)
-        ]
-        for worker in workers:
-            worker.start()
         done_shards: set[int] = set()
+        completed = False
         try:
-            while len(done_shards) < len(workers):
+            while len(done_shards) < len(shards):
                 # Poll in short slices so a worker that died without a
                 # word (OOM kill, spawn bootstrap failure) is detected
                 # promptly.  A slow-but-alive fleet is never timed
                 # out — only a dead worker with an unfinished shard
                 # aborts the run.
                 try:
-                    message = queue.get(timeout=_QUEUE_POLL_SECONDS)
+                    message = results.get(timeout=_QUEUE_POLL_SECONDS)
                 except queue_module.Empty:
                     dead = [
                         shard_index
-                        for shard_index, worker in enumerate(workers)
+                        for shard_index in range(len(shards))
                         if shard_index not in done_shards
-                        and not worker.is_alive()
+                        and not self._workers[shard_index].is_alive()
                     ]
                     if dead:
                         raise CampaignExecutionError(
@@ -358,10 +452,10 @@ class MultiprocessExecutor:
                     )
                 elif kind == "shard_done":
                     done_shards.add(message[1])
+            completed = True
         finally:
-            for worker in workers:
-                if worker.is_alive():
-                    worker.terminate()
-            for worker in workers:
-                worker.join(timeout=10)
-            queue.close()
+            if not completed:
+                # An aborted run leaves in-flight messages (and maybe
+                # wedged workers) behind; retire the pool so the next
+                # run starts from a clean fork.
+                self._shutdown(terminate=True)

@@ -43,12 +43,14 @@ True
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.attack.extraction import ScrapedDump
+from repro.errors import SpoolClosedError
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,110 @@ class SpoolEntry:
     nbytes: int
     deduplicated: bool
     """True when an identical dump was already in the store."""
+
+
+class MappedDump:
+    """A read-only memory-mapped view of one spooled object.
+
+    Obtained from :meth:`DumpSpool.open`.  ``data`` is the raw mmap
+    (``b""`` for zero-length objects — empty files cannot be mapped),
+    which every analysis path consumes zero-copy: carving, entropy and
+    identification scan the page cache directly, never a slurped copy.
+
+    The lifecycle is explicit: :meth:`close` (or the context manager)
+    unmaps and closes the file descriptor, and any access afterwards
+    raises :class:`~repro.errors.SpoolClosedError` instead of touching
+    a stale mapping.  Closing while a live buffer export exists (e.g.
+    a numpy array still aliasing the map) raises ``BufferError`` —
+    drop the arrays first; the scan paths only hold views for the
+    duration of a call.
+
+    >>> with spool.open(digest) as mapped:          # doctest: +SKIP
+    ...     regions = cartographer.map_dump(mapped.data)
+    """
+
+    def __init__(self, path: Path, sha256: str) -> None:
+        self._sha256 = sha256
+        self._closed = False
+        size = path.stat().st_size
+        if size == 0:
+            self._file = None
+            self._map: mmap.mmap | bytes = b""
+        else:
+            self._file = path.open("rb")
+            self._map = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        self._nbytes = size
+
+    @property
+    def sha256(self) -> str:
+        """The content digest this handle was opened under."""
+        return self._sha256
+
+    @property
+    def nbytes(self) -> int:
+        """Object size in bytes (valid even after close)."""
+        return self._nbytes
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def data(self) -> "mmap.mmap | bytes":
+        """The mapped bytes, zero-copy; raises once closed."""
+        if self._closed:
+            raise SpoolClosedError(
+                f"spool object {self._sha256[:12]}… was closed; "
+                "re-open it via DumpSpool.open() before reading"
+            )
+        return self._map
+
+    def to_dump(self, pid: int = -1, heap_start: int = 0) -> ScrapedDump:
+        """Rehydrate the object as an mmap-backed :class:`ScrapedDump`.
+
+        Extraction bookkeeping (page/read counters) is not stored in
+        the spool, so those fields are zero; the analysis paths only
+        touch ``data``.
+        """
+        return ScrapedDump(
+            pid=pid,
+            heap_start=heap_start,
+            data=self.data,
+            pages_read=0,
+            pages_skipped=0,
+            devmem_reads=0,
+        )
+
+    def close(self) -> None:
+        """Unmap and release the file descriptor.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if isinstance(self._map, mmap.mmap):
+                self._map.close()
+        finally:
+            self._map = b""
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "MappedDump":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Last-resort cleanup; the explicit close()/with-block is the
+        # contract (and what the fd-leak tests pin).
+        try:
+            self.close()
+        except BufferError:  # pragma: no cover — exports still alive
+            pass
 
 
 class DumpSpool:
@@ -106,11 +212,30 @@ class DumpSpool:
         return SpoolEntry(digest, dump.nbytes, deduplicated=False)
 
     def read(self, sha256: str) -> bytes:
-        """The raw dump bytes filed under *sha256*.
+        """The raw dump bytes filed under *sha256*, slurped into memory.
 
         Raises :class:`FileNotFoundError` for digests never spooled.
+        For large objects prefer :meth:`open`, which maps the file
+        instead of copying it.
         """
         return self.object_path(sha256).read_bytes()
+
+    def open(self, sha256: str) -> MappedDump:
+        """Memory-map the object filed under *sha256* — a zero-copy read.
+
+        The returned :class:`MappedDump` exposes the object's bytes
+        straight from the page cache; close it (or use it as a context
+        manager) when done.  Because spool objects are immutable once
+        published (content-addressed, atomic rename), a read-only map
+        is always coherent.  Raises :class:`FileNotFoundError` for
+        digests never spooled.
+        """
+        path = self.object_path(sha256)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no spooled object {sha256} under {self._root}"
+            )
+        return MappedDump(path, sha256)
 
     def __contains__(self, sha256: str) -> bool:
         return self.object_path(sha256).exists()

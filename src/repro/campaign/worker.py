@@ -51,6 +51,7 @@ from repro.errors import (
 )
 from repro.evaluation.metrics import image_fidelity, nonzero_bytes
 from repro.petalinux.kernel import PetaLinuxKernel
+from repro.utils.buffers import BufferPool
 from repro.vitis.app import VictimApplication, VictimRun
 from repro.vitis.image import Image
 
@@ -151,6 +152,10 @@ class BoardWorker:
         self._teardown_hook = teardown_hook
         self._spool = spool
         self._claimed_pids: set[int] = set()
+        # One extraction-buffer pool per board: victims of the same
+        # model have identical heap sizes, so after the first wave
+        # scraping recycles buffers instead of allocating per victim.
+        self._buffer_pool = BufferPool()
         # Early-snapshot harvester: shares the board cache with every
         # attack pipeline, so the pipeline's own harvest is a hit.
         self._harvester = AddressHarvester(
@@ -207,6 +212,7 @@ class BoardWorker:
                 config=self._config,
                 database=self._database,
                 translation_cache=self._board.translation_cache,
+                buffer_pool=self._buffer_pool,
             )
             in_flight.append(
                 _WaveAttack(job=job, run=run, secret=secret, attack=attack)
@@ -298,6 +304,13 @@ class BoardWorker:
         dump_sha256 = (
             self._spool.put(dump).sha256 if self._spool is not None else None
         )
+        residue_nbytes = nonzero_bytes(dump.data)
+        nbytes = dump.nbytes
+        # Everything the outcome needs has been read; hand the
+        # extraction buffer back for the next victim.  Any later
+        # access to dump.data raises instead of aliasing a recycled
+        # buffer; the raw residue lives on in the spool.
+        dump.release()
         return VictimOutcome(
             job_id=entry.job.job_id,
             board_index=self._board.index,
@@ -312,12 +325,12 @@ class BoardWorker:
             pixel_match_rate=(
                 fidelity.pixel_match_rate if fidelity is not None else None
             ),
-            nbytes=dump.nbytes,
+            nbytes=nbytes,
             devmem_reads=dump.devmem_reads,
             pages_read=dump.pages_read,
             wall_seconds=entry.elapsed,
             detail=detail,
-            residue_nbytes=nonzero_bytes(dump.data),
+            residue_nbytes=residue_nbytes,
             teardown_seconds=entry.teardown_seconds,
             frames_scrubbed_sync=entry.frames_scrubbed_sync,
             dump_sha256=dump_sha256,

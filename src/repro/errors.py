@@ -132,6 +132,16 @@ class ProfilingError(AttackError):
     """Offline profiling failed to locate the marker in the dump."""
 
 
+class SpoolClosedError(ReproError):
+    """A closed mmap-backed spool handle was used after ``close()``.
+
+    The campaign spool memory-maps dump objects on read
+    (``DumpSpool.open``); once the handle is closed the mapping is
+    gone, and any further access raises this instead of handing out a
+    segfault-adjacent stale view.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """A checkpointable campaign stopped before finishing every board.
 

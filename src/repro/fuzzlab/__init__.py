@@ -9,8 +9,9 @@ driven through the *real* four-step attack and campaign runtime, then
 held to a registry of cross-cutting oracles: fast-path vs reference
 byte-identity, region maps that tile their dump, crash/resume report
 byte-identity, spool round-trip integrity, defense monotonicity,
-report-aggregation consistency, and coalesced vs word-mode extraction
-equivalence.  Failures shrink to a minimal scenario and serialize as
+report-aggregation consistency, coalesced vs word-mode extraction
+equivalence, and mmap-backed vs bytes-backed analysis equivalence.
+Failures shrink to a minimal scenario and serialize as
 replayable JSON seeds; committed seeds become permanent regression
 tests.
 

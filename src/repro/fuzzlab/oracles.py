@@ -35,7 +35,12 @@ The registry covers every cross-cutting contract the codebase claims:
     the runtime persisted;
 ``extraction_equivalence``
     coalesced (batched) and word-at-a-time extraction scrape
-    byte-identical residue and reach identical verdicts.
+    byte-identical residue and reach identical verdicts;
+``backing_equivalence``
+    re-reading a spooled object through an mmap backing
+    (:meth:`DumpSpool.open <repro.campaign.runtime.spool.DumpSpool.open>`)
+    yields region maps, nonzero counts, and signature scores identical
+    to the slurped-bytes read of the same object.
 
 Violation messages carry only deterministic facts (digests, job ids,
 counts) — never wall-clock values or filesystem paths — so a fuzz
@@ -97,6 +102,23 @@ class RegionMapArtifact:
 
 
 @dataclass(frozen=True)
+class BackingArtifact:
+    """Analysis results computed over one mmap-backed spool read.
+
+    The runner opens each selected spool object a second time via
+    ``DumpSpool.open`` and runs the zero-copy analysis paths straight
+    over the mapping; the ``backing_equivalence`` oracle recomputes the
+    same quantities from the slurped-bytes read and demands equality.
+    """
+
+    digest: str
+    nbytes: int
+    nonzero: int
+    regions: tuple[Region, ...]
+    matches: dict[str, tuple[float, list[str]]]
+
+
+@dataclass(frozen=True)
 class MonotonicityArtifact:
     """One profile-vs-strengthened-profile campaign pair."""
 
@@ -134,6 +156,9 @@ class ScenarioWorld:
     spool (capped in count, never in bytes — the hash check needs the
     whole object)."""
     region_maps: list[RegionMapArtifact]
+    backings: list[BackingArtifact]
+    """mmap-backed re-reads of the same selected spool objects, one
+    per entry of ``dumps``."""
     alt_outcomes: tuple[VictimOutcome, ...]
     monotonicity: MonotonicityArtifact
     notes: list[str] = field(default_factory=list)
@@ -589,4 +614,56 @@ def _extraction_equivalence(world: ScenarioWorld) -> list[str]:
                     f"job {job_id}: {name} differs between coalesced and "
                     f"word-mode extraction ({lhs!r} != {rhs!r})"
                 )
+    return problems
+
+
+# -- 8. mmap-backed vs bytes-backed analysis ----------------------------------
+
+
+@oracle("backing_equivalence")
+def _backing_equivalence(world: ScenarioWorld) -> list[str]:
+    """A spool object must analyze identically under either backing.
+
+    The runner computed ``world.backings`` straight over mmap views
+    (``DumpSpool.open``); this oracle recomputes the same quantities
+    from the slurped ``world.dumps`` bytes with the same cartographer
+    and database.  Any divergence means the zero-copy read path and
+    the copying read path disagree about the same on-disk object.
+    """
+    problems = []
+    by_digest = dict(world.dumps)
+    probed = sorted(artifact.digest for artifact in world.backings)
+    if probed != sorted(by_digest):
+        problems.append(
+            f"mmap probes cover {len(probed)} spool object(s), bytes "
+            f"reads cover {len(by_digest)} — the backings were taken "
+            f"over different object sets"
+        )
+        return problems
+    for artifact in world.backings:
+        data = by_digest[artifact.digest]
+        tag = f"dump {artifact.digest[:12]}"
+        if artifact.nbytes != len(data):
+            problems.append(
+                f"{tag}: mmap backing holds {artifact.nbytes} byte(s), "
+                f"bytes read holds {len(data)}"
+            )
+            continue
+        if artifact.nonzero != nonzero_bytes(data):
+            problems.append(
+                f"{tag}: nonzero count is {artifact.nonzero} over the "
+                f"mmap backing, {nonzero_bytes(data)} over bytes"
+            )
+        regions = tuple(world.cartographer.map_dump(data))
+        if artifact.regions != regions:
+            problems.append(
+                f"{tag}: map_dump produced {len(artifact.regions)} "
+                f"region(s) over the mmap backing, {len(regions)} over "
+                f"bytes — backings diverge"
+            )
+        if artifact.matches != world.database.match(data):
+            problems.append(
+                f"{tag}: signature scores diverge between mmap and "
+                f"bytes backings"
+            )
     return problems

@@ -16,7 +16,8 @@ no mocks, no shortcuts — collecting every artifact the oracles need:
 4. a profile-vs-strengthened-profile campaign pair, run through the
    defense arena's teardown-delay hook, for the monotonicity oracle;
 5. fast-path region maps over spooled residue for the differential
-   scan oracles.
+   scan oracles, plus mmap-backed re-reads of the same spool objects
+   (``DumpSpool.open``) for the backing-equivalence oracle.
 
 Offline prep (profiling + signature mining) is cached per
 ``(model mix, input size)`` across scenarios — it is a pure function
@@ -30,7 +31,8 @@ byte-deterministic for a given ``(seed, budget, oracles)``.
 from a fuzzer that cannot fire.  :data:`PLANTED_FAULTS` corrupts a
 *built* world in one precise way per fault name (a dropped region, a
 flipped report byte, a tampered spool object, an inflated residue
-count, a swallowed outcome) so the test suite can prove, end to end,
+count, a swallowed outcome, a skewed mmap probe) so the test suite can
+prove, end to end,
 that each oracle detects its failure class, that the shrinker reduces
 a failing scenario, and that ``repro fuzz replay`` reproduces it from
 the serialized seed alone.
@@ -55,8 +57,10 @@ from repro.campaign.schedule import build_schedule
 from repro.defense.arena import ScrapeDelayHook
 from repro.defense.profiles import DefenseConfig, defense_profile
 from repro.errors import CampaignInterrupted
+from repro.evaluation.metrics import nonzero_bytes
 from repro.fuzzlab.oracles import (
     WORLD_INTEGRITY,
+    BackingArtifact,
     MonotonicityArtifact,
     RegionMapArtifact,
     ScenarioWorld,
@@ -198,6 +202,21 @@ def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
         )
         for digest, data in dumps
     ]
+    # Re-read the same objects zero-copy and analyze straight off the
+    # mapping; the backing_equivalence oracle holds these against the
+    # slurped-bytes recompute.
+    backings = []
+    for digest, _ in dumps:
+        with spool.open(digest) as mapped:
+            backings.append(
+                BackingArtifact(
+                    digest=digest,
+                    nbytes=mapped.nbytes,
+                    nonzero=nonzero_bytes(mapped.data),
+                    regions=tuple(cartographer.map_dump(mapped.data)),
+                    matches=database.match(mapped.data),
+                )
+            )
 
     world = ScenarioWorld(
         scenario=scenario,
@@ -213,6 +232,7 @@ def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
         manifest=tuple(spool.load_manifest()),
         dumps=dumps,
         region_maps=region_maps,
+        backings=backings,
         alt_outcomes=tuple(alt_report.outcomes),
         monotonicity=MonotonicityArtifact(
             base_profile=profile.name,
@@ -299,12 +319,34 @@ def _plant_report_tamper(world: ScenarioWorld) -> None:
     world.baseline_report.outcomes = world.baseline_report.outcomes[:-1]
 
 
+def _plant_backing_tamper(world: ScenarioWorld) -> None:
+    """Skew one mmap-side analysis result away from its bytes twin."""
+    if world.backings:
+        artifact = world.backings[0]
+        world.backings[0] = replace(
+            artifact, nonzero=artifact.nonzero + 1
+        )
+    else:
+        # Nothing was spooled (e.g. a pinned-Xen fleet): forge a probe
+        # for an object the bytes side never read.
+        world.backings.append(
+            BackingArtifact(
+                digest="e" * 64,
+                nbytes=16,
+                nonzero=16,
+                regions=(),
+                matches={},
+            )
+        )
+
+
 PLANTED_FAULTS: dict[str, Callable[[ScenarioWorld], None]] = {
     "map-tamper": _plant_map_tamper,
     "resume-tamper": _plant_resume_tamper,
     "spool-tamper": _plant_spool_tamper,
     "residue-tamper": _plant_residue_tamper,
     "report-tamper": _plant_report_tamper,
+    "backing-tamper": _plant_backing_tamper,
 }
 """Deliberate world corruptions, each aimed at one oracle's failure
 class.  Part of the public surface: a committed regression seed with a

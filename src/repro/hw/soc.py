@@ -56,6 +56,16 @@ class ZynqMpSoC:
         device, offset = self._route(address)
         return device.read(offset, length)
 
+    def read_physical_into(self, address: int, out: memoryview) -> None:
+        """Read ``len(out)`` bytes at *address* straight into *out*.
+
+        Same bus path as :meth:`read_physical`, but the backing device
+        fills the caller's buffer in place — the primitive the
+        zero-copy extraction path builds on.
+        """
+        device, offset = self._route(address)
+        device.read_into(offset, out)
+
     def write_physical(self, address: int, data: bytes) -> None:
         """Write *data* at global physical address *address*."""
         device, offset = self._route(address)

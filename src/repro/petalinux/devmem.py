@@ -86,6 +86,20 @@ class Devmem:
         self._check_xen(caller, start, length)
         return self.kernel.soc.read_physical(start, length)
 
+    def read_bytes_into(
+        self, start: int, caller: User, out: memoryview
+    ) -> None:
+        """Bulk byte read filling *out* in place (``len(out)`` bytes).
+
+        The zero-copy twin of :meth:`read_bytes`: identical access and
+        Xen checks, but the SoC copies device pages straight into the
+        caller's buffer — the campaign scraper points this at a slice
+        of its pooled extraction buffer.
+        """
+        self._check_access(caller)
+        self._check_xen(caller, start, len(out))
+        self.kernel.soc.read_physical_into(start, out)
+
     def render(self, address: int, caller: User, width_bits: int = 32) -> str:
         """The exact console line ``devmem`` prints (paper Fig. 10)."""
         value = self.read(address, caller, width_bits)

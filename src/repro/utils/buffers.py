@@ -1,0 +1,74 @@
+"""Reusable extraction buffers — allocation-free steady-state scraping.
+
+A campaign scrapes one multi-megabyte heap image per victim, and every
+wave used to allocate (and garbage-collect) those buffers afresh:
+page chunks, the ``b"".join`` copy, the pickled queue copy.  The
+zero-copy pipeline replaces all of that with a :class:`BufferPool` —
+a size-keyed free list of ``bytearray`` buffers that the scraper
+writes device bytes straight into (see ``Devmem.read_bytes_into``)
+and the board worker returns once the dump has been analyzed and
+spooled (``ScrapedDump.release``).  Victims of the same model have
+identical heap sizes, so after the first wave the pool serves every
+extraction without touching the allocator.
+
+Ownership contract:
+
+- :meth:`BufferPool.acquire` hands out a buffer with **undefined
+  contents** (it may be a recycled dump); the caller must write every
+  byte it will later read.
+- A buffer handed back via :meth:`BufferPool.release` must no longer
+  be read or written by the releasing party — it will be handed to
+  the next acquirer verbatim.  ``ScrapedDump.release`` enforces this
+  by swapping the dump's ``data`` for a sentinel that raises on use.
+
+The pool is thread-safe (board workers of an in-process campaign share
+one process) but deliberately unbounded in buffer *size* and bounded
+in buffer *count* per size class, so a pathological mix of heap sizes
+cannot hoard memory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class BufferPool:
+    """A size-keyed free list of reusable ``bytearray`` buffers."""
+
+    def __init__(self, max_buffers_per_size: int = 4) -> None:
+        if max_buffers_per_size < 1:
+            raise ValueError(
+                f"max_buffers_per_size must be >= 1, got {max_buffers_per_size}"
+            )
+        self._lock = threading.Lock()
+        self._free: dict[int, list[bytearray]] = {}
+        self._max_per_size = max_buffers_per_size
+        self.allocations = 0
+        """Buffers created because no free one of the right size existed."""
+        self.reuses = 0
+        """Acquisitions served from the free list (the pool's win)."""
+
+    def acquire(self, nbytes: int) -> bytearray:
+        """A buffer of exactly *nbytes* bytes, contents undefined."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        with self._lock:
+            stack = self._free.get(nbytes)
+            if stack:
+                self.reuses += 1
+                return stack.pop()
+            self.allocations += 1
+        return bytearray(nbytes)
+
+    def release(self, buffer: bytearray) -> None:
+        """Hand *buffer* back for reuse; the caller must stop using it."""
+        with self._lock:
+            stack = self._free.setdefault(len(buffer), [])
+            if len(stack) < self._max_per_size:
+                stack.append(buffer)
+
+    @property
+    def free_buffers(self) -> int:
+        """How many buffers currently sit on the free lists."""
+        with self._lock:
+            return sum(len(stack) for stack in self._free.values())

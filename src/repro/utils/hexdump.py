@@ -108,15 +108,16 @@ class HexDump:
     occurrence" used by the offline profiler (the paper's row 646768).
     """
 
-    def __init__(self, data: bytes) -> None:
-        # Scraped dumps hand over bytes already; only copy when given
-        # a mutable bytes-like (bytearray, memoryview) to stay safe.
-        self._data = data if isinstance(data, bytes) else bytes(data)
+    def __init__(self, data) -> None:
+        # bytes, bytearray and mmap all support find + slicing, so they
+        # are kept as-is (zero-copy); only buffers without ``find``
+        # (memoryview) are copied.
+        self._data = data if hasattr(data, "find") else bytes(data)
         self._rows: list[str] | None = None
 
     @property
-    def data(self) -> bytes:
-        """The underlying raw bytes."""
+    def data(self):
+        """The underlying buffer (bytes, bytearray or mmap)."""
         return self._data
 
     def rows(self) -> list[str]:

@@ -347,9 +347,16 @@ class TestLazyHexdump:
         data = b"\x01" * 64
         assert HexDump(data).data is data
 
-    def test_hexdump_still_copies_mutable_input(self):
+    def test_hexdump_keeps_bytearray_zero_copy(self):
+        # Pool-backed dumps hand over bytearrays; HexDump aliases them
+        # (zero-copy ownership rules — see docs/performance.md) instead
+        # of copying multi-megabyte dumps to render a few grep rows.
         mutable = bytearray(b"\x02" * 64)
-        hexdump = HexDump(mutable)
+        assert HexDump(mutable).data is mutable
+
+    def test_hexdump_copies_buffers_without_find(self):
+        # memoryview has no .find, so it is the one input still copied.
+        view = memoryview(b"\x03" * 64)
+        hexdump = HexDump(view)
         assert isinstance(hexdump.data, bytes)
-        mutable[0] = 0xFF
-        assert hexdump.data[0] == 0x02
+        assert hexdump.data == bytes(view)

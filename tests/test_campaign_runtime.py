@@ -232,31 +232,35 @@ class TestExecutorEquivalence:
         with pytest.raises(ValueError, match="unknown executor"):
             resolve_executor(SPEC, "distributed")
 
-    def test_custom_database_rejected_by_multiprocess(self):
-        """A hand-tuned database cannot ship to workers; refuse loudly."""
+    def test_custom_database_ships_to_multiprocess_workers(self):
+        """A hand-tuned database travels by value and changes nothing.
+
+        Workers used to re-mine their own database from the shipped
+        profiles (so a custom one was refused); now the mined token
+        payload ships with the spec, and both executors must score
+        against the *same* database — custom or not.
+        """
         from repro.attack.identify import SignatureDatabase
         from repro.campaign import prepare_offline
 
         profiles, database = prepare_offline(SPEC)
         assert isinstance(database, SignatureDatabase)
-        with pytest.raises(ValueError, match="custom SignatureDatabase"):
-            run_campaign(
-                SPEC,
-                profiles=profiles,
-                database=database,
-                executor="multiprocess",
-                processes=2,
-            )
-        # Profiles alone are fine — workers rebuild the database.
-        report = run_campaign(
-            SPEC, profiles=profiles, executor="multiprocess", processes=2
+        inproc = run_campaign(
+            SPEC, profiles=profiles, database=database, executor="inprocess"
         )
-        assert report.victims == SPEC.victims
+        multi = run_campaign(
+            SPEC,
+            profiles=profiles,
+            database=database,
+            executor="multiprocess",
+            processes=2,
+        )
+        assert _canonical_json(inproc) == _canonical_json(multi)
 
-    def test_auto_with_custom_database_falls_back_to_threads(self):
+    def test_auto_with_custom_database_goes_multiprocess(self):
         """The documented prep-reuse pattern keeps working at any fleet
-        size: 'auto' routes a custom database in-process instead of
-        raising."""
+        size: 'auto' no longer needs an in-process fallback for a
+        custom database, because the database ships by value."""
         from repro.campaign import prepare_offline
         from repro.campaign.runtime.executors import (
             MULTIPROCESS_AUTO_BOARDS,
@@ -268,6 +272,9 @@ class TestExecutorEquivalence:
             seed=2,
         )
         profiles, database = prepare_offline(spec)
+        assert isinstance(
+            resolve_executor(spec, "auto"), MultiprocessExecutor
+        )
         report = run_campaign(spec, profiles=profiles, database=database)
         assert report.victims == spec.victims
 
@@ -280,7 +287,7 @@ class TestExecutorEquivalence:
 
         monkeypatch.setattr(
             executors,
-            "_shard_main",
+            "_worker_main",
             lambda *args: os_module._exit(1),
         )
         with pytest.raises(CampaignExecutionError, match="without"):

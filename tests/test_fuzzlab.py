@@ -141,6 +141,7 @@ class TestScenarioValidation:
 class TestOracleRegistry:
     def test_expected_oracles_registered(self):
         assert oracle_names() == (
+            "backing_equivalence",
             "defense_monotonicity",
             "extraction_equivalence",
             "region_partition",
@@ -188,6 +189,7 @@ class TestPlantedFaults:
         "spool-tamper": "spool_integrity",
         "residue-tamper": "defense_monotonicity",
         "report-tamper": "report_consistency",
+        "backing-tamper": "backing_equivalence",
     }
 
     def test_every_fault_has_an_expectation(self):
@@ -213,6 +215,15 @@ class TestPlantedFaults:
         )
         verdict = run_scenario(scenario)
         assert "region_partition" in verdict.violated_oracles
+
+    def test_backing_plant_survives_empty_worlds(self):
+        # No spooled residue means no backings either; the plant forges
+        # a probe for an object the bytes side never read.
+        scenario = with_plant(
+            small_scenario(defense_profile="pinned_xen"), "backing-tamper"
+        )
+        verdict = run_scenario(scenario)
+        assert "backing_equivalence" in verdict.violated_oracles
 
 
 class TestWorldIntegrity:

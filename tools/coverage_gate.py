@@ -1,24 +1,29 @@
 #!/usr/bin/env python3
-"""The ``make coverage`` gate: a coverage floor on ``repro.fuzzlab``.
+"""The ``make coverage`` gate: per-package coverage floors.
 
-Runs the fuzzlab test module under coverage measurement and fails when
-the package's aggregate coverage drops below :data:`FLOOR` percent —
-the fuzz harness is the machinery that vouches for everything else, so
-it does not get to rot quietly.
+Runs the gated test modules under coverage measurement and fails when
+any gated package's aggregate coverage drops below :data:`FLOOR`
+percent.  Two packages are gated:
+
+- ``repro.fuzzlab`` — the fuzz harness is the machinery that vouches
+  for everything else, so it does not get to rot quietly;
+- ``repro.analysis`` — the zero-copy fast paths every oracle, campaign
+  and benchmark lean on.
 
 Two measurement backends, picked automatically:
 
 - **coverage.py** (preferred, when installed): branch coverage,
-  ``Coverage(branch=True)``, scoped to ``src/repro/fuzzlab``;
+  ``Coverage(branch=True)``, scoped to the gated package directories;
 - **stdlib fallback** (this repo adds no dependencies): a
   ``sys.settrace`` line tracer scoped to the same files, with the
   executable-line denominator derived from each module's AST.  Line
   coverage only — install ``coverage`` for branch numbers.
 
-Either way the output ends with the markdown summary table documented
-in ``docs/testing.md`` (one row per fuzzlab module — no badges, no
-services), and the exit status enforces the floor: 0 = at or above,
-1 = below (or the tests themselves failed).
+Either way the output ends with one markdown summary table per gated
+package, as documented in ``docs/testing.md`` (no badges, no
+services), and the exit status enforces the floor independently per
+package: 0 = every package at or above, 1 = any below (or the tests
+themselves failed).
 """
 
 from __future__ import annotations
@@ -29,21 +34,42 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
-PACKAGE_DIR = SRC_ROOT / "repro" / "fuzzlab"
-TEST_TARGET = "tests/test_fuzzlab.py"
+
+PACKAGES: dict[str, Path] = {
+    "repro.fuzzlab": SRC_ROOT / "repro" / "fuzzlab",
+    "repro.analysis": SRC_ROOT / "repro" / "analysis",
+}
+
+TEST_TARGETS = (
+    "tests/test_fuzzlab.py",
+    "tests/test_analysis_scan.py",
+    "tests/test_zero_copy.py",
+)
 
 FLOOR = 80.0
-"""Minimum aggregate coverage (percent) of ``repro.fuzzlab``."""
+"""Minimum aggregate coverage (percent), enforced per package."""
+
+Rows = dict[str, dict[str, tuple[int, int]]]
+"""package name -> module file name -> (covered, possible)."""
 
 
-def _target_files() -> list[Path]:
-    return sorted(PACKAGE_DIR.glob("*.py"))
+def _package_files(package_dir: Path) -> list[Path]:
+    return sorted(package_dir.glob("*.py"))
+
+
+def _package_of(path: Path) -> str | None:
+    for package, package_dir in PACKAGES.items():
+        if path.parent == package_dir:
+            return package
+    return None
 
 
 def _run_tests() -> int:
     import pytest
 
-    return pytest.main(["-q", "-x", str(REPO_ROOT / TEST_TARGET)])
+    return pytest.main(
+        ["-q", "-x", *(str(REPO_ROOT / target) for target in TEST_TARGETS)]
+    )
 
 
 def _executable_lines(path: Path) -> set[int]:
@@ -75,7 +101,7 @@ def _executable_lines(path: Path) -> set[int]:
     return lines
 
 
-def _measure_with_coverage_py() -> tuple[dict[str, tuple[int, int]], str]:
+def _measure_with_coverage_py() -> tuple[Rows, str]:
     """Branch-coverage measurement via coverage.py.
 
     Numbers come from the JSON report so branch arcs genuinely count:
@@ -88,7 +114,8 @@ def _measure_with_coverage_py() -> tuple[dict[str, tuple[int, int]], str]:
     import coverage
 
     cov = coverage.Coverage(
-        branch=True, include=[str(PACKAGE_DIR / "*")]
+        branch=True,
+        include=[str(package_dir / "*") for package_dir in PACKAGES.values()],
     )
     cov.start()
     try:
@@ -101,26 +128,32 @@ def _measure_with_coverage_py() -> tuple[dict[str, tuple[int, int]], str]:
         cov.json_report(outfile=report.name)
         payload = json.load(open(report.name))
     summaries = {
-        Path(file_path).name: entry["summary"]
+        Path(file_path).resolve(): entry["summary"]
         for file_path, entry in payload["files"].items()
     }
-    rows = {}
-    for path in _target_files():
-        summary = summaries.get(
-            path.name,
-            {"covered_lines": 0, "num_statements": 0,
-             "covered_branches": 0, "num_branches": 0},
-        )
-        rows[path.name] = (
-            summary["covered_lines"] + summary.get("covered_branches", 0),
-            summary["num_statements"] + summary.get("num_branches", 0),
-        )
+    rows: Rows = {}
+    for package, package_dir in PACKAGES.items():
+        rows[package] = {}
+        for path in _package_files(package_dir):
+            summary = summaries.get(
+                path.resolve(),
+                {"covered_lines": 0, "num_statements": 0,
+                 "covered_branches": 0, "num_branches": 0},
+            )
+            rows[package][path.name] = (
+                summary["covered_lines"] + summary.get("covered_branches", 0),
+                summary["num_statements"] + summary.get("num_branches", 0),
+            )
     return rows, "line+branch (coverage.py)"
 
 
-def _measure_with_tracer() -> tuple[dict[str, tuple[int, int]], str]:
+def _measure_with_tracer() -> tuple[Rows, str]:
     """Line-coverage measurement with a stdlib settrace tracer."""
-    targets = {str(path): path for path in _target_files()}
+    targets = {
+        str(path): path
+        for package_dir in PACKAGES.values()
+        for path in _package_files(package_dir)
+    }
     executed: dict[str, set[int]] = {name: set() for name in targets}
 
     def local_trace(frame, event, arg):
@@ -144,11 +177,38 @@ def _measure_with_tracer() -> tuple[dict[str, tuple[int, int]], str]:
         threading.settrace(None)  # type: ignore[arg-type]
     if status != 0:
         raise SystemExit(status)
-    rows = {}
-    for name, path in targets.items():
-        lines = _executable_lines(path)
-        rows[path.name] = (len(lines & executed[name]), len(lines))
+    rows: Rows = {}
+    for package, package_dir in PACKAGES.items():
+        rows[package] = {}
+        for path in _package_files(package_dir):
+            lines = _executable_lines(path)
+            rows[package][path.name] = (
+                len(lines & executed[str(path)]),
+                len(lines),
+            )
     return rows, "line (stdlib tracer; install coverage.py for branch)"
+
+
+def _report_package(
+    package: str, modules: dict[str, tuple[int, int]], mode: str
+) -> float:
+    covered_total = sum(covered for covered, _ in modules.values())
+    possible_total = sum(possible for _, possible in modules.values())
+    percent = 100.0 * covered_total / possible_total if possible_total else 0.0
+    print()
+    print(f"{package} coverage — {mode}")
+    print()
+    print("| module | covered | of | % |")
+    print("| --- | ---: | ---: | ---: |")
+    for name in sorted(modules):
+        covered, possible = modules[name]
+        share = 100.0 * covered / possible if possible else 100.0
+        print(f"| `{name}` | {covered} | {possible} | {share:.1f} |")
+    print(
+        f"| **total** | **{covered_total}** | **{possible_total}** "
+        f"| **{percent:.1f}** |"
+    )
+    return percent
 
 
 def main() -> int:
@@ -160,32 +220,24 @@ def main() -> int:
     except ImportError:
         rows, mode = _measure_with_tracer()
 
-    covered_total = sum(covered for covered, _ in rows.values())
-    possible_total = sum(possible for _, possible in rows.values())
-    percent = 100.0 * covered_total / possible_total if possible_total else 0.0
+    failures = []
+    for package in sorted(rows):
+        percent = _report_package(package, rows[package], mode)
+        if percent < FLOOR:
+            failures.append((package, percent))
 
     print()
-    print(f"repro.fuzzlab coverage — {mode}")
-    print()
-    print("| module | covered | of | % |")
-    print("| --- | ---: | ---: | ---: |")
-    for name in sorted(rows):
-        covered, possible = rows[name]
-        share = 100.0 * covered / possible if possible else 100.0
-        print(f"| `{name}` | {covered} | {possible} | {share:.1f} |")
-    print(
-        f"| **total** | **{covered_total}** | **{possible_total}** "
-        f"| **{percent:.1f}** |"
-    )
-    print()
-    if percent < FLOOR:
-        print(
-            f"coverage gate: {percent:.1f}% is below the "
-            f"{FLOOR:.0f}% floor on repro.fuzzlab",
-            file=sys.stderr,
-        )
+    if failures:
+        for package, percent in failures:
+            print(
+                f"coverage gate: {percent:.1f}% is below the "
+                f"{FLOOR:.0f}% floor on {package}",
+                file=sys.stderr,
+            )
         return 1
-    print(f"coverage gate: {percent:.1f}% >= {FLOOR:.0f}% floor — ok")
+    print(
+        f"coverage gate: every gated package >= {FLOOR:.0f}% floor — ok"
+    )
     return 0
 
 
