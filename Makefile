@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json docs-check cli-docs coverage fuzz-smoke
+.PHONY: test bench bench-json docs-check cli-docs coverage fuzz-smoke fabric-smoke
 
 # Run the docs gate AND the test suite even when the first fails, then
 # report both statuses — a docs slip must never mask a test failure
@@ -48,3 +48,10 @@ coverage:
 # worlds, every oracle, deterministic for the fixed seed.
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz run --budget 25 --seed 0 --quiet
+
+# The distributed kill drill: coordinator + workers as real OS
+# processes over localhost, one worker scripted to die mid-board, and
+# a byte-compare of the distributed report against the single-host
+# reference. See docs/distributed.md.
+fabric-smoke:
+	$(PYTHON) tools/fabric_smoke.py

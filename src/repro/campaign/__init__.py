@@ -20,7 +20,10 @@ at cloud scale.  This package provides that scale for the simulation:
   runtime: executors (threads or a ``multiprocessing`` pool), the
   content-addressed :class:`DumpSpool`, and
   :class:`CampaignRuntime` for journaled interrupt/resume runs
-  (``repro campaign run --run-dir/--resume``).
+  (``repro campaign run --run-dir/--resume``) — plus the distributed
+  fabric (:class:`FabricCoordinator` / :class:`FabricWorker`,
+  ``repro campaign serve`` / ``work``) leasing board shards to
+  remote hosts under the same byte-identical report contract.
 
 Quick use (also exposed as ``repro campaign run``):
 
@@ -50,10 +53,16 @@ from repro.campaign.report import (
     ModelBreakdown,
     OutcomeAccumulator,
 )
-from repro.campaign.engine import prepare_offline, run_campaign
+from repro.campaign.engine import (
+    prepare_offline,
+    prepare_offline_cached,
+    run_campaign,
+)
 from repro.campaign.runtime import (
     CampaignRuntime,
     DumpSpool,
+    FabricCoordinator,
+    FabricWorker,
     RunDirectory,
 )
 
@@ -74,8 +83,11 @@ __all__ = [
     "ModelBreakdown",
     "OutcomeAccumulator",
     "prepare_offline",
+    "prepare_offline_cached",
     "run_campaign",
     "CampaignRuntime",
     "DumpSpool",
+    "FabricCoordinator",
+    "FabricWorker",
     "RunDirectory",
 ]

@@ -63,6 +63,35 @@ def prepare_offline(spec: CampaignSpec) -> tuple[ProfileStore, SignatureDatabase
     return profiles, SignatureDatabase.from_profiles(profiles)
 
 
+_PREP_CACHE: dict[
+    tuple[tuple[str, ...], int], tuple[ProfileStore, SignatureDatabase]
+] = {}
+_PREP_CACHE_LOCK = threading.Lock()
+
+
+def prepare_offline_cached(
+    spec: CampaignSpec,
+) -> tuple[ProfileStore, SignatureDatabase]:
+    """:func:`prepare_offline`, memoized on what prep depends on.
+
+    Offline prep is a pure function of the (deduplicated, sorted)
+    model mix and the input resolution — nothing else in the spec
+    reaches the reference board.  Harnesses that run many campaigns
+    over overlapping mixes (the fuzz lab, the fabric's in-process
+    drills, parameter sweeps) share one profile notebook per distinct
+    key instead of re-profiling per campaign.  The cached objects are
+    read-only in every consumer, so sharing by reference is safe.
+    """
+    key = (tuple(sorted(set(spec.model_mix))), spec.input_hw)
+    with _PREP_CACHE_LOCK:
+        cached = _PREP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    prepped = prepare_offline(spec)
+    with _PREP_CACHE_LOCK:
+        return _PREP_CACHE.setdefault(key, prepped)
+
+
 def run_campaign(
     spec: CampaignSpec,
     profiles: ProfileStore | None = None,

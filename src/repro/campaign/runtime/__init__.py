@@ -23,14 +23,22 @@ service-grade runtime:
 - :mod:`~repro.campaign.runtime.runner` — :class:`CampaignRuntime`,
   which ties the three together so ``repro campaign run --resume``
   continues an interrupted campaign to a byte-identical report.
+- :mod:`~repro.campaign.runtime.fabric` — the distributed fabric:
+  :class:`FabricCoordinator` serves board shards as heartbeat-carrying
+  leases over a JSON/TCP protocol, :class:`FabricWorker` claims and
+  runs them remotely (``repro campaign serve`` / ``work``), and the
+  journaled run directory keeps the final report byte-identical to a
+  single-host run across crashes, reclaims, and replays.
 
-See ``docs/campaigns.md`` for the operator runbook.
+See ``docs/campaigns.md`` for the operator runbook and
+``docs/distributed.md`` for the fabric protocol and failure drills.
 """
 
 from repro.campaign.runtime.checkpoint import (
     JournalState,
     RunDirectory,
     canonical_outcome,
+    manifest_records,
 )
 from repro.campaign.runtime.executors import (
     MULTIPROCESS_AUTO_BOARDS,
@@ -41,18 +49,37 @@ from repro.campaign.runtime.executors import (
 )
 from repro.campaign.runtime.runner import CampaignRuntime
 from repro.campaign.runtime.spool import DumpSpool, MappedDump, SpoolEntry
+from repro.campaign.runtime.fabric import (
+    DEFAULT_LEASE_TTL,
+    FABRIC_FORMAT,
+    FabricClient,
+    FabricCoordinator,
+    FabricWorker,
+    Lease,
+    LeaseTable,
+    ManualClock,
+)
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
+    "FABRIC_FORMAT",
     "MULTIPROCESS_AUTO_BOARDS",
     "CampaignExecutionError",
     "CampaignRuntime",
     "DumpSpool",
+    "FabricClient",
+    "FabricCoordinator",
+    "FabricWorker",
     "InProcessExecutor",
     "JournalState",
+    "Lease",
+    "LeaseTable",
+    "ManualClock",
     "MappedDump",
     "MultiprocessExecutor",
     "RunDirectory",
     "SpoolEntry",
     "canonical_outcome",
+    "manifest_records",
     "resolve_executor",
 ]

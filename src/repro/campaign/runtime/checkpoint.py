@@ -60,6 +60,29 @@ def canonical_outcome(outcome: VictimOutcome) -> VictimOutcome:
     return replace(outcome, wall_seconds=0.0, teardown_seconds=0.0)
 
 
+def manifest_records(outcomes: list[VictimOutcome]) -> list[dict]:
+    """The spool-manifest records for a final outcome list.
+
+    One record per outcome that produced a dump, mapping the job back
+    to its content digest.  Shared by every completion path — the
+    local :class:`~repro.campaign.runtime.runner.CampaignRuntime` and
+    the distributed fabric coordinator — so a run directory's
+    ``spool/manifest.json`` looks the same however the campaign ran.
+    """
+    return [
+        {
+            "job_id": outcome.job_id,
+            "board": outcome.board_index,
+            "wave": outcome.launch_wave,
+            "model": outcome.model_name,
+            "sha256": outcome.dump_sha256,
+            "nbytes": outcome.nbytes,
+        }
+        for outcome in outcomes
+        if outcome.dump_sha256 is not None
+    ]
+
+
 @dataclass
 class JournalState:
     """What a journal says happened so far."""

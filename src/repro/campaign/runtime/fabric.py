@@ -1,0 +1,1127 @@
+"""The distributed campaign fabric — one campaign, many hosts.
+
+:class:`CampaignRuntime` shards boards across local threads or
+processes; the fabric shards them across *hosts*.  A
+:class:`FabricCoordinator` owns the run directory (spec, journal,
+spool, report) and exposes the campaign's boards as **leases** over a
+line-delimited JSON/TCP protocol; any number of
+:class:`FabricWorker` processes connect, claim leases, run their
+boards through the ordinary :class:`~repro.campaign.worker.BoardWorker`
+stack, and stream canonicalized
+:class:`~repro.campaign.worker.VictimOutcome` waves back.  Dumps never
+ride inside outcome messages: they travel by content digest
+(``dump_sha256``) with explicit upload/fetch ops against the
+coordinator's content-addressed :class:`~repro.campaign.runtime.spool.
+DumpSpool`, which becomes the campaign's shared artifact store.
+
+**Wire protocol.**  One JSON object per line, UTF-8, over a plain TCP
+socket.  Requests carry ``{"op": ...}``; responses carry
+``{"ok": true, ...}`` or ``{"ok": false, "code": ..., "error": ...}``.
+Ops::
+
+    hello           -> spec + offline prep + defense profile + lease TTL
+    claim           -> a board lease (or "nothing pending" / "done")
+    heartbeat       -> extend a lease's deadline
+    wave            -> journal one wave of outcomes under a lease
+    board_complete  -> mark a leased board finished
+    put_dump        -> upload dump bytes (verified against their digest)
+    has_dump        -> digest presence probe (skip redundant uploads)
+    fetch_dump      -> download dump bytes by digest (verified client-side)
+    status          -> observability snapshot (never mutates state)
+
+**Lease state machine.**  Every populated, incomplete board is either
+*pending*, *leased*, or *complete*.  ``claim`` moves the lowest
+pending board to leased and returns a fencing token ``b<board>e<epoch>``
+(the epoch increments on every re-issue).  Any authenticated op —
+heartbeat, wave, board_complete — extends the lease's deadline; a
+lease whose deadline passes is lazily reclaimed (board returns to
+pending, epoch retired) the next time any claim or token resolution
+runs, so a dead or partitioned worker's shard is simply re-issued.
+Ops arriving under a retired token raise
+:class:`~repro.errors.StaleLeaseError` — the fenced-off worker can
+never corrupt the journal, no matter how late its messages arrive.
+
+**Why the report is byte-identical to a single-host run.**  The
+coordinator journals exactly what :class:`CampaignRuntime` journals:
+canonicalized outcomes (wall-clock fields zeroed), deduplicated by
+``job_id`` against everything already seen, plus ``board_complete``
+markers.  Each board's simulation is a pure function of ``(spec,
+board_index, kernel_config)``, so re-running a reclaimed board on a
+different worker reproduces the identical outcomes, and replayed or
+duplicate messages are no-ops.  The final report is rebuilt from the
+journal — completed boards' outcomes sorted by ``job_id``,
+``wall_seconds=0.0`` — which is the same construction the single-host
+resume path uses.  Worker count, claim order, crashes, re-claims, and
+duplicate deliveries therefore cannot perturb a single byte of
+``report.json``; the chaos suite (``tests/fabric_chaos.py``) pins
+this under scripted kills, heartbeat loss, duplicate claims, and torn
+streams.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import socket
+import socketserver
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.attack.config import AttackConfig
+from repro.attack.identify import SignatureDatabase
+from repro.attack.profiling import ProfileStore
+from repro.campaign.fleet import provision_board
+from repro.campaign.report import CampaignReport, OutcomeAccumulator
+from repro.campaign.runtime.checkpoint import (
+    RunDirectory,
+    canonical_outcome,
+    manifest_records,
+)
+from repro.campaign.runtime.spool import DumpSpool
+from repro.campaign.schedule import (
+    CampaignSpec,
+    build_schedule,
+    jobs_by_board,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.campaign.worker import BoardWorker, VictimOutcome
+from repro.errors import (
+    DumpTransferError,
+    FabricError,
+    FabricProtocolError,
+    StaleLeaseError,
+)
+
+if TYPE_CHECKING:
+    from repro.campaign.schedule import VictimJob
+
+FABRIC_FORMAT = 1
+"""Wire-protocol version; ``hello`` refuses mismatched peers."""
+
+DEFAULT_LEASE_TTL = 30.0
+"""Seconds a lease survives without any authenticated op."""
+
+
+class ManualClock:
+    """A hand-advanced monotonic clock for deterministic lease drills.
+
+    The coordinator takes any ``() -> float`` as its clock; tests
+    inject one of these and *advance* it past a lease deadline instead
+    of sleeping, so expiry/reclaim behaviour is exact and instant.
+
+    >>> clock = ManualClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(31.0)
+    >>> clock()
+    31.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward (never backward — the clock is monotonic)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot run backwards")
+        with self._lock:
+            self._now += seconds
+
+
+@dataclass
+class Lease:
+    """One issued board lease — a fencing token with a deadline."""
+
+    board: int
+    epoch: int
+    worker: str
+    token: str
+    deadline: float
+
+
+class LeaseTable:
+    """Board leases with fencing epochs and lazy deadline expiry.
+
+    Not thread-safe on its own; the coordinator serializes access
+    under its dispatch lock.  Expiry is *lazy*: there is no reaper
+    thread — every claim or token resolution first sweeps expired
+    leases back to pending, which keeps the table's behaviour a pure
+    function of the injected clock (what the chaos drills rely on).
+    """
+
+    def __init__(
+        self,
+        boards: Iterable[int],
+        ttl: float,
+        clock: Callable[[], float],
+    ) -> None:
+        self._pending: set[int] = set(boards)
+        self._active: dict[int, Lease] = {}
+        self._complete: set[int] = set()
+        self._epochs: dict[int, int] = {}
+        self._ttl = ttl
+        self._clock = clock
+        self.leases_issued = 0
+        self.reclaims = 0
+        self.stale_rejections = 0
+
+    def expire(self) -> list[int]:
+        """Reclaim every lease whose deadline has passed."""
+        now = self._clock()
+        reclaimed = [
+            board
+            for board, lease in self._active.items()
+            if now >= lease.deadline
+        ]
+        for board in reclaimed:
+            del self._active[board]
+            self._pending.add(board)
+            self.reclaims += 1
+        return sorted(reclaimed)
+
+    def claim(self, worker: str) -> Lease | None:
+        """Issue the lowest pending board to *worker* (None if none).
+
+        Each issue bumps the board's epoch, so a lease token is never
+        reused: a board reclaimed from a dead worker goes back out
+        under a token its previous holder does not have.
+        """
+        self.expire()
+        if not self._pending:
+            return None
+        board = min(self._pending)
+        self._pending.remove(board)
+        epoch = self._epochs.get(board, 0) + 1
+        self._epochs[board] = epoch
+        lease = Lease(
+            board=board,
+            epoch=epoch,
+            worker=worker,
+            token=f"b{board}e{epoch}",
+            deadline=self._clock() + self._ttl,
+        )
+        self._active[board] = lease
+        self.leases_issued += 1
+        return lease
+
+    def resolve(self, token: str) -> Lease:
+        """The live lease behind *token*; raises when fenced off."""
+        self.expire()
+        for lease in self._active.values():
+            if lease.token == token:
+                return lease
+        self.stale_rejections += 1
+        raise StaleLeaseError(
+            token, "expired, completed, or re-issued to another worker"
+        )
+
+    def touch(self, token: str) -> Lease:
+        """Resolve *token* and push its deadline out by one TTL."""
+        lease = self.resolve(token)
+        lease.deadline = self._clock() + self._ttl
+        return lease
+
+    def complete(self, token: str) -> int:
+        """Retire *token*'s board as finished; returns the board."""
+        lease = self.resolve(token)
+        del self._active[lease.board]
+        self._complete.add(lease.board)
+        return lease.board
+
+    @property
+    def done(self) -> bool:
+        """Every tracked board has completed."""
+        return not self._pending and not self._active
+
+    def snapshot(self) -> dict:
+        """Counts for the ``status`` op and telemetry."""
+        return {
+            "pending": sorted(self._pending),
+            "leased": {
+                lease.token: lease.board for lease in self._active.values()
+            },
+            "complete": sorted(self._complete),
+            "leases_issued": self.leases_issued,
+            "reclaims": self.reclaims,
+            "stale_rejections": self.stale_rejections,
+        }
+
+
+class _FabricServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    coordinator: "FabricCoordinator"
+
+
+class _FabricHandler(socketserver.StreamRequestHandler):
+    """One connected peer: read a request line, write a response line.
+
+    An unparseable line (a torn stream, a peer speaking some other
+    protocol) gets one ``bad-request`` response and the connection is
+    dropped — resynchronizing inside a corrupt byte stream is not
+    worth guessing at.  Coordinator state is untouched either way.
+    """
+
+    def handle(self) -> None:
+        while True:
+            try:
+                line = self.rfile.readline()
+            except OSError:
+                return
+            if not line:
+                return  # peer closed the stream
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except (ValueError, UnicodeDecodeError):
+                self._reply(
+                    {
+                        "ok": False,
+                        "code": "bad-request",
+                        "error": "unparseable request line",
+                    }
+                )
+                return
+            response = self.server.coordinator.handle_request(request)
+            try:
+                self._reply(response)
+            except OSError:
+                return  # peer died mid-reply; its lease will expire
+
+    def _reply(self, payload: dict) -> None:
+        self.wfile.write(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self.wfile.flush()
+
+
+class FabricCoordinator:
+    """One campaign's lease server, journal keeper, and artifact store.
+
+    Owns a :class:`RunDirectory` exactly like
+    :class:`~repro.campaign.runtime.runner.CampaignRuntime` does — the
+    same journal, the same spool, the same canonical report — but
+    instead of driving executors it serves the board set to remote
+    claimants.  Start it with :meth:`serve` (or the context manager),
+    point workers at :attr:`address`, and :meth:`run_until_complete`
+    returns the final report once every board's completion marker has
+    landed.
+
+    *clock* is injectable (see :class:`ManualClock`) so lease expiry
+    is testable without real time; *defense_profile* is a profile
+    *name* (kernel configs are not wire-safe — workers rebuild the
+    config from the name, a pure function of name and spec);
+    *prep* short-circuits offline profiling when the caller already
+    has it.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        run_dir: "RunDirectory | str | os.PathLike[str]",
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.monotonic,
+        prep: "tuple[ProfileStore, SignatureDatabase] | None" = None,
+        defense_profile: str | None = None,
+    ) -> None:
+        if not isinstance(run_dir, RunDirectory):
+            run_dir = RunDirectory.create(run_dir, spec)
+        self._run_dir = run_dir
+        self._spec = spec
+        self._spool = run_dir.spool
+        self._lease_ttl = lease_ttl
+        self._prep = prep
+        self._defense_profile = defense_profile
+        self._started = time.perf_counter()
+
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._report: CampaignReport | None = None
+        self._server: _FabricServer | None = None
+        self._server_thread: threading.Thread | None = None
+
+        journal = run_dir.load_journal()
+        journaled = [
+            outcome
+            for outcomes in journal.outcomes_by_board.values()
+            for outcome in outcomes
+        ]
+        self._seen_jobs = {outcome.job_id for outcome in journaled}
+        self._accumulator = OutcomeAccumulator.of(journaled)
+        self._journaled_this_run = 0
+        self._duplicates_rejected = 0
+        self._dumps_received = 0
+        self._dumps_deduplicated = 0
+        self._workers: set[str] = set()
+
+        # Boards the schedule assigned nothing to complete immediately,
+        # exactly as the local executors report them — the lease table
+        # only ever covers populated, incomplete boards.
+        grouped = jobs_by_board(build_schedule(spec))
+        complete = set(journal.complete_boards)
+        for board in range(spec.boards):
+            if board not in complete and not grouped.get(board):
+                run_dir.mark_board_complete(board)
+                complete.add(board)
+        self._boards_done = complete
+        self._table = LeaseTable(
+            (
+                board
+                for board in range(spec.boards)
+                if board not in complete
+            ),
+            lease_ttl,
+            clock,
+        )
+        if self._table.done:
+            self._finalize()
+
+    @classmethod
+    def resume(
+        cls,
+        run_dir: "str | os.PathLike[str]",
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.monotonic,
+        prep: "tuple[ProfileStore, SignatureDatabase] | None" = None,
+        defense_profile: str | None = None,
+    ) -> "FabricCoordinator":
+        """Reopen an interrupted run's directory and serve the rest.
+
+        Identical to :meth:`CampaignRuntime.resume
+        <repro.campaign.runtime.runner.CampaignRuntime.resume>`:
+        completed boards are reused from the journal, the rest are
+        leased out again, and the final report is byte-identical to
+        what the uninterrupted run would have written.
+        """
+        directory = RunDirectory.open(run_dir)
+        return cls(
+            directory.load_spec(),
+            directory,
+            lease_ttl=lease_ttl,
+            clock=clock,
+            prep=prep,
+            defense_profile=defense_profile,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def run_dir(self) -> RunDirectory:
+        """The run's on-disk home (journal, spool, report)."""
+        return self._run_dir
+
+    @property
+    def spec(self) -> CampaignSpec:
+        """The campaign being served."""
+        return self._spec
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the coordinator is listening on."""
+        if self._server is None:
+            raise FabricError("coordinator is not serving")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def done(self) -> bool:
+        """Whether every board has completed and the report is written."""
+        return self._finished.is_set()
+
+    def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Start listening (``port=0`` binds an ephemeral port).
+
+        Returns the bound address.  The accept loop runs on a daemon
+        thread; call :meth:`close` (or leave the ``with`` block) to
+        stop it.
+        """
+        if self._server is not None:
+            raise FabricError("coordinator is already serving")
+        server = _FabricServer((host, port), _FabricHandler)
+        server.coordinator = self
+        self._server = server
+        self._server_thread = threading.Thread(
+            target=server.serve_forever,
+            name="fabric-coordinator",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop accepting connections.  Idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10)
+            self._server_thread = None
+
+    def __enter__(self) -> "FabricCoordinator":
+        if self._server is None:
+            self.serve()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run_until_complete(
+        self, timeout: float | None = None
+    ) -> CampaignReport:
+        """Block until every board completes; returns the final report."""
+        if not self._finished.wait(timeout):
+            raise FabricError(
+                f"campaign did not complete within {timeout} seconds "
+                f"({self.status()['boards_pending']} board(s) pending)"
+            )
+        assert self._report is not None
+        return self._report
+
+    def status(self) -> dict:
+        """A point-in-time observability snapshot (also the wire op)."""
+        with self._lock:
+            leases = self._table.snapshot()
+            return {
+                "boards": self._spec.boards,
+                "boards_complete": len(self._boards_done),
+                "boards_pending": len(leases["pending"]),
+                "boards_leased": len(leases["leased"]),
+                "leases_issued": leases["leases_issued"],
+                "reclaims": leases["reclaims"],
+                "stale_rejections": leases["stale_rejections"],
+                "outcomes_journaled": self._journaled_this_run,
+                "duplicates_rejected": self._duplicates_rejected,
+                "dumps_received": self._dumps_received,
+                "dumps_deduplicated": self._dumps_deduplicated,
+                "workers": sorted(self._workers),
+                "done": self._finished.is_set(),
+            }
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle_request(self, request: dict) -> dict:
+        """Serve one protocol request; never raises to the transport."""
+        op = str(request.get("op", ""))
+        handler = self._OPS.get(op)
+        if handler is None:
+            return {
+                "ok": False,
+                "code": "unknown-op",
+                "error": f"unknown op {op!r}",
+            }
+        try:
+            response = handler(self, request)
+        except StaleLeaseError as exc:
+            return {"ok": False, "code": "stale-lease", "error": str(exc)}
+        except DumpTransferError as exc:
+            return {
+                "ok": False,
+                "code": "digest-mismatch",
+                "error": str(exc),
+            }
+        except FileNotFoundError as exc:
+            return {"ok": False, "code": "unknown-digest", "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {
+                "ok": False,
+                "code": "bad-request",
+                "error": f"malformed {op!r} request: {exc!r}",
+            }
+        response["ok"] = True
+        return response
+
+    def _op_hello(self, request: dict) -> dict:
+        worker = str(request.get("worker", ""))
+        profiles, database = self._offline_prep()
+        with self._lock:
+            if worker:
+                self._workers.add(worker)
+        return {
+            "format": FABRIC_FORMAT,
+            "spec": spec_to_dict(self._spec),
+            "profiles": profiles.to_json(),
+            "database": database.to_payload(),
+            "defense_profile": self._defense_profile,
+            "lease_ttl": self._lease_ttl,
+            "run_dir": str(self._run_dir.root),
+        }
+
+    def _op_claim(self, request: dict) -> dict:
+        worker = str(request["worker"])
+        with self._lock:
+            self._workers.add(worker)
+            if self._table.done:
+                return {"board": None, "lease": None, "done": True}
+            lease = self._table.claim(worker)
+            if lease is None:
+                # Everything is leased out; the claimant may poll again
+                # (a lease may yet expire) or exit if it won't wait.
+                return {"board": None, "lease": None, "done": False}
+            return {
+                "board": lease.board,
+                "lease": lease.token,
+                "done": False,
+            }
+
+    def _op_heartbeat(self, request: dict) -> dict:
+        with self._lock:
+            lease = self._table.touch(str(request["lease"]))
+            return {"board": lease.board}
+
+    def _op_wave(self, request: dict) -> dict:
+        records = request["outcomes"]
+        wave = int(request["wave"])
+        outcomes = [
+            canonical_outcome(VictimOutcome(**record)) for record in records
+        ]
+        with self._lock:
+            lease = self._table.touch(str(request["lease"]))
+            for outcome in outcomes:
+                if outcome.board_index != lease.board:
+                    raise ValueError(
+                        f"outcome for board {outcome.board_index} sent "
+                        f"under a lease for board {lease.board}"
+                    )
+                if (
+                    outcome.dump_sha256 is not None
+                    and outcome.dump_sha256 not in self._spool
+                ):
+                    # Dumps must land before the outcomes that cite
+                    # them, so the journal never names an object the
+                    # artifact store cannot serve.
+                    raise DumpTransferError(
+                        f"wave cites dump {outcome.dump_sha256[:12]}… "
+                        f"but it was never uploaded"
+                    )
+            fresh = [
+                outcome
+                for outcome in outcomes
+                if outcome.job_id not in self._seen_jobs
+            ]
+            if fresh:
+                self._run_dir.append_wave(lease.board, wave, fresh)
+                self._seen_jobs.update(
+                    outcome.job_id for outcome in fresh
+                )
+                self._accumulator.extend(fresh)
+                self._journaled_this_run += len(fresh)
+            duplicates = len(outcomes) - len(fresh)
+            self._duplicates_rejected += duplicates
+            return {"accepted": len(fresh), "duplicates": duplicates}
+
+    def _op_board_complete(self, request: dict) -> dict:
+        with self._lock:
+            board = self._table.complete(str(request["lease"]))
+            if board not in self._boards_done:
+                self._run_dir.mark_board_complete(board)
+                self._boards_done.add(board)
+            done = self._table.done
+            if done and not self._finished.is_set():
+                self._finalize()
+            return {"board": board, "done": done}
+
+    def _op_put_dump(self, request: dict) -> dict:
+        claimed = str(request["sha256"])
+        data = base64.b64decode(request["data"])
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != claimed:
+            raise DumpTransferError(
+                f"uploaded payload hashes to {digest[:12]}… but claims "
+                f"to be {claimed[:12]}…"
+            )
+        entry = self._spool.put_bytes(data)
+        with self._lock:
+            self._dumps_received += 1
+            if entry.deduplicated:
+                self._dumps_deduplicated += 1
+        return {"deduplicated": entry.deduplicated, "nbytes": entry.nbytes}
+
+    def _op_has_dump(self, request: dict) -> dict:
+        return {"present": str(request["sha256"]) in self._spool}
+
+    def _op_fetch_dump(self, request: dict) -> dict:
+        digest = str(request["sha256"])
+        # Zero-copy on the read side: the object is mapped, encoded,
+        # and unmapped — the explicit close keeps the coordinator's fd
+        # table flat no matter how many fetches a campaign serves.
+        with self._spool.open(digest) as mapped:
+            payload = base64.b64encode(bytes(mapped.data)).decode("ascii")
+            nbytes = mapped.nbytes
+        return {"data": payload, "nbytes": nbytes}
+
+    def _op_status(self, request: dict) -> dict:
+        del request
+        return self.status()
+
+    _OPS: dict[str, Callable[["FabricCoordinator", dict], dict]] = {
+        "hello": _op_hello,
+        "claim": _op_claim,
+        "heartbeat": _op_heartbeat,
+        "wave": _op_wave,
+        "board_complete": _op_board_complete,
+        "put_dump": _op_put_dump,
+        "has_dump": _op_has_dump,
+        "fetch_dump": _op_fetch_dump,
+        "status": _op_status,
+    }
+
+    # -- internals -----------------------------------------------------------
+
+    def _offline_prep(self) -> tuple[ProfileStore, SignatureDatabase]:
+        if self._prep is None:
+            # Imported here: the engine imports this package for its
+            # executor plumbing, so a module-level import would be
+            # cyclic (same shape as the runtime's runner).
+            from repro.campaign.engine import prepare_offline_cached
+
+            self._prep = prepare_offline_cached(self._spec)
+        return self._prep
+
+    def _finalize(self) -> None:
+        """Rebuild the canonical report from the journal and persist it.
+
+        The journal is the single source of truth: completed boards'
+        outcomes, deduplicated by ``job_id``, sorted, wall clock
+        zeroed — the identical construction the single-host resume
+        path uses, which is what makes the fabric's report
+        byte-identical to :class:`CampaignRuntime`'s.
+        """
+        journal = self._run_dir.load_journal()
+        outcomes = sorted(
+            journal.reusable_outcomes(), key=lambda o: o.job_id
+        )
+        report = CampaignReport(
+            spec=self._spec, outcomes=outcomes, wall_seconds=0.0
+        )
+        self._run_dir.write_report(report)
+        self._spool.write_manifest(manifest_records(outcomes))
+        leases = self._table.snapshot()
+        self._run_dir.write_telemetry(
+            {
+                "complete": True,
+                "executor": "fabric",
+                "workers": sorted(self._workers),
+                "lease_ttl": self._lease_ttl,
+                "leases_issued": leases["leases_issued"],
+                "lease_reclaims": leases["reclaims"],
+                "stale_rejections": leases["stale_rejections"],
+                "duplicates_rejected": self._duplicates_rejected,
+                "outcomes_journaled_this_run": self._journaled_this_run,
+                "dumps_received": self._dumps_received,
+                "dumps_deduplicated": self._dumps_deduplicated,
+                "victims_attacked": self._accumulator.victims,
+                "victims_leaked": self._accumulator.succeeded,
+                "wall_seconds": round(
+                    time.perf_counter() - self._started, 6
+                ),
+                "spool_bytes": self._spool.total_bytes(),
+                "spool_objects": len(self._spool.digests()),
+            }
+        )
+        self._report = report
+        self._finished.set()
+
+
+class FabricClient:
+    """One line-oriented JSON connection to a coordinator.
+
+    Thread-safe: a lock serializes request/response pairs, so a
+    worker's heartbeat thread can share its main loop's connection.
+    Error responses map back onto the fabric exception hierarchy
+    (``stale-lease`` → :class:`StaleLeaseError`, digest trouble →
+    :class:`DumpTransferError`, everything else →
+    :class:`FabricProtocolError`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and return its decoded ``ok`` response."""
+        payload = {"op": op, **fields}
+        line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        with self._lock:
+            if self._closed:
+                raise FabricProtocolError(
+                    f"client already closed (sending {op!r})"
+                )
+            try:
+                self._file.write(line)
+                self._file.flush()
+                answer = self._file.readline()
+            except OSError as exc:
+                raise FabricProtocolError(
+                    f"connection lost during {op!r}: {exc}"
+                ) from exc
+        if not answer:
+            raise FabricProtocolError(
+                f"coordinator closed the stream during {op!r}"
+            )
+        try:
+            response = json.loads(answer)
+        except ValueError as exc:
+            raise FabricProtocolError(
+                f"unparseable response to {op!r}"
+            ) from exc
+        if not response.get("ok"):
+            code = response.get("code")
+            error = str(response.get("error", "unspecified fabric error"))
+            if code == "stale-lease":
+                raise StaleLeaseError(
+                    str(fields.get("lease", "?")), error
+                )
+            if code in ("digest-mismatch", "unknown-digest"):
+                raise DumpTransferError(error)
+            raise FabricProtocolError(f"{code}: {error}")
+        return response
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the stream — the chaos harness's torn-
+        stream injection point.  No response is read."""
+        with self._lock:
+            self._file.write(data)
+            self._file.flush()
+
+    # -- spool-over-the-wire helpers -----------------------------------------
+
+    def put_dump(self, data: bytes) -> dict:
+        """Upload raw dump bytes under their own digest."""
+        digest = hashlib.sha256(data).hexdigest()
+        return self.request(
+            "put_dump",
+            sha256=digest,
+            data=base64.b64encode(data).decode("ascii"),
+        )
+
+    def fetch_dump(self, sha256: str) -> bytes:
+        """Download an object by digest, verifying it client-side.
+
+        The coordinator's store is trusted but the transport is not:
+        the payload is re-hashed on arrival and a mismatch raises
+        :class:`DumpTransferError` instead of returning corrupt bytes.
+        """
+        response = self.request("fetch_dump", sha256=sha256)
+        data = base64.b64decode(response["data"])
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != sha256:
+            raise DumpTransferError(
+                f"fetched payload hashes to {digest[:12]}… but "
+                f"{sha256[:12]}… was requested"
+            )
+        return data
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "FabricClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _SimulatedWorkerDeath(Exception):
+    """Internal: the worker's scripted death point fired."""
+
+
+class FabricWorker:
+    """A remote board runner: claim leases, run boards, stream waves.
+
+    ``run()`` connects, learns the campaign from ``hello`` (spec,
+    offline prep, defense profile name — everything a board simulation
+    needs travels by value, the same contract the multiprocess
+    executor uses), then loops: claim a board, play its waves through
+    a local :class:`BoardWorker`, upload each wave's dumps *before*
+    the wave itself, and mark the board complete.  Outcomes are
+    canonicalized before they leave the worker.
+
+    Fault-injection knobs, mirroring ``interrupt_after`` on the local
+    runtime: *die_after_waves* kills the worker (stops everything,
+    completes nothing further) once it has shipped that many waves of
+    its current board — ``0`` dies mid-wave, after the wave's dumps
+    uploaded but before the outcomes ship.  The chaos harness
+    subclasses this class and overrides the ``_before_*`` hooks for
+    sharper faults (torn streams, duplicate sends, heartbeat loss).
+
+    *poll_interval=None* makes ``run()`` return as soon as no lease is
+    claimable (drain-and-exit — what in-process drills want);
+    otherwise the worker polls until the campaign is done.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        worker_id: str | None = None,
+        spool_dir: str | os.PathLike[str] | None = None,
+        poll_interval: float | None = 0.2,
+        heartbeat: bool = True,
+        die_after_waves: int | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}"
+        )
+        self._spool_dir = spool_dir
+        self._poll_interval = poll_interval
+        self._heartbeat = heartbeat
+        self._die_after_waves = die_after_waves
+        self._timeout = timeout
+        self._uploaded: set[str] = set()
+        self._lease_lock = threading.Lock()
+        self._current_lease: str | None = None
+        self._stop_heartbeat = threading.Event()
+
+    def run(self) -> dict:
+        """Work the campaign until drained, done, or scripted death.
+
+        Returns a stats dict (boards completed/abandoned, waves and
+        dumps shipped, whether the scripted death fired) — the chaos
+        tests and the CLI both read it.
+        """
+        stats = {
+            "worker": self.worker_id,
+            "boards_completed": [],
+            "boards_abandoned": [],
+            "waves_sent": 0,
+            "outcomes_sent": 0,
+            "dumps_uploaded": 0,
+            "dumps_deduplicated": 0,
+            "stale_leases": 0,
+            "died": False,
+        }
+        scratch: tempfile.TemporaryDirectory | None = None
+        if self._spool_dir is None:
+            scratch = tempfile.TemporaryDirectory(prefix="fabric-worker-")
+            spool_root = scratch.name
+        else:
+            spool_root = os.fspath(self._spool_dir)
+        heartbeat_thread: threading.Thread | None = None
+        try:
+            with FabricClient(
+                self._host, self._port, timeout=self._timeout
+            ) as client:
+                world = self._handshake(client)
+                if self._heartbeat:
+                    heartbeat_thread = threading.Thread(
+                        target=self._heartbeat_loop,
+                        args=(client, world["lease_ttl"] / 3.0),
+                        name=f"fabric-heartbeat-{self.worker_id}",
+                        daemon=True,
+                    )
+                    heartbeat_thread.start()
+                self._claim_loop(
+                    client, world, DumpSpool(spool_root), stats
+                )
+        except _SimulatedWorkerDeath:
+            stats["died"] = True
+        finally:
+            self._stop_heartbeat.set()
+            if heartbeat_thread is not None:
+                heartbeat_thread.join(timeout=5)
+            if scratch is not None:
+                scratch.cleanup()
+        return stats
+
+    # -- the work loop -------------------------------------------------------
+
+    def _handshake(self, client: FabricClient) -> dict:
+        hello = client.request("hello", worker=self.worker_id)
+        if hello["format"] != FABRIC_FORMAT:
+            raise FabricProtocolError(
+                f"coordinator speaks fabric format {hello['format']}, "
+                f"this worker speaks {FABRIC_FORMAT}"
+            )
+        spec = spec_from_dict(hello["spec"])
+        kernel_config = None
+        if hello.get("defense_profile"):
+            # Imported here to keep the defense arena optional for
+            # undefended fleets (and the import graph acyclic).
+            from repro.defense.profiles import defense_profile
+
+            kernel_config = defense_profile(
+                hello["defense_profile"]
+            ).kernel_config(spec)
+        return {
+            "spec": spec,
+            "profiles": ProfileStore.from_json(hello["profiles"]),
+            "database": SignatureDatabase.from_payload(hello["database"]),
+            "kernel_config": kernel_config,
+            "config": AttackConfig(coalesce_reads=spec.coalesce_reads),
+            "grouped": jobs_by_board(build_schedule(spec)),
+            "lease_ttl": float(hello["lease_ttl"]),
+        }
+
+    def _claim_loop(
+        self,
+        client: FabricClient,
+        world: dict,
+        spool: DumpSpool,
+        stats: dict,
+    ) -> None:
+        while True:
+            claim = client.request("claim", worker=self.worker_id)
+            if claim["board"] is None:
+                if claim["done"] or self._poll_interval is None:
+                    return
+                time.sleep(self._poll_interval)
+                continue
+            board, token = int(claim["board"]), str(claim["lease"])
+            with self._lease_lock:
+                self._current_lease = token
+            try:
+                self._run_board(
+                    client, world, spool, board, token, stats
+                )
+                stats["boards_completed"].append(board)
+            except StaleLeaseError:
+                # Fenced off: the lease expired (or the harness raced
+                # us) and the board belongs to someone else now.  Drop
+                # it and claim fresh work; the journal never saw our
+                # late messages.
+                stats["stale_leases"] += 1
+                stats["boards_abandoned"].append(board)
+            finally:
+                with self._lease_lock:
+                    self._current_lease = None
+
+    def _run_board(
+        self,
+        client: FabricClient,
+        world: dict,
+        spool: DumpSpool,
+        board: int,
+        token: str,
+        stats: dict,
+    ) -> None:
+        jobs: "list[VictimJob]" = world["grouped"].get(board, [])
+        provisioned = provision_board(
+            world["spec"], board, world["kernel_config"]
+        )
+        worker = BoardWorker(
+            provisioned,
+            world["profiles"],
+            world["database"],
+            world["config"],
+            spool=spool,
+        )
+        waves_sent = 0
+        for wave, outcomes in worker.iter_waves(jobs):
+            canonical = [
+                canonical_outcome(outcome) for outcome in outcomes
+            ]
+            self._ship_dumps(client, spool, canonical, stats)
+            if (
+                self._die_after_waves is not None
+                and waves_sent >= self._die_after_waves
+            ):
+                # Mid-wave death: this wave's dumps are uploaded but
+                # its outcomes never ship — the orphaned objects are
+                # harmless (content-addressed, reclaimed on re-run).
+                raise _SimulatedWorkerDeath()
+            self._before_wave_send(client, token, board, wave, canonical)
+            client.request(
+                "wave",
+                lease=token,
+                wave=wave,
+                outcomes=[asdict(outcome) for outcome in canonical],
+            )
+            waves_sent += 1
+            stats["waves_sent"] += 1
+            stats["outcomes_sent"] += len(canonical)
+        self._before_board_complete(client, token, board)
+        client.request("board_complete", lease=token)
+
+    def _ship_dumps(
+        self,
+        client: FabricClient,
+        spool: DumpSpool,
+        outcomes: "list[VictimOutcome]",
+        stats: dict,
+    ) -> None:
+        for outcome in outcomes:
+            digest = outcome.dump_sha256
+            if digest is None or digest in self._uploaded:
+                continue
+            if client.request("has_dump", sha256=digest)["present"]:
+                self._uploaded.add(digest)
+                stats["dumps_deduplicated"] += 1
+                continue
+            response = client.put_dump(spool.read(digest))
+            self._uploaded.add(digest)
+            stats["dumps_uploaded"] += 1
+            if response["deduplicated"]:
+                stats["dumps_deduplicated"] += 1
+
+    def _heartbeat_loop(
+        self, client: FabricClient, interval: float
+    ) -> None:
+        while not self._stop_heartbeat.wait(max(interval, 0.05)):
+            with self._lease_lock:
+                token = self._current_lease
+            if token is None:
+                continue
+            try:
+                client.request("heartbeat", lease=token)
+            except FabricError:
+                # Stale or racing — the main loop discovers this on
+                # its next authenticated op; nothing to do here.
+                continue
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def _before_wave_send(
+        self,
+        client: FabricClient,
+        token: str,
+        board: int,
+        wave: int,
+        outcomes: "list[VictimOutcome]",
+    ) -> None:
+        """Called after a wave's dumps are uploaded, before its
+        outcomes ship.  The chaos harness overrides this to tear
+        streams, duplicate sends, or die at exact points."""
+
+    def _before_board_complete(
+        self, client: FabricClient, token: str, board: int
+    ) -> None:
+        """Called after a board's last wave shipped, before its
+        completion marker.  Chaos override point."""

@@ -49,6 +49,7 @@ from repro.campaign.runtime.checkpoint import (
     JournalState,
     RunDirectory,
     canonical_outcome,
+    manifest_records,
 )
 from repro.campaign.runtime.executors import resolve_executor
 from repro.campaign.schedule import CampaignSpec
@@ -233,20 +234,7 @@ class CampaignRuntime:
     # -- internals -----------------------------------------------------------
 
     def _write_manifest(self, outcomes: list[VictimOutcome]) -> None:
-        self._run_dir.spool.write_manifest(
-            [
-                {
-                    "job_id": outcome.job_id,
-                    "board": outcome.board_index,
-                    "wave": outcome.launch_wave,
-                    "model": outcome.model_name,
-                    "sha256": outcome.dump_sha256,
-                    "nbytes": outcome.nbytes,
-                }
-                for outcome in outcomes
-                if outcome.dump_sha256 is not None
-            ]
-        )
+        self._run_dir.spool.write_manifest(manifest_records(outcomes))
 
     def _write_telemetry(
         self,

@@ -42,6 +42,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import json
 import mmap
 import os
@@ -195,10 +196,26 @@ class DumpSpool:
         atomic rename, so concurrent workers (threads or processes)
         racing on the same digest converge on one valid object.
         """
-        digest = dump.sha256
+        return self._publish(dump.sha256, dump.data, dump.nbytes)
+
+    def put_bytes(self, data: bytes) -> SpoolEntry:
+        """File raw bytes under their own SHA-256.
+
+        The transport-side twin of :meth:`put` — the distributed
+        fabric receives dump payloads off the wire as plain bytes with
+        no :class:`ScrapedDump` around them, hashes them itself, and
+        files them here; the returned entry's digest is therefore
+        always trustworthy regardless of what the sender claimed.
+        """
+        digest = hashlib.sha256(data).hexdigest()
+        return self._publish(digest, data, len(data))
+
+    def _publish(
+        self, digest: str, data: "bytes | mmap.mmap", nbytes: int
+    ) -> SpoolEntry:
         path = self.object_path(digest)
         if path.exists():
-            return SpoolEntry(digest, dump.nbytes, deduplicated=True)
+            return SpoolEntry(digest, nbytes, deduplicated=True)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Scratch name is unique per writer (pid *and* thread: the
         # in-process executor runs one board per thread on one pid),
@@ -207,9 +224,9 @@ class DumpSpool:
         scratch = path.parent / (
             f"{digest}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
-        scratch.write_bytes(dump.data)
+        scratch.write_bytes(data)
         os.replace(scratch, path)
-        return SpoolEntry(digest, dump.nbytes, deduplicated=False)
+        return SpoolEntry(digest, nbytes, deduplicated=False)
 
     def read(self, sha256: str) -> bytes:
         """The raw dump bytes filed under *sha256*, slurped into memory.

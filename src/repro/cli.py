@@ -12,7 +12,11 @@ Commands map one-to-one onto the evaluation entry points:
   multi-board, multi-victim campaign (``--executor multiprocess``
   shards boards across worker processes; ``--run-dir`` makes the run
   checkpointable and ``--resume`` continues an interrupted one);
-  ``campaign report`` re-renders a saved JSON report
+  ``campaign report`` re-renders a saved JSON report;
+  ``campaign serve`` / ``campaign work`` distribute one campaign
+  across hosts — the coordinator leases board shards over TCP,
+  workers claim and run them, and the report stays byte-identical
+  to a single-host run (see ``docs/distributed.md``)
 - ``defense``   — the attack/defense arena: ``defense sweep`` runs the
   fleet campaign under each hardening profile and prints the
   leakage-vs-overhead matrix; ``defense report`` re-renders a saved
@@ -209,8 +213,30 @@ def _emit_campaign_report(report, output: str | None, extra: list[str]) -> int:
     return 0 if not report.failures() else 1
 
 
+def _spec_from_args(args: argparse.Namespace):
+    """Build a CampaignSpec from the shared spec-shaped flags.
+
+    Raises ``ValueError`` for impossible values (zero boards, an
+    unknown model in the mix, ...) — callers map it to exit 2.
+    """
+    from repro.campaign import CampaignSpec
+
+    return CampaignSpec(
+        boards=args.boards,
+        victims=args.victims,
+        model_mix=tuple(args.models.split(",")),
+        tenants_per_board=args.tenants,
+        wave_size=args.wave_size,
+        seed=args.seed,
+        input_hw=args.input_hw,
+        board_names=tuple(args.board_mix.split(",")),
+        max_workers=args.workers,
+        coalesce_reads=not args.word_reads,
+    )
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRuntime, CampaignSpec, run_campaign
+    from repro.campaign import CampaignRuntime, run_campaign
     from repro.errors import CampaignInterrupted
 
     if args.run_dir is not None and args.resume is not None:
@@ -244,21 +270,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             return 2
     else:
         try:
-            spec = CampaignSpec(
-                boards=args.boards,
-                victims=args.victims,
-                model_mix=tuple(args.models.split(",")),
-                tenants_per_board=args.tenants,
-                wave_size=args.wave_size,
-                seed=args.seed,
-                input_hw=args.input_hw,
-                board_names=tuple(args.board_mix.split(",")),
-                max_workers=args.workers,
-                coalesce_reads=not args.word_reads,
-            )
+            spec = _spec_from_args(args)
         except ValueError as error:
-            # Spec-shaped flags with impossible values (zero boards,
-            # an unknown model in the mix, ...).
             return _usage_error(error)
         if args.run_dir is None:
             report = run_campaign(
@@ -305,6 +318,109 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     if status is not None:
         return status
     print(report.render())
+    return 0
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.runtime.fabric import FabricCoordinator
+    from repro.errors import FabricError
+
+    if args.run_dir is not None and args.resume is not None:
+        return _usage_error(
+            "--run-dir and --resume are mutually exclusive: a resumed "
+            "run already has its run directory"
+        )
+    if args.run_dir is None and args.resume is None:
+        return _usage_error(
+            "a distributed run is always checkpointable: pass --run-dir "
+            "for a fresh campaign or --resume for an interrupted one"
+        )
+    if args.resume is not None:
+        try:
+            coordinator = FabricCoordinator.resume(
+                args.resume,
+                lease_ttl=args.lease_ttl,
+                defense_profile=args.profile,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = _spec_from_args(args)
+        except ValueError as error:
+            return _usage_error(error)
+        try:
+            coordinator = FabricCoordinator(
+                spec,
+                args.run_dir,
+                lease_ttl=args.lease_ttl,
+                defense_profile=args.profile,
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    host, port = coordinator.serve(args.host, args.port)
+    # Workers (and the smoke harness) parse this line for the port.
+    print(f"fabric coordinator listening on {host}:{port}", flush=True)
+    try:
+        report = coordinator.run_until_complete(timeout=args.timeout)
+    except FabricError as error:
+        print(f"INTERRUPTED: {error}", file=sys.stderr)
+        print(
+            f"journal: {coordinator.run_dir.journal_path}",
+            file=sys.stderr,
+        )
+        return 3
+    finally:
+        coordinator.close()
+    return _emit_campaign_report(
+        report,
+        args.output,
+        extra=[
+            f"\nrun directory: {coordinator.run_dir.root}",
+            f"canonical report: {coordinator.run_dir.report_path}",
+            f"wall-clock telemetry: {coordinator.run_dir.telemetry_path}",
+        ],
+    )
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    from repro.campaign.runtime.fabric import FabricWorker
+    from repro.errors import FabricError
+
+    host, _, port_text = args.coordinator.rpartition(":")
+    if not host or not port_text.isdigit():
+        return _usage_error(
+            f"coordinator address must be HOST:PORT, got {args.coordinator!r}"
+        )
+    worker = FabricWorker(
+        host,
+        int(port_text),
+        worker_id=args.name,
+        spool_dir=args.spool_dir,
+        poll_interval=None if args.no_wait else args.poll_interval,
+        die_after_waves=args.die_after_waves,
+    )
+    try:
+        stats = worker.run()
+    except (FabricError, OSError) as error:
+        print(f"fabric worker failed: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {stats['worker']}: "
+        f"{len(stats['boards_completed'])} board(s) completed "
+        f"{stats['boards_completed']}, {stats['waves_sent']} wave(s), "
+        f"{stats['outcomes_sent']} outcome(s), "
+        f"{stats['dumps_uploaded']} dump(s) uploaded"
+    )
+    if stats["died"]:
+        print(
+            "DIED: scripted fault fired mid-board; the coordinator "
+            "re-leases the shard after the lease deadline",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -509,51 +625,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
+    def add_spec_flags(parser: argparse.ArgumentParser) -> None:
+        # The spec-shaped flags every campaign entry point shares
+        # (`campaign run` and `campaign serve` must accept identical
+        # specs — the byte-identity contract compares their reports).
+        parser.add_argument(
+            "--boards", type=int, default=4, help="fleet size (default: 4)"
+        )
+        parser.add_argument(
+            "--victims", type=int, default=8, help="victim count (default: 8)"
+        )
+        parser.add_argument(
+            "--models",
+            default="resnet50_pt,squeezenet_pt,inception_v1_tf",
+            help="comma-separated model mix",
+        )
+        parser.add_argument(
+            "--board-mix",
+            default="ZCU104,ZCU102",
+            help="comma-separated board specs the fleet cycles through",
+        )
+        parser.add_argument(
+            "--tenants",
+            type=int,
+            default=2,
+            help="tenants per board (default: 2)",
+        )
+        parser.add_argument(
+            "--wave-size",
+            type=int,
+            default=2,
+            help="co-resident victims per board wave (default: 2)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0, help="scheduler seed (default: 0)"
+        )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker threads (default: one per board)",
+        )
+        parser.add_argument(
+            "--word-reads",
+            action="store_true",
+            help="scrape word-at-a-time like the paper (default: coalesced)",
+        )
+        parser.add_argument(
+            "--input-hw",
+            type=int,
+            default=32,
+            help="square input edge (default: 32)",
+        )
+
     campaign_run = campaign_sub.add_parser(
         "run", help="run a multi-board, multi-victim campaign"
     )
-    campaign_run.add_argument(
-        "--boards", type=int, default=4, help="fleet size (default: 4)"
-    )
-    campaign_run.add_argument(
-        "--victims", type=int, default=8, help="victim count (default: 8)"
-    )
-    campaign_run.add_argument(
-        "--models",
-        default="resnet50_pt,squeezenet_pt,inception_v1_tf",
-        help="comma-separated model mix",
-    )
-    campaign_run.add_argument(
-        "--board-mix",
-        default="ZCU104,ZCU102",
-        help="comma-separated board specs the fleet cycles through",
-    )
-    campaign_run.add_argument(
-        "--tenants", type=int, default=2, help="tenants per board (default: 2)"
-    )
-    campaign_run.add_argument(
-        "--wave-size",
-        type=int,
-        default=2,
-        help="co-resident victims per board wave (default: 2)",
-    )
-    campaign_run.add_argument(
-        "--seed", type=int, default=0, help="scheduler seed (default: 0)"
-    )
-    campaign_run.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker threads (default: one per board)",
-    )
-    campaign_run.add_argument(
-        "--word-reads",
-        action="store_true",
-        help="scrape word-at-a-time like the paper (default: coalesced)",
-    )
-    campaign_run.add_argument(
-        "--input-hw", type=int, default=32, help="square input edge (default: 32)"
-    )
+    add_spec_flags(campaign_run)
     campaign_run.add_argument(
         "--executor",
         default="auto",
@@ -599,6 +727,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_report.add_argument("report", help="path to a campaign JSON report")
     campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    campaign_serve = campaign_sub.add_parser(
+        "serve",
+        help="coordinate a distributed campaign: lease board shards "
+        "to fabric workers and write the canonical report",
+    )
+    add_spec_flags(campaign_serve)
+    campaign_serve.add_argument(
+        "--run-dir",
+        default=None,
+        help="journal, spool, and report live here (distributed runs "
+        "are always checkpointable)",
+    )
+    campaign_serve.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help="re-serve an interrupted distributed run; completed boards "
+        "are reused from RUN_DIR's journal and spec flags are ignored",
+    )
+    campaign_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1)",
+    )
+    campaign_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = ephemeral; the bound port is printed)",
+    )
+    campaign_serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat deadline: a board lease silent this long is "
+        "reclaimed and re-issued (default: 30)",
+    )
+    campaign_serve.add_argument(
+        "--profile",
+        default=None,
+        help="harden the fleet under this defense profile (workers "
+        "rebuild the kernel config from the name)",
+    )
+    campaign_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up (exit 3, resumable) if the campaign has not "
+        "completed in this long (default: wait forever)",
+    )
+    campaign_serve.add_argument(
+        "-o", "--output", default=None, help="also write the report as JSON"
+    )
+    campaign_serve.set_defaults(func=_cmd_campaign_serve)
+
+    campaign_work = campaign_sub.add_parser(
+        "work",
+        help="claim and run board shards for a fabric coordinator",
+    )
+    campaign_work.add_argument(
+        "coordinator",
+        metavar="HOST:PORT",
+        help="address a `repro campaign serve` coordinator printed",
+    )
+    campaign_work.add_argument(
+        "--name",
+        default=None,
+        help="worker id shown in coordinator telemetry "
+        "(default: hostname-pid)",
+    )
+    campaign_work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often to re-ask for work while every board is leased "
+        "out (default: 0.5)",
+    )
+    campaign_work.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit as soon as no lease is claimable instead of polling "
+        "until the campaign completes",
+    )
+    campaign_work.add_argument(
+        "--spool-dir",
+        default=None,
+        help="local scratch spool for dumps before upload "
+        "(default: a temp directory)",
+    )
+    campaign_work.add_argument(
+        "--die-after-waves",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-injection drill: die mid-board (exit 3) after "
+        "shipping N waves, leaving the lease to expire and re-issue",
+    )
+    campaign_work.set_defaults(func=_cmd_campaign_work)
 
     defense = subparsers.add_parser(
         "defense", help="attack/defense arena over fleet campaigns"

@@ -142,6 +142,51 @@ class SpoolClosedError(ReproError):
     """
 
 
+class FabricError(ReproError):
+    """Base class for distributed-campaign-fabric failures.
+
+    The fabric (:mod:`repro.campaign.runtime.fabric`) runs one
+    campaign across many hosts: a coordinator leases board shards to
+    remote workers over a line-delimited JSON protocol.  Everything
+    that can go wrong *between* hosts — protocol violations, fenced-off
+    leases, corrupted dump transfers — derives from this class so a
+    worker loop can catch one base and keep the board simulation's own
+    error taxonomy (:class:`AttackError` and friends) untouched.
+    """
+
+
+class FabricProtocolError(FabricError):
+    """A malformed or unanswerable fabric message (torn stream, bad
+    JSON, unknown op, missing field, or a connection that died
+    mid-exchange)."""
+
+
+class StaleLeaseError(FabricError):
+    """An operation arrived under a lease that is no longer current.
+
+    Leases are fencing tokens: when a worker misses its heartbeat
+    deadline the coordinator reclaims the board and re-issues it under
+    a new token, and every late message from the old holder — waves,
+    heartbeats, completion markers — is rejected with this error so a
+    partitioned-then-healed worker can never corrupt the journal.
+    """
+
+    def __init__(self, token: str, detail: str = "") -> None:
+        self.token = token
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"lease {token!r} is not current{suffix}")
+
+
+class DumpTransferError(FabricError):
+    """A dump shipped over the wire failed content verification.
+
+    Spool objects travel by digest; both ends re-hash the payload and
+    refuse bytes that do not hash to the digest they claim, so a
+    corrupted or tampered transfer can never be filed under a name it
+    does not match.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """A checkpointable campaign stopped before finishing every board.
 

@@ -10,7 +10,9 @@ held to a registry of cross-cutting oracles: fast-path vs reference
 byte-identity, region maps that tile their dump, crash/resume report
 byte-identity, spool round-trip integrity, defense monotonicity,
 report-aggregation consistency, coalesced vs word-mode extraction
-equivalence, and mmap-backed vs bytes-backed analysis equivalence.
+equivalence, mmap-backed vs bytes-backed analysis equivalence, and
+distributed-fabric vs single-host report byte-identity (a real
+coordinator socket, fuzzed worker counts, scripted worker kills).
 Failures shrink to a minimal scenario and serialize as
 replayable JSON seeds; committed seeds become permanent regression
 tests.

@@ -40,7 +40,13 @@ The registry covers every cross-cutting contract the codebase claims:
     re-reading a spooled object through an mmap backing
     (:meth:`DumpSpool.open <repro.campaign.runtime.spool.DumpSpool.open>`)
     yields region maps, nonzero counts, and signature scores identical
-    to the slurped-bytes read of the same object.
+    to the slurped-bytes read of the same object;
+``fabric_identity``
+    the same spec served through the distributed fabric — a
+    :class:`~repro.campaign.runtime.fabric.FabricCoordinator` leasing
+    board shards to the scenario's worker count over a real socket,
+    with an optional scripted mid-board worker kill and re-lease —
+    writes a ``report.json`` byte-identical to the single-host run's.
 
 Violation messages carry only deterministic facts (digests, job ids,
 counts) — never wall-clock values or filesystem paths — so a fuzz
@@ -161,6 +167,11 @@ class ScenarioWorld:
     per entry of ``dumps``."""
     alt_outcomes: tuple[VictimOutcome, ...]
     monotonicity: MonotonicityArtifact
+    fabric_report_bytes: bytes
+    """``report.json`` written by the distributed-fabric run of the
+    same spec (coordinator + ``scenario.fabric_workers`` workers,
+    optional scripted kill); the ``fabric_identity`` oracle holds it
+    against ``baseline_report_bytes``."""
     notes: list[str] = field(default_factory=list)
 
     def sampling_rng(self, salt: int) -> random.Random:
@@ -666,4 +677,35 @@ def _backing_equivalence(world: ScenarioWorld) -> list[str]:
                 f"{tag}: signature scores diverge between mmap and "
                 f"bytes backings"
             )
+    return problems
+
+
+# -- 9. distributed fabric vs single host -------------------------------------
+
+
+@oracle("fabric_identity")
+def _fabric_identity(world: ScenarioWorld) -> list[str]:
+    """A distributed run must reproduce the single-host report exactly.
+
+    The runner served the scenario's spec through a real coordinator
+    socket with ``scenario.fabric_workers`` concurrent workers and —
+    when the scenario scripts one — a worker killed mid-board whose
+    lease expired and re-issued.  Worker count, claim interleaving,
+    and crash choreography are all implementation detail; the report
+    bytes are the contract.
+    """
+    scenario = world.scenario
+    problems = []
+    if not world.fabric_report_bytes:
+        problems.append("fabric run produced no report.json")
+        return problems
+    if world.fabric_report_bytes != world.baseline_report_bytes:
+        kill = scenario.fabric_kill_after_waves
+        problems.append(
+            f"distributed report diverges from single-host report "
+            f"({scenario.fabric_workers} worker(s), "
+            f"{'no scripted kill' if kill is None else f'kill after {kill} wave(s)'}): "
+            f"{_digest(world.fabric_report_bytes)} != "
+            f"{_digest(world.baseline_report_bytes)}"
+        )
     return problems

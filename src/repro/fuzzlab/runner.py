@@ -17,7 +17,13 @@ no mocks, no shortcuts — collecting every artifact the oracles need:
    defense arena's teardown-delay hook, for the monotonicity oracle;
 5. fast-path region maps over spooled residue for the differential
    scan oracles, plus mmap-backed re-reads of the same spool objects
-   (``DumpSpool.open``) for the backing-equivalence oracle.
+   (``DumpSpool.open``) for the backing-equivalence oracle;
+6. a *distributed* run of the same spec — a
+   :class:`~repro.campaign.runtime.fabric.FabricCoordinator` on an
+   ephemeral socket leasing board shards to the scenario's worker
+   count, with an optional scripted worker kill whose lease expires
+   on an injected :class:`~repro.campaign.runtime.fabric.ManualClock`
+   and re-issues — for the fabric-identity oracle.
 
 Offline prep (profiling + signature mining) is cached per
 ``(model mix, input size)`` across scenarios — it is a pure function
@@ -43,6 +49,7 @@ from __future__ import annotations
 import json
 import random
 import tempfile
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
@@ -51,6 +58,12 @@ from repro.attack.carving import DumpCartographer, Region, RegionKind
 from repro.attack.identify import SignatureDatabase
 from repro.attack.profiling import ProfileStore
 from repro.campaign.engine import prepare_offline, run_campaign
+from repro.campaign.report import CampaignReport
+from repro.campaign.runtime.fabric import (
+    FabricCoordinator,
+    FabricWorker,
+    ManualClock,
+)
 from repro.campaign.runtime.runner import CampaignRuntime
 from repro.campaign.runtime.spool import DumpSpool
 from repro.campaign.schedule import build_schedule
@@ -109,6 +122,81 @@ def strengthen(profile: DefenseConfig) -> tuple[DefenseConfig, str]:
         )
         return stronger, axis
     return profile, axis
+
+
+FABRIC_LEASE_TTL = 30.0
+"""Lease TTL for fuzzed fabric drills.  Time is a :class:`ManualClock`
+the drill advances explicitly, so the value only has to be something a
+drill can jump past — no wall clock ever waits on it."""
+
+_FABRIC_DRAIN_ROUNDS = 10
+"""Claim/expire rounds a fabric drill may take before the runner calls
+non-convergence a world-build crash (a real finding)."""
+
+
+def _fabric_run(
+    scenario: Scenario, spec, workdir: Path, prep
+) -> bytes:
+    """Serve *spec* through the distributed fabric; return report bytes.
+
+    Round one runs the scenario's scripted casualty (when
+    ``fabric_kill_after_waves`` is set) alongside nothing — it dies,
+    its lease is left held.  Every subsequent round advances the
+    manual clock past the lease TTL (expiring whatever a dead worker
+    still holds) and throws ``fabric_workers`` fresh threaded workers
+    at the coordinator until the campaign converges.
+    """
+    clock = ManualClock()
+    coordinator = FabricCoordinator(
+        spec,
+        workdir,
+        lease_ttl=FABRIC_LEASE_TTL,
+        clock=clock,
+        prep=prep,
+        defense_profile=scenario.defense_profile,
+    )
+    host, port = coordinator.serve()
+    try:
+        if scenario.fabric_kill_after_waves is not None:
+            FabricWorker(
+                host,
+                port,
+                worker_id="fuzz-casualty",
+                poll_interval=None,
+                heartbeat=False,
+                die_after_waves=scenario.fabric_kill_after_waves,
+            ).run()
+        rounds = 0
+        while not coordinator.done:
+            if rounds >= _FABRIC_DRAIN_ROUNDS:
+                raise RuntimeError(
+                    f"fabric drill failed to converge in "
+                    f"{_FABRIC_DRAIN_ROUNDS} rounds: {coordinator.status()}"
+                )
+            if rounds or scenario.fabric_kill_after_waves is not None:
+                clock.advance(FABRIC_LEASE_TTL + 1.0)
+            workers = [
+                FabricWorker(
+                    host,
+                    port,
+                    worker_id=f"fuzz-r{rounds}w{index}",
+                    poll_interval=None,
+                    heartbeat=False,
+                )
+                for index in range(scenario.fabric_workers)
+            ]
+            threads = [
+                threading.Thread(target=worker.run) for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            rounds += 1
+        coordinator.run_until_complete(timeout=60)
+        return coordinator.run_dir.report_path.read_bytes()
+    finally:
+        coordinator.close()
 
 
 def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
@@ -218,6 +306,10 @@ def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
                 )
             )
 
+    # 6. The same spec through the distributed fabric (coordinator +
+    # fabric_workers threaded workers, optional scripted casualty).
+    fabric_bytes = _fabric_run(scenario, spec, workdir / "fabric", prep)
+
     world = ScenarioWorld(
         scenario=scenario,
         spec=spec,
@@ -241,6 +333,7 @@ def build_world(scenario: Scenario, workdir: str | Path) -> ScenarioWorld:
             base_outcomes=tuple(pair_reports[0].outcomes),
             stronger_outcomes=tuple(pair_reports[1].outcomes),
         ),
+        fabric_report_bytes=fabric_bytes,
     )
     if scenario.planted_fault is not None:
         plant_fault(world, scenario.planted_fault)
@@ -340,6 +433,22 @@ def _plant_backing_tamper(world: ScenarioWorld) -> None:
         )
 
 
+def _plant_fabric_lost_outcome(world: ScenarioWorld) -> None:
+    """Swallow the last outcome of the fabric run's report.
+
+    The exact corruption a broken coordinator produces: a worker's
+    wave was acked but never journaled, so the distributed report is
+    one outcome short of the single-host truth.
+    """
+    data = world.fabric_report_bytes
+    if not data:
+        world.fabric_report_bytes = b"{}"
+        return
+    report = CampaignReport.from_json(data.decode("utf-8"))
+    report.outcomes = report.outcomes[:-1]
+    world.fabric_report_bytes = (report.to_json() + "\n").encode("utf-8")
+
+
 PLANTED_FAULTS: dict[str, Callable[[ScenarioWorld], None]] = {
     "map-tamper": _plant_map_tamper,
     "resume-tamper": _plant_resume_tamper,
@@ -347,6 +456,7 @@ PLANTED_FAULTS: dict[str, Callable[[ScenarioWorld], None]] = {
     "residue-tamper": _plant_residue_tamper,
     "report-tamper": _plant_report_tamper,
     "backing-tamper": _plant_backing_tamper,
+    "fabric-lost-outcome": _plant_fabric_lost_outcome,
 }
 """Deliberate world corruptions, each aimed at one oracle's failure
 class.  Part of the public surface: a committed regression seed with a

@@ -7,8 +7,9 @@ boots, executor placement, where the injected crash lands, and how the
 dump-analysis oracles slice what was scraped.  It is deliberately a
 superset of :class:`~repro.campaign.schedule.CampaignSpec`: the spec
 describes the campaign, the scenario also describes how the *harness*
-exercises it (interrupt point, resume placement, carve window,
-planted fault).
+exercises it (interrupt point, resume placement, carve window, the
+distributed-fabric drill's worker count and crash point, planted
+fault).
 
 Two properties carry the whole fuzzlab design:
 
@@ -101,6 +102,15 @@ class Scenario:
     :data:`repro.fuzzlab.runner.PLANTED_FAULTS`) used to prove the
     oracles, shrinker, and replay lane actually catch failures.
     ``None`` for every organically generated scenario."""
+    fabric_workers: int = 1
+    """Concurrent distributed-fabric workers the runner throws at the
+    coordinator for the ``fabric_identity`` drill (threads racing real
+    claims over a real socket)."""
+    fabric_kill_after_waves: int | None = None
+    """Scripted worker death for the fabric drill: the first worker
+    dies after shipping this many waves (``0`` dies mid-wave, dumps
+    uploaded but outcomes never sent), its lease expires on the manual
+    clock, and the shard re-issues.  ``None`` = nobody dies."""
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -121,6 +131,18 @@ class Scenario:
         if self.analysis_cap < 256:
             raise ValueError(
                 f"analysis_cap must be >= 256 bytes, got {self.analysis_cap}"
+            )
+        if self.fabric_workers < 1:
+            raise ValueError(
+                f"fabric_workers must be >= 1, got {self.fabric_workers}"
+            )
+        if (
+            self.fabric_kill_after_waves is not None
+            and self.fabric_kill_after_waves < 0
+        ):
+            raise ValueError(
+                f"fabric_kill_after_waves must be >= 0 or None, got "
+                f"{self.fabric_kill_after_waves}"
             )
         defense_profile(self.defense_profile)  # raises on unknown names
         # Spec-shaped fields share CampaignSpec's validation.
@@ -153,6 +175,13 @@ class Scenario:
                f"->{self.resume_executor}"),
             f"crash@{self.interrupt_after}",
         ]
+        if self.fabric_workers > 1 or self.fabric_kill_after_waves is not None:
+            kill = (
+                ""
+                if self.fabric_kill_after_waves is None
+                else f"!kill@{self.fabric_kill_after_waves}"
+            )
+            parts.append(f"fabric={self.fabric_workers}w{kill}")
         if self.planted_fault:
             parts.append(f"plant={self.planted_fault}")
         return " ".join(parts)
@@ -218,6 +247,12 @@ class ScenarioGenerator:
             scrape_delay_ticks=rng.randint(0, 4),
             carve_window=rng.choice(CARVE_WINDOWS),
             analysis_cap=rng.choice((4096, 16384, 65536)),
+            # New axes draw strictly after every pre-existing field so
+            # older seeds' streams stay byte-stable up to these fields.
+            fabric_workers=rng.randint(1, 3),
+            fabric_kill_after_waves=rng.choice(
+                (None, None, None, 0, 1, 2)
+            ),
         )
 
     def generate(self, budget: int) -> list[Scenario]:

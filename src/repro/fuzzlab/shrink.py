@@ -74,6 +74,10 @@ def _proposals(scenario: Scenario) -> list[tuple[str, Scenario]]:
         )
     if scenario.interrupt_after > 1:
         propose("interrupt_after->1", interrupt_after=1)
+    if scenario.fabric_kill_after_waves is not None:
+        propose("fabric_kill->off", fabric_kill_after_waves=None)
+    if scenario.fabric_workers > 1:
+        propose("fabric_workers->1", fabric_workers=1)
     if scenario.defense_profile != "none":
         propose("profile->none", defense_profile="none")
     if scenario.scrape_delay_ticks:

@@ -1,0 +1,508 @@
+"""Distributed campaign fabric: protocol, leases, chaos, byte-identity.
+
+The acceptance claims, pinned:
+
+- a distributed run — any worker count, any claim order — writes a
+  ``report.json`` **byte-identical** to a single-host uninterrupted
+  run's, including under every scripted fault the chaos harness
+  (:mod:`tests.fabric_chaos`) can throw: a worker killed mid-wave, a
+  heartbeat dropped past the lease deadline (shard re-leased to a
+  different worker), duplicate claims, replayed outcome streams, and
+  torn byte streams;
+- duplicate and replayed waves never double-count victims — the
+  journal, the :class:`OutcomeAccumulator`, and the final report all
+  see each ``job_id`` exactly once;
+- the lease table is a fencing mechanism: expiry re-issues a board
+  under a new epoch and every op under the old token is rejected;
+- dumps travel by digest with verification on both ends: a corrupted
+  upload or download raises instead of landing, and the wire paths
+  leak no file descriptors (the ``test_zero_copy`` hygiene pattern).
+"""
+
+import base64
+import hashlib
+import json
+import os
+from dataclasses import asdict, replace
+
+import pytest
+
+from fabric_chaos import (
+    FaultPlan,
+    build_coordinator,
+    drain,
+    reference_report_bytes,
+    run_chaos_drill,
+)
+from repro.campaign import CampaignSpec, prepare_offline_cached
+from repro.campaign.runtime.fabric import (
+    FabricClient,
+    FabricCoordinator,
+    FabricWorker,
+    LeaseTable,
+    ManualClock,
+)
+from repro.campaign.schedule import build_schedule, jobs_by_board
+from repro.errors import (
+    DumpTransferError,
+    FabricProtocolError,
+    StaleLeaseError,
+)
+
+SPEC = CampaignSpec(boards=2, victims=8, seed=3)
+"""Two boards, two waves each — big enough for mid-board faults."""
+
+SMALL = CampaignSpec(boards=2, victims=4, seed=9)
+
+
+# ---------------------------------------------------------------------------
+# lease table state machine
+
+
+class TestLeaseTable:
+    def test_claims_issue_lowest_pending_board_with_epoch_tokens(self):
+        clock = ManualClock()
+        table = LeaseTable([0, 1, 2], ttl=30.0, clock=clock)
+        first = table.claim("w1")
+        second = table.claim("w2")
+        assert (first.board, second.board) == (0, 1)
+        assert first.token == "b0e1"
+        assert table.claim("w3").board == 2
+        assert table.claim("w4") is None  # everything leased out
+
+    def test_expired_lease_is_reclaimed_and_reissued_under_new_epoch(self):
+        clock = ManualClock()
+        table = LeaseTable([0], ttl=30.0, clock=clock)
+        stale = table.claim("w1")
+        clock.advance(30.0)  # deadline is inclusive: now >= deadline
+        fresh = table.claim("w2")
+        assert fresh.board == 0
+        assert fresh.epoch == stale.epoch + 1
+        assert table.reclaims == 1
+        with pytest.raises(StaleLeaseError):
+            table.resolve(stale.token)
+
+    def test_any_authenticated_op_extends_the_deadline(self):
+        clock = ManualClock()
+        table = LeaseTable([0], ttl=30.0, clock=clock)
+        lease = table.claim("w1")
+        clock.advance(20.0)
+        table.touch(lease.token)  # heartbeat/wave at t=20 → deadline t=50
+        clock.advance(20.0)
+        assert table.touch(lease.token).board == 0  # alive at t=40
+        clock.advance(31.0)
+        with pytest.raises(StaleLeaseError):
+            table.touch(lease.token)
+
+    def test_completion_retires_the_token(self):
+        table = LeaseTable([0], ttl=30.0, clock=ManualClock())
+        lease = table.claim("w1")
+        assert table.complete(lease.token) == 0
+        assert table.done
+        with pytest.raises(StaleLeaseError):
+            table.complete(lease.token)
+
+
+# ---------------------------------------------------------------------------
+# protocol-level drills (raw clients against a live coordinator)
+
+
+@pytest.fixture()
+def coordinator(tmp_path):
+    coord, clock = build_coordinator(SMALL, tmp_path, lease_ttl=30.0)
+    coord.chaos_clock = clock
+    try:
+        yield coord
+    finally:
+        coord.close()
+
+
+def _client(coordinator) -> FabricClient:
+    host, port = coordinator.address
+    return FabricClient(host, port)
+
+
+class TestProtocol:
+    def test_hello_ships_everything_a_board_simulation_needs(
+        self, coordinator
+    ):
+        with _client(coordinator) as client:
+            hello = client.request("hello", worker="w")
+            assert hello["format"] == 1
+            assert hello["spec"]["boards"] == SMALL.boards
+            assert hello["defense_profile"] is None
+            assert hello["lease_ttl"] == 30.0
+            # prep round-trips by value, like the multiprocess executor
+            assert isinstance(hello["profiles"], str)
+            assert isinstance(hello["database"], dict)
+
+    def test_unknown_op_and_torn_stream_leave_state_untouched(
+        self, coordinator
+    ):
+        with _client(coordinator) as client:
+            with pytest.raises(FabricProtocolError):
+                client.request("frobnicate")
+        # A torn frame: the coordinator answers bad-request and drops
+        # the connection rather than guessing at a resync.
+        with _client(coordinator) as client:
+            client.send_raw(b'{"op": "wave", "lease": "b0e1", "outc')
+            client.close()
+        with _client(coordinator) as client:
+            status = client.request("status")
+            assert status["outcomes_journaled"] == 0
+            assert status["boards_complete"] == 0
+
+    def test_duplicate_claim_race_gets_distinct_boards_then_nothing(
+        self, coordinator
+    ):
+        with _client(coordinator) as one, _client(coordinator) as two:
+            first = one.request("claim", worker="w1")
+            second = two.request("claim", worker="w2")
+            assert first["board"] != second["board"]
+            third = one.request("claim", worker="w1")
+            assert third["board"] is None and third["done"] is False
+
+    def test_wave_under_wrong_board_lease_is_rejected(self, coordinator):
+        jobs = jobs_by_board(build_schedule(SMALL))
+        with _client(coordinator) as client:
+            claim = client.request("claim", worker="w")
+            other_board = 1 - claim["board"]
+            outcome = _fake_outcome(jobs, other_board)
+            with pytest.raises(FabricProtocolError):
+                client.request(
+                    "wave",
+                    lease=claim["lease"],
+                    wave=0,
+                    outcomes=[asdict(outcome)],
+                )
+
+    def test_fenced_worker_cannot_journal_after_reclaim(self, coordinator):
+        clock = coordinator.chaos_clock
+        jobs = jobs_by_board(build_schedule(SMALL))
+        with _client(coordinator) as slow, _client(coordinator) as fast:
+            stale = slow.request("claim", worker="slow")
+            clock.advance(31.0)
+            fresh = fast.request("claim", worker="fast")
+            assert fresh["board"] == stale["board"]
+            assert fresh["lease"] != stale["lease"]
+            outcome = _fake_outcome(jobs, stale["board"])
+            with pytest.raises(StaleLeaseError):
+                slow.request(
+                    "wave",
+                    lease=stale["lease"],
+                    wave=0,
+                    outcomes=[asdict(outcome)],
+                )
+            with pytest.raises(StaleLeaseError):
+                slow.request("heartbeat", lease=stale["lease"])
+            with pytest.raises(StaleLeaseError):
+                slow.request("board_complete", lease=stale["lease"])
+            assert coordinator.status()["stale_rejections"] == 3
+
+    def test_wave_citing_unuploaded_dump_is_rejected(self, coordinator):
+        jobs = jobs_by_board(build_schedule(SMALL))
+        with _client(coordinator) as client:
+            claim = client.request("claim", worker="w")
+            outcome = replace(
+                _fake_outcome(jobs, claim["board"]),
+                dump_sha256="ab" * 32,
+                nbytes=2,
+            )
+            with pytest.raises(DumpTransferError):
+                client.request(
+                    "wave",
+                    lease=claim["lease"],
+                    wave=0,
+                    outcomes=[asdict(outcome)],
+                )
+
+
+def _fake_outcome(jobs, board):
+    """A plausible canonical outcome for *board*'s first job."""
+    from repro.campaign.worker import VictimOutcome
+
+    job = jobs[board][0]
+    return VictimOutcome(
+        job_id=job.job_id,
+        board_index=board,
+        board_name="ZCU104",
+        model_name=job.model_name,
+        tenant_index=job.tenant_index,
+        launch_wave=job.launch_wave,
+        pid=900,
+        identified_model=None,
+        pixel_match_rate=None,
+        nbytes=0,
+        devmem_reads=0,
+        pages_read=0,
+        wall_seconds=0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# spool fetch-by-digest over the wire
+
+
+class TestWireSpool:
+    def test_round_trip_by_digest(self, coordinator):
+        payload = os.urandom(4096) + b"\x00" * 512
+        digest = hashlib.sha256(payload).hexdigest()
+        with _client(coordinator) as client:
+            assert not client.request("has_dump", sha256=digest)["present"]
+            receipt = client.put_dump(payload)
+            assert receipt["deduplicated"] is False
+            assert receipt["nbytes"] == len(payload)
+            assert client.request("has_dump", sha256=digest)["present"]
+            assert client.put_dump(payload)["deduplicated"] is True
+            assert client.fetch_dump(digest) == payload
+        # and it landed in the coordinator's content-addressed store
+        assert coordinator.run_dir.spool.read(digest) == payload
+
+    def test_empty_object_round_trips(self, coordinator):
+        digest = hashlib.sha256(b"").hexdigest()
+        with _client(coordinator) as client:
+            client.put_dump(b"")
+            assert client.fetch_dump(digest) == b""
+
+    def test_corrupted_upload_is_rejected_and_never_lands(
+        self, coordinator
+    ):
+        payload = b"honest bytes"
+        lie = hashlib.sha256(b"different bytes").hexdigest()
+        with _client(coordinator) as client:
+            with pytest.raises(DumpTransferError):
+                client.request(
+                    "put_dump",
+                    sha256=lie,
+                    data=base64.b64encode(payload).decode("ascii"),
+                )
+        assert lie not in coordinator.run_dir.spool
+
+    def test_corrupted_download_is_rejected_client_side(self, coordinator):
+        # The client re-hashes what it fetched: a digest that does not
+        # match the bytes (a tampering transport) must raise, not
+        # return silently corrupt residue.
+        payload = b"spooled residue"
+        digest = hashlib.sha256(payload).hexdigest()
+        coordinator.run_dir.spool.put_bytes(payload)
+        # Overwrite the object file behind the store's back.
+        coordinator.run_dir.spool.object_path(digest).write_bytes(
+            b"tampered residue"
+        )
+        with _client(coordinator) as client:
+            with pytest.raises(DumpTransferError):
+                client.fetch_dump(digest)
+
+    def test_unknown_digest_fetch_raises(self, coordinator):
+        with _client(coordinator) as client:
+            with pytest.raises(DumpTransferError):
+                client.fetch_dump("00" * 32)
+
+    def test_wire_paths_leak_no_file_descriptors(self, coordinator):
+        payload = os.urandom(8192)
+        digest = hashlib.sha256(payload).hexdigest()
+        with _client(coordinator) as client:
+            client.put_dump(payload)
+            baseline = len(os.listdir("/proc/self/fd"))
+            for _ in range(5):
+                assert client.fetch_dump(digest) == payload
+            # fetch maps and unmaps per request: the serving process's
+            # fd table is flat again after every round trip
+            assert len(os.listdir("/proc/self/fd")) == baseline
+
+
+# ---------------------------------------------------------------------------
+# chaos drills — the byte-identity contract under fire
+
+
+class TestChaos:
+    def test_worker_count_and_claim_order_do_not_change_a_byte(
+        self, tmp_path
+    ):
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[], drain_concurrent=3
+        )
+        assert fabric == reference
+        assert status["reclaims"] == 0
+
+    def test_worker_killed_mid_wave_shard_releases_to_another_worker(
+        self, tmp_path
+    ):
+        # The acceptance-criteria pin: die after one shipped wave
+        # (dumps of the next wave already uploaded), lease expires,
+        # a *different* worker re-runs the shard from scratch, and the
+        # report is byte-identical to the uninterrupted local run.
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[FaultPlan(die_after_waves=1)]
+        )
+        assert fabric == reference
+        assert status["reclaims"] >= 1
+        assert status["duplicates_rejected"] >= 1  # replayed wave 0
+
+    def test_mid_wave_death_with_orphaned_dumps(self, tmp_path):
+        # die_after_waves=0: the first wave's dumps are uploaded but
+        # its outcomes never ship — orphaned spool objects must not
+        # perturb the report (content addressing reclaims them).
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[FaultPlan(die_after_waves=0)]
+        )
+        assert fabric == reference
+        assert status["reclaims"] >= 1
+
+    def test_heartbeat_dropped_past_deadline_board_rereleased(
+        self, tmp_path
+    ):
+        # Worker finishes every wave but partitions before completing;
+        # no heartbeats arrive, the lease dies, the board re-runs
+        # entirely on a drain worker.
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[FaultPlan(abandon_before_complete=True)]
+        )
+        assert fabric == reference
+        assert status["reclaims"] >= 1
+        assert status["duplicates_rejected"] >= 2  # full board replayed
+
+    def test_duplicate_wave_sends_do_not_double_count(self, tmp_path):
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[FaultPlan(duplicate_waves=True)]
+        )
+        assert fabric == reference
+        # every wave shipped twice; exactly one copy journaled
+        assert status["duplicates_rejected"] >= 2
+
+    def test_replayed_outcomes_after_reconnect_do_not_double_count(
+        self, tmp_path
+    ):
+        fabric, reference, status = run_chaos_drill(
+            SPEC, tmp_path, plans=[FaultPlan(replay_on_reconnect=True)]
+        )
+        assert fabric == reference
+        assert status["duplicates_rejected"] >= 2
+
+    def test_torn_stream_mid_campaign(self, tmp_path):
+        fabric, reference, status = run_chaos_drill(
+            SPEC,
+            tmp_path,
+            plans=[FaultPlan(tear_stream_before_wave=1)],
+        )
+        assert fabric == reference
+        assert status["reclaims"] >= 1
+
+    def test_compound_chaos(self, tmp_path):
+        # Several faulty workers in sequence against one campaign.
+        fabric, reference, status = run_chaos_drill(
+            SPEC,
+            tmp_path,
+            plans=[
+                FaultPlan(die_after_waves=0),
+                FaultPlan(duplicate_waves=True, abandon_before_complete=True),
+                FaultPlan(tear_stream_before_wave=0),
+            ],
+            drain_concurrent=2,
+        )
+        assert fabric == reference
+        assert status["reclaims"] >= 2
+
+    def test_accumulator_counts_match_report_after_replay_storm(
+        self, tmp_path
+    ):
+        # The coordinator's streaming accumulator (telemetry) must
+        # agree with the journal-rebuilt report even after duplicate
+        # and replayed waves — the no-double-count satellite.
+        fabric, _, _ = run_chaos_drill(
+            SPEC,
+            tmp_path,
+            plans=[
+                FaultPlan(duplicate_waves=True, replay_on_reconnect=True)
+            ],
+        )
+        report = json.loads(fabric)
+        telemetry = json.loads(
+            (tmp_path / "fabric" / "telemetry.json").read_text()
+        )
+        assert telemetry["victims_attacked"] == len(report["outcomes"])
+        assert telemetry["victims_attacked"] == SPEC.victims
+
+
+# ---------------------------------------------------------------------------
+# coordinator lifecycle
+
+
+class TestCoordinator:
+    def test_resume_reuses_completed_boards(self, tmp_path):
+        # Coordinator dies after one full board landed; a second
+        # coordinator re-serves the same run directory, leases only
+        # the unfinished board, and the report is byte-identical.
+        reference = reference_report_bytes(SPEC, tmp_path)
+        coordinator, _ = build_coordinator(SPEC, tmp_path)
+        host, port = coordinator.address
+        worker = FabricWorker(
+            host, port, poll_interval=None, heartbeat=False
+        )
+        assert _run_single_board(worker) == [0]
+        coordinator.close()
+
+        clock = ManualClock()
+        resumed = FabricCoordinator.resume(
+            tmp_path / "fabric",
+            clock=clock,
+            prep=prepare_offline_cached(SPEC),
+        )
+        with resumed:
+            drain(resumed, clock, lease_ttl=30.0)
+            resumed.run_until_complete(timeout=60)
+        assert resumed.run_dir.report_path.read_bytes() == reference
+        # board 0 was *reused*, not re-leased: one lease covers the rest
+        telemetry = json.loads(
+            resumed.run_dir.telemetry_path.read_text()
+        )
+        assert telemetry["leases_issued"] == 1
+
+    def test_finished_campaign_claims_report_done(self, tmp_path):
+        coordinator, clock = build_coordinator(SMALL, tmp_path)
+        with coordinator:
+            drain(coordinator, clock)
+            coordinator.run_until_complete(timeout=60)
+            host, port = coordinator.address
+            with FabricClient(host, port) as client:
+                claim = client.request("claim", worker="late")
+                assert claim["board"] is None and claim["done"] is True
+
+    def test_empty_boards_complete_without_a_lease(self, tmp_path):
+        # More boards than victims: the surplus boards get no jobs and
+        # must complete immediately, exactly like the local executors.
+        spec = CampaignSpec(boards=6, victims=3, seed=1)
+        reference = reference_report_bytes(spec, tmp_path)
+        coordinator, clock = build_coordinator(spec, tmp_path)
+        with coordinator:
+            status = coordinator.status()
+            assert status["boards_complete"] == 3  # the empty ones
+            drain(coordinator, clock)
+            coordinator.run_until_complete(timeout=60)
+        assert coordinator.run_dir.report_path.read_bytes() == reference
+
+
+def _run_single_board(worker: FabricWorker) -> list[int]:
+    """Drive *worker* through exactly one claimed board, then stop."""
+    completed: list[int] = []
+    original = worker._run_board
+
+    def run_one(client, world, spool, board, token, stats):
+        original(client, world, spool, board, token, stats)
+        completed.append(board)
+        raise _stop()
+
+    worker._run_board = run_one
+    try:
+        worker.run()
+    except _StopWorker:
+        pass
+    return completed
+
+
+class _StopWorker(Exception):
+    pass
+
+
+def _stop() -> _StopWorker:
+    return _StopWorker()

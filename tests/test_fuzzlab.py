@@ -137,6 +137,18 @@ class TestScenarioValidation:
         assert "crash@2" in label
         assert "plant=spool-tamper" in label
 
+    def test_fabric_axis_validated_and_labelled(self):
+        with pytest.raises(ValueError, match="fabric_workers"):
+            small_scenario(fabric_workers=0)
+        with pytest.raises(ValueError, match="fabric_kill_after_waves"):
+            small_scenario(fabric_kill_after_waves=-1)
+        label = small_scenario(
+            fabric_workers=2, fabric_kill_after_waves=1
+        ).label()
+        assert "fabric=2w!kill@1" in label
+        # The default drill (one worker, no kill) stays out of the label.
+        assert "fabric" not in small_scenario().label()
+
 
 class TestOracleRegistry:
     def test_expected_oracles_registered(self):
@@ -144,6 +156,7 @@ class TestOracleRegistry:
             "backing_equivalence",
             "defense_monotonicity",
             "extraction_equivalence",
+            "fabric_identity",
             "region_partition",
             "report_consistency",
             "resume_identity",
@@ -190,6 +203,7 @@ class TestPlantedFaults:
         "residue-tamper": "defense_monotonicity",
         "report-tamper": "report_consistency",
         "backing-tamper": "backing_equivalence",
+        "fabric-lost-outcome": "fabric_identity",
     }
 
     def test_every_fault_has_an_expectation(self):
@@ -241,6 +255,15 @@ class TestWorldIntegrity:
         # Temp paths are scrubbed so verdicts stay byte-deterministic.
         assert str(tmp_path) not in message
         assert "<workdir>" in message
+
+    def test_fabric_kill_drill_stays_green(self):
+        # Worker-count/crash-point axis: two racing workers, the first
+        # killed mid-board, its shard re-leased — the fabric_identity
+        # oracle must still see a byte-identical report.
+        verdict = run_scenario(
+            small_scenario(fabric_workers=2, fabric_kill_after_waves=1)
+        )
+        assert verdict.ok, verdict.violations
 
     def test_zero_corruption_regression_stays_fixed(self):
         # Found by the shrinker: corruption_fraction=0.0 used to crash

@@ -16,7 +16,9 @@ plus a multi-model signature database, then:
    **Any divergence exits nonzero without timing anything.**
 2. times fast vs. reference (best-of-``--repeats`` wall clock) and an
    end-to-end fleet campaign — in-process and multiprocess twins on
-   the same 4-board spec — and writes the results to
+   the same 4-board spec, plus a ``campaign_fabric`` lane serving the
+   spec through the distributed coordinator to racing localhost
+   workers — and writes the results to
    ``BENCH_analysis.json`` so the perf trajectory is committed and
    comparable PR-over-PR.
 
@@ -33,6 +35,7 @@ import json
 import statistics
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -60,6 +63,14 @@ from repro.campaign.runtime.executors import (  # noqa: E402
     InProcessExecutor,
     MultiprocessExecutor,
 )
+from repro.campaign.runtime.fabric import (  # noqa: E402
+    FabricCoordinator,
+    FabricWorker,
+)
+
+FABRIC_WORKERS = 2
+"""Concurrent workers the ``campaign_fabric`` bench lane runs against
+the coordinator (threads over a real localhost socket)."""
 from repro.evaluation.scenarios import BoardSession  # noqa: E402
 from repro.utils.buffers import BufferPool  # noqa: E402
 
@@ -351,6 +362,45 @@ def main() -> int:
     throughput = report.throughput
     mp_throughput = mp_report.throughput
 
+    # The distributed-fabric lane: the same spec served by a real
+    # coordinator socket to FABRIC_WORKERS racing worker threads.  Its
+    # ratio vs the in-process twin prices the protocol tax (framing,
+    # dump upload, journal fsyncs) — recorded for the trajectory, never
+    # gated: distribution buys fleet reach, not single-host speed.
+    def run_fabric(run_dir: Path) -> object:
+        coordinator = FabricCoordinator(
+            spec, run_dir,
+            prep=(campaign_profiles, campaign_database),
+        )
+        host, port = coordinator.serve()
+        try:
+            workers = [
+                FabricWorker(
+                    host, port, worker_id=f"bench{index}",
+                    poll_interval=None, heartbeat=False,
+                )
+                for index in range(FABRIC_WORKERS)
+            ]
+            threads = [
+                threading.Thread(target=worker.run) for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return coordinator.run_until_complete(timeout=300)
+        finally:
+            coordinator.close()
+
+    fabric_walls: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="bench_fabric_") as fabric_tmp:
+        run_fabric(Path(fabric_tmp) / "warm")  # warm the path
+        for index in range(args.repeats):
+            started = time.perf_counter()
+            fabric_report = run_fabric(Path(fabric_tmp) / f"run{index}")
+            fabric_walls.append(time.perf_counter() - started)
+    fabric_wall = statistics.median(fabric_walls)
+
     def lane(fast: float, reference: float, lane_mib: float = mib) -> dict:
         return {
             "fast_seconds": round(fast, 6),
@@ -406,6 +456,16 @@ def main() -> int:
             ),
             "speedup_vs_inprocess": round(mp_speedup, 2),
         },
+        "campaign_fabric": {
+            "boards": spec.boards,
+            "victims": fabric_report.victims,
+            "workers": FABRIC_WORKERS,
+            "wall_seconds": round(fabric_wall, 3),
+            "victims_per_second": round(
+                fabric_report.victims / fabric_wall, 3
+            ),
+            "ratio_vs_inprocess": round(campaign_wall / fabric_wall, 2),
+        },
     }
     spool_dir.cleanup()
     mp_speedup = payload["campaign_multiprocess"]["speedup_vs_inprocess"]
@@ -430,6 +490,10 @@ def main() -> int:
     print(f"campaign (multiprocess): "
           f"{payload['campaign_multiprocess']['victims_per_second']} victims/s "
           f"({payload['campaign_multiprocess']['speedup_vs_inprocess']}x vs "
+          f"in-process)")
+    print(f"campaign (fabric, {FABRIC_WORKERS} workers): "
+          f"{payload['campaign_fabric']['victims_per_second']} victims/s "
+          f"({payload['campaign_fabric']['ratio_vs_inprocess']}x vs "
           f"in-process)")
     print(f"wrote {args.output}")
     return 0

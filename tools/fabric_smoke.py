@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""The ``make fabric-smoke`` lane: a distributed kill drill, end to end.
+
+Everything here runs as *real operating-system processes* talking over
+a real localhost socket — the same commands an operator types, so the
+lane covers the CLI plumbing the in-process chaos tests cannot:
+
+1. ``repro campaign run``   — the single-host reference report;
+2. ``repro campaign serve`` — a coordinator on an ephemeral port with
+   a short lease TTL;
+3. a worker started with ``--die-after-waves 1`` — the scripted kill:
+   it claims a board shard, ships one wave, and dies mid-board
+   (exit 3) still holding its lease;
+4. two clean ``repro campaign work`` processes that poll, wait out the
+   dead worker's lease, pick up the re-issued shard, and finish the
+   campaign between them.
+
+The drill passes iff the coordinator exits 0 and the distributed
+``report.json`` is **byte-identical** to the single-host reference —
+the contract the whole fabric exists to keep.
+
+Exit status: 0 = byte-identical, 1 = drill failed (divergent reports,
+a process that would not die or converge), with every subprocess's
+output replayed to stderr for triage.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SPEC_FLAGS = ["--boards", "3", "--victims", "12", "--seed", "7"]
+LEASE_TTL = "5"
+"""Short enough that waiting out the dead worker's lease costs the
+lane seconds, long enough that a loaded CI box cannot expire a *live*
+worker between its own waves."""
+
+SERVE_TIMEOUT = 180.0
+"""Hard wall for the whole drill; the coordinator also enforces it."""
+
+
+def _run(argv: list[str], **kwargs) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        **kwargs,
+    )
+
+
+def _report(label: str, process: subprocess.Popen, output: str) -> None:
+    print(f"--- {label} (exit {process.returncode}) ---", file=sys.stderr)
+    print(output.rstrip() or "<no output>", file=sys.stderr)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fabric_smoke_") as tmp:
+        tmp_path = Path(tmp)
+        failures: list[str] = []
+
+        # 1. Single-host reference.
+        reference_dir = tmp_path / "reference"
+        reference = _run(
+            ["campaign", "run", "--run-dir", str(reference_dir), *SPEC_FLAGS]
+        )
+        ref_output, _ = reference.communicate(timeout=SERVE_TIMEOUT)
+        if reference.returncode != 0:
+            _report("reference run", reference, ref_output)
+            print("fabric-smoke: reference run failed", file=sys.stderr)
+            return 1
+
+        # 2. The coordinator, on an ephemeral port.
+        fabric_dir = tmp_path / "fabric"
+        serve = _run(
+            [
+                "campaign", "serve",
+                "--run-dir", str(fabric_dir),
+                "--port", "0",
+                "--lease-ttl", LEASE_TTL,
+                "--timeout", str(int(SERVE_TIMEOUT)),
+                *SPEC_FLAGS,
+            ]
+        )
+        assert serve.stdout is not None
+        banner = serve.stdout.readline()
+        if "listening on" not in banner:
+            serve.kill()
+            output, _ = serve.communicate()
+            _report("coordinator", serve, banner + output)
+            print("fabric-smoke: coordinator never came up", file=sys.stderr)
+            return 1
+        address = banner.rsplit(" ", 1)[-1].strip()
+        print(f"coordinator up at {address}")
+
+        # 3. The scripted kill: one wave, then death mid-board.
+        casualty = _run(
+            [
+                "campaign", "work", address,
+                "--name", "casualty",
+                "--no-wait",
+                "--die-after-waves", "1",
+            ]
+        )
+        casualty_output, _ = casualty.communicate(timeout=SERVE_TIMEOUT)
+        _report("casualty worker", casualty, casualty_output)
+        if casualty.returncode != 3:
+            failures.append(
+                f"scripted kill exited {casualty.returncode}, expected 3"
+            )
+
+        # 4. Two clean workers race the remaining shards and, once the
+        # dead worker's lease expires, the re-issued one.
+        started = time.monotonic()
+        workers = [
+            _run(["campaign", "work", address, "--name", f"w{index}"])
+            for index in (1, 2)
+        ]
+        for index, worker in enumerate(workers, start=1):
+            output, _ = worker.communicate(timeout=SERVE_TIMEOUT)
+            _report(f"worker w{index}", worker, output)
+            # Exit 2 (coordinator already finished and closed) is a
+            # benign race for whichever worker polled last.
+            if worker.returncode not in (0, 2):
+                failures.append(
+                    f"worker w{index} exited {worker.returncode}"
+                )
+        serve_output, _ = serve.communicate(timeout=SERVE_TIMEOUT)
+        _report("coordinator", serve, serve_output)
+        print(
+            f"drill converged in "
+            f"{time.monotonic() - started:.1f}s after the kill"
+        )
+        if serve.returncode != 0:
+            failures.append(f"coordinator exited {serve.returncode}")
+
+        # 5. The contract: byte-identical reports.
+        reference_bytes = (reference_dir / "report.json").read_bytes()
+        fabric_bytes = (fabric_dir / "report.json").read_bytes()
+        if fabric_bytes != reference_bytes:
+            failures.append(
+                f"distributed report ({len(fabric_bytes)} bytes) diverges "
+                f"from single-host reference ({len(reference_bytes)} bytes)"
+            )
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "fabric-smoke: PASS — worker killed mid-board, shard "
+            "re-leased, report byte-identical to single host"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
