@@ -49,9 +49,11 @@ coverage:
 fuzz-smoke:
 	$(PYTHON) -m repro fuzz run --budget 25 --seed 0 --quiet
 
-# The distributed kill drill: coordinator + workers as real OS
-# processes over localhost, one worker scripted to die mid-board, and
-# a byte-compare of the distributed report against the single-host
+# The distributed chaos drill: coordinator + workers as real OS
+# processes over localhost — one worker scripted to die mid-board,
+# the coordinator SIGTERMed and resumed on the same port, one worker
+# healing through a flaky proxy's scripted connection drops — and a
+# byte-compare of the distributed report against the single-host
 # reference. See docs/distributed.md.
 fabric-smoke:
 	$(PYTHON) tools/fabric_smoke.py

@@ -8,6 +8,7 @@ A checkpointable campaign lives in one directory::
       spool/           content-addressed dump store (see spool.py)
       telemetry.json   real wall-clock numbers (non-canonical)
       report.json      the final CampaignReport, written at completion
+      leases.json      per-board lease-epoch watermarks (fabric only)
 
 **Journal format** — one JSON object per line, flushed and fsynced per
 wave so a kill at any instant loses at most the wave in flight::
@@ -174,6 +175,19 @@ class RunDirectory:
         return self._root / "telemetry.json"
 
     @property
+    def lease_epochs_path(self) -> Path:
+        """``leases.json`` — per-board lease-epoch watermarks.
+
+        Fencing tokens must stay unique across *coordinator* restarts,
+        not just within one coordinator's lifetime: a restarted
+        coordinator that restarted epoch numbering from zero would
+        re-issue a token some fenced-off worker still holds.  The
+        fabric persists each board's highest issued epoch here and
+        resumes numbering above it.
+        """
+        return self._root / "leases.json"
+
+    @property
     def spool(self) -> DumpSpool:
         """The run's content-addressed dump store."""
         return DumpSpool(self._root / "spool")
@@ -266,6 +280,44 @@ class RunDirectory:
             elif record["type"] == "board_complete":
                 state.complete_boards.add(record["board"])
         return state
+
+    # -- lease epochs --------------------------------------------------------
+
+    def load_lease_epochs(self) -> dict[int, int]:
+        """Per-board epoch watermarks from a previous coordinator.
+
+        Empty when the run never served leases (fresh directory, or a
+        single-host run) — epoch numbering then starts at 1 as usual.
+        """
+        if not self.lease_epochs_path.exists():
+            return {}
+        payload = json.loads(self.lease_epochs_path.read_text())
+        return {
+            int(board): int(epoch)
+            for board, epoch in payload.get("epochs", {}).items()
+        }
+
+    def save_lease_epochs(self, epochs: dict[int, int]) -> None:
+        """Persist the highest epoch issued per board (atomic rename).
+
+        Written on every lease issue; the write-then-rename keeps a
+        coordinator killed mid-save from leaving a torn file that a
+        resume would misread as "no epochs ever issued".
+        """
+        tmp_path = self.lease_epochs_path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps(
+                {
+                    "epochs": {
+                        str(board): epoch
+                        for board, epoch in sorted(epochs.items())
+                    }
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        os.replace(tmp_path, self.lease_epochs_path)
 
     # -- results -------------------------------------------------------------
 

@@ -56,6 +56,19 @@ duplicate deliveries therefore cannot perturb a single byte of
 ``report.json``; the chaos suite (``tests/fabric_chaos.py``) pins
 this under scripted kills, heartbeat loss, duplicate claims, and torn
 streams.
+
+**Self-healing.**  The transport is assumed flaky.
+:class:`ResilientFabricClient` wraps every worker exchange in a
+:class:`~repro.utils.resilience.RetryPolicy`-driven
+reconnect-and-replay loop (safe because every op is idempotent,
+deduplicated, fenced, or convergent — see its docstring), the worker's
+heartbeat thread flags lease loss to the claim loop instead of dying
+silently, and lease epochs are persisted to the run directory so a
+*restarted* coordinator (:meth:`FabricCoordinator.resume`) re-admits
+workers under fresh epochs without ever re-minting a fencing token.
+Transport-level drills (``repro.campaign.runtime.netchaos.FlakyProxy``
+injecting drops, torn frames, stalls, and partitions) pin the same
+byte-identity contract under network chaos.
 """
 
 from __future__ import annotations
@@ -93,10 +106,27 @@ from repro.campaign.schedule import (
 from repro.campaign.worker import BoardWorker, VictimOutcome
 from repro.errors import (
     DumpTransferError,
+    FabricConnectionError,
     FabricError,
     FabricProtocolError,
+    FabricTimeoutError,
+    RetryExhaustedError,
     StaleLeaseError,
 )
+from repro.utils.resilience import ManualClock, RetryPolicy
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_RETRY_POLICY",
+    "FABRIC_FORMAT",
+    "FabricClient",
+    "FabricCoordinator",
+    "FabricWorker",
+    "Lease",
+    "LeaseTable",
+    "ManualClock",  # re-exported; now lives in repro.utils.resilience
+    "ResilientFabricClient",
+]
 
 if TYPE_CHECKING:
     from repro.campaign.schedule import VictimJob
@@ -107,36 +137,16 @@ FABRIC_FORMAT = 1
 DEFAULT_LEASE_TTL = 30.0
 """Seconds a lease survives without any authenticated op."""
 
-
-class ManualClock:
-    """A hand-advanced monotonic clock for deterministic lease drills.
-
-    The coordinator takes any ``() -> float`` as its clock; tests
-    inject one of these and *advance* it past a lease deadline instead
-    of sleeping, so expiry/reclaim behaviour is exact and instant.
-
-    >>> clock = ManualClock()
-    >>> clock()
-    0.0
-    >>> clock.advance(31.0)
-    >>> clock()
-    31.0
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-        self._lock = threading.Lock()
-
-    def __call__(self) -> float:
-        with self._lock:
-            return self._now
-
-    def advance(self, seconds: float) -> None:
-        """Move time forward (never backward — the clock is monotonic)."""
-        if seconds < 0:
-            raise ValueError("a monotonic clock cannot run backwards")
-        with self._lock:
-            self._now += seconds
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=6,
+    base_delay=0.5,
+    multiplier=2.0,
+    max_delay=8.0,
+    jitter=0.25,
+)
+"""The worker's default tolerance for a flaky or restarting
+coordinator: ~16 s of exponential backoff across 6 attempts, jittered
+so a restarted coordinator is not hit by every worker at once."""
 
 
 @dataclass
@@ -165,11 +175,16 @@ class LeaseTable:
         boards: Iterable[int],
         ttl: float,
         clock: Callable[[], float],
+        *,
+        epoch_floor: dict[int, int] | None = None,
     ) -> None:
         self._pending: set[int] = set(boards)
         self._active: dict[int, Lease] = {}
         self._complete: set[int] = set()
-        self._epochs: dict[int, int] = {}
+        # *epoch_floor* seeds numbering above a previous coordinator's
+        # watermarks, so fencing stays sound across restarts: a token
+        # issued before the crash can never be re-minted after it.
+        self._epochs: dict[int, int] = dict(epoch_floor or {})
         self._ttl = ttl
         self._clock = clock
         self.leases_issued = 0
@@ -243,6 +258,10 @@ class LeaseTable:
     def done(self) -> bool:
         """Every tracked board has completed."""
         return not self._pending and not self._active
+
+    def epochs(self) -> dict[int, int]:
+        """Highest epoch issued per board — the restart watermarks."""
+        return dict(self._epochs)
 
     def snapshot(self) -> dict:
         """Counts for the ``status`` op and telemetry."""
@@ -387,6 +406,7 @@ class FabricCoordinator:
             ),
             lease_ttl,
             clock,
+            epoch_floor=run_dir.load_lease_epochs(),
         )
         if self._table.done:
             self._finalize()
@@ -487,11 +507,22 @@ class FabricCoordinator:
     def run_until_complete(
         self, timeout: float | None = None
     ) -> CampaignReport:
-        """Block until every board completes; returns the final report."""
+        """Block until every board completes; returns the final report.
+
+        **Clean-timeout contract.**  A timeout raises
+        :class:`~repro.errors.FabricTimeoutError` and nothing else
+        happens: the server keeps accepting connections, the journal,
+        spool, and lease table are exactly as the last request left
+        them, and outstanding leases keep expiring on the injected
+        clock.  The caller may wait again, keep serving, or
+        :meth:`close` — and after a close, the run directory resumes
+        via :meth:`resume` to a byte-identical report.
+        """
         if not self._finished.wait(timeout):
-            raise FabricError(
+            raise FabricTimeoutError(
                 f"campaign did not complete within {timeout} seconds "
-                f"({self.status()['boards_pending']} board(s) pending)"
+                f"({self.status()['boards_pending']} board(s) pending); "
+                f"the run directory remains resumable"
             )
         assert self._report is not None
         return self._report
@@ -576,6 +607,10 @@ class FabricCoordinator:
                 # Everything is leased out; the claimant may poll again
                 # (a lease may yet expire) or exit if it won't wait.
                 return {"board": None, "lease": None, "done": False}
+            # Persist the watermark before the token leaves the
+            # coordinator: once a worker holds it, no restart may ever
+            # re-issue it.
+            self._run_dir.save_lease_epochs(self._table.epochs())
             return {
                 "board": lease.board,
                 "lease": lease.token,
@@ -741,76 +776,17 @@ class FabricCoordinator:
         self._finished.set()
 
 
-class FabricClient:
-    """One line-oriented JSON connection to a coordinator.
+class _DumpWireOps:
+    """Digest-verified dump transfer, shared by both client flavours.
 
-    Thread-safe: a lock serializes request/response pairs, so a
-    worker's heartbeat thread can share its main loop's connection.
-    Error responses map back onto the fabric exception hierarchy
-    (``stale-lease`` → :class:`StaleLeaseError`, digest trouble →
-    :class:`DumpTransferError`, everything else →
-    :class:`FabricProtocolError`).
+    Anything with a ``request(op, **fields)`` method gets uploads and
+    downloads with content verification on the untrusted-transport
+    side; :class:`ResilientFabricClient` inherits these unchanged, so
+    a dump fetched across a reconnect is still re-hashed on arrival.
     """
 
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        *,
-        timeout: float = 60.0,
-    ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
-        self._lock = threading.Lock()
-        self._closed = False
-
     def request(self, op: str, **fields) -> dict:
-        """Send one op and return its decoded ``ok`` response."""
-        payload = {"op": op, **fields}
-        line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
-        with self._lock:
-            if self._closed:
-                raise FabricProtocolError(
-                    f"client already closed (sending {op!r})"
-                )
-            try:
-                self._file.write(line)
-                self._file.flush()
-                answer = self._file.readline()
-            except OSError as exc:
-                raise FabricProtocolError(
-                    f"connection lost during {op!r}: {exc}"
-                ) from exc
-        if not answer:
-            raise FabricProtocolError(
-                f"coordinator closed the stream during {op!r}"
-            )
-        try:
-            response = json.loads(answer)
-        except ValueError as exc:
-            raise FabricProtocolError(
-                f"unparseable response to {op!r}"
-            ) from exc
-        if not response.get("ok"):
-            code = response.get("code")
-            error = str(response.get("error", "unspecified fabric error"))
-            if code == "stale-lease":
-                raise StaleLeaseError(
-                    str(fields.get("lease", "?")), error
-                )
-            if code in ("digest-mismatch", "unknown-digest"):
-                raise DumpTransferError(error)
-            raise FabricProtocolError(f"{code}: {error}")
-        return response
-
-    def send_raw(self, data: bytes) -> None:
-        """Write raw bytes to the stream — the chaos harness's torn-
-        stream injection point.  No response is read."""
-        with self._lock:
-            self._file.write(data)
-            self._file.flush()
-
-    # -- spool-over-the-wire helpers -----------------------------------------
+        raise NotImplementedError
 
     def put_dump(self, data: bytes) -> dict:
         """Upload raw dump bytes under their own digest."""
@@ -838,6 +814,101 @@ class FabricClient:
             )
         return data
 
+
+class FabricClient(_DumpWireOps):
+    """One line-oriented JSON connection to a coordinator.
+
+    Thread-safe: a lock serializes request/response pairs, so a
+    worker's heartbeat thread can share its main loop's connection.
+    Error responses map back onto the fabric exception hierarchy
+    (``stale-lease`` → :class:`StaleLeaseError`, digest trouble →
+    :class:`DumpTransferError`, everything else →
+    :class:`FabricProtocolError`), and *transport* deaths — refused,
+    reset, timed out, or closed mid-frame — raise the retryable
+    subclass :class:`~repro.errors.FabricConnectionError` so a policy
+    layer can tell "the wire died" from "the coordinator said no".
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise FabricConnectionError(
+                f"cannot reach coordinator at {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and return its decoded ``ok`` response."""
+        payload = {"op": op, **fields}
+        line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        with self._lock:
+            if self._closed:
+                raise FabricProtocolError(
+                    f"client already closed (sending {op!r})"
+                )
+            try:
+                self._file.write(line)
+                self._file.flush()
+                answer = self._file.readline()
+            except OSError as exc:
+                raise FabricConnectionError(
+                    f"connection lost during {op!r}: {exc}"
+                ) from exc
+        if not answer:
+            raise FabricConnectionError(
+                f"coordinator closed the stream during {op!r}"
+            )
+        if not answer.endswith(b"\n"):
+            # The stream died mid-frame: a response prefix arrived and
+            # then EOF.  Retryable — the reply was lost, not malformed.
+            raise FabricConnectionError(
+                f"response to {op!r} cut off mid-frame"
+            )
+        try:
+            response = json.loads(answer)
+        except ValueError as exc:
+            raise FabricProtocolError(
+                f"unparseable response to {op!r}"
+            ) from exc
+        if not response.get("ok"):
+            code = response.get("code")
+            error = str(response.get("error", "unspecified fabric error"))
+            if code == "stale-lease":
+                raise StaleLeaseError(
+                    str(fields.get("lease", "?")), error
+                )
+            if code in ("digest-mismatch", "unknown-digest"):
+                raise DumpTransferError(error)
+            raise FabricProtocolError(f"{code}: {error}")
+        return response
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the stream — the chaos harness's torn-
+        stream injection point.  No response is read."""
+        with self._lock:
+            if self._closed:
+                raise FabricProtocolError(
+                    "client already closed (sending raw bytes)"
+                )
+            try:
+                self._file.write(data)
+                self._file.flush()
+            except OSError as exc:
+                raise FabricConnectionError(
+                    f"connection lost during raw send: {exc}"
+                ) from exc
+
     def close(self) -> None:
         with self._lock:
             if self._closed:
@@ -853,6 +924,181 @@ class FabricClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class ResilientFabricClient(_DumpWireOps):
+    """A fabric client that survives the wire: redial, re-handshake,
+    replay.
+
+    Wraps :class:`FabricClient` with a
+    :class:`~repro.utils.resilience.RetryPolicy`-driven
+    reconnect-and-replay loop.  When an op dies with
+    :class:`~repro.errors.FabricConnectionError` — dial refused,
+    reset mid-exchange, reply lost — the client drops the dead
+    connection, backs off per the policy, redials, runs the
+    *handshake* hook on the fresh connection, and re-sends the
+    in-flight op.
+
+    **Why replay is safe.**  Every fabric op is either idempotent
+    (``hello``, ``heartbeat``, ``has_dump``, ``fetch_dump``,
+    ``status``), deduplicated by content (``put_dump`` by digest,
+    ``wave`` by ``job_id``), or fenced (``board_complete`` under a
+    lease token — a replay after the first copy landed gets a benign
+    :class:`StaleLeaseError`).  The one non-idempotent op, ``claim``,
+    is *convergent*: if the original claim landed but its reply was
+    lost, the orphaned lease simply expires and the board re-issues.
+    So at-least-once delivery can never corrupt the journal — the
+    property the chaos drills pin.
+
+    Non-retryable errors — :class:`StaleLeaseError`,
+    :class:`DumpTransferError`, protocol violations — propagate
+    immediately: the coordinator *answered*; retrying would just
+    repeat the answer.  When the retry budget runs out the last
+    connection error surfaces as
+    :class:`~repro.errors.RetryExhaustedError`.
+
+    Thread-safe like :class:`FabricClient`: a worker's heartbeat
+    thread shares the connection, and redials are serialized so
+    concurrent failures produce one reconnect, not a stampede.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        timeout: float = 60.0,
+        handshake: "Callable[[FabricClient], None] | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        on_reconnect: Callable[[int], None] | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._policy = policy
+        self._timeout = timeout
+        self._handshake = handshake
+        self._clock = clock
+        self._sleep = sleep
+        self._on_reconnect = on_reconnect
+        self._conn_lock = threading.Lock()
+        self._client: FabricClient | None = None
+        self._dialed_once = False
+        self._closed = False
+        self.reconnects = 0
+        self.replays = 0
+
+    def connect(self) -> None:
+        """Dial (and handshake) eagerly, under the retry policy.
+
+        Optional — the first :meth:`request` dials lazily — but a
+        worker calls this up front so "coordinator never reachable"
+        surfaces before any lease is claimed.
+        """
+        self._policy.call(
+            self._ensure_connected,
+            retry_on=(FabricConnectionError,),
+            clock=self._clock,
+            sleep=self._sleep,
+            op=f"connect to {self._host}:{self._port}",
+        )
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one op, reconnecting and replaying until it lands.
+
+        Raises :class:`~repro.errors.RetryExhaustedError` (with the
+        final :class:`FabricConnectionError` as ``__cause__``) once
+        the policy's attempt or deadline budget is spent.
+        """
+        sent_once = [False]
+
+        def attempt() -> dict:
+            client = self._ensure_connected()
+            if sent_once[0]:
+                with self._conn_lock:
+                    self.replays += 1
+            sent_once[0] = True
+            try:
+                return client.request(op, **fields)
+            except FabricConnectionError:
+                self._drop(client)
+                raise
+
+        return self._policy.call(
+            attempt,
+            retry_on=(FabricConnectionError,),
+            clock=self._clock,
+            sleep=self._sleep,
+            op=f"fabric op {op!r}",
+        )
+
+    def send_raw(self, data: bytes) -> None:
+        """Raw bytes onto the *current* connection — chaos injection
+        point; never retried (raw bytes are not a replayable op)."""
+        self._ensure_connected().send_raw(data)
+
+    def stats(self) -> dict:
+        """Reconnect/replay counters for telemetry and drills."""
+        with self._conn_lock:
+            return {"reconnects": self.reconnects, "replays": self.replays}
+
+    def close(self) -> None:
+        with self._conn_lock:
+            self._closed = True
+            client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def __enter__(self) -> "ResilientFabricClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_connected(self) -> FabricClient:
+        with self._conn_lock:
+            if self._closed:
+                raise FabricProtocolError("client already closed")
+            if self._client is not None:
+                return self._client
+            reconnecting = self._dialed_once
+        client = FabricClient(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            if self._handshake is not None:
+                self._handshake(client)
+        except BaseException:
+            client.close()
+            raise
+        with self._conn_lock:
+            if self._closed:
+                client.close()
+                raise FabricProtocolError("client already closed")
+            if self._client is not None:
+                # Another thread won the redial race; use its link.
+                client.close()
+                return self._client
+            self._client = client
+            self._dialed_once = True
+            if reconnecting:
+                self.reconnects += 1
+                count = self.reconnects
+            else:
+                count = 0
+        if reconnecting and self._on_reconnect is not None:
+            self._on_reconnect(count)
+        return client
+
+    def _drop(self, client: FabricClient) -> None:
+        """Discard a connection an op just died on."""
+        with self._conn_lock:
+            if self._client is client:
+                self._client = None
+        client.close()
 
 
 class _SimulatedWorkerDeath(Exception):
@@ -881,6 +1127,20 @@ class FabricWorker:
     *poll_interval=None* makes ``run()`` return as soon as no lease is
     claimable (drain-and-exit — what in-process drills want);
     otherwise the worker polls until the campaign is done.
+
+    **Self-healing.**  All traffic flows through a
+    :class:`ResilientFabricClient` under *retry_policy*: connection
+    loss and coordinator restarts are outages to ride out
+    (redial, re-handshake, replay), not fatal errors.  A board whose
+    lease was lost during an outage — observed as
+    :class:`StaleLeaseError` on the next op, or flagged by the
+    heartbeat thread — is abandoned cleanly and the worker claims
+    fresh work.  When the coordinator stays unreachable past the
+    policy's budget, ``run()`` raises
+    :class:`~repro.errors.RetryExhaustedError`, which ``repro
+    campaign work`` maps to its documented exit code 4.  *clock* and
+    *sleep* are injectable so retry drills run on
+    :class:`ManualClock` with zero wall-clock waits.
     """
 
     def __init__(
@@ -894,6 +1154,9 @@ class FabricWorker:
         heartbeat: bool = True,
         die_after_waves: int | None = None,
         timeout: float = 60.0,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self._host = host
         self._port = port
@@ -905,17 +1168,25 @@ class FabricWorker:
         self._heartbeat = heartbeat
         self._die_after_waves = die_after_waves
         self._timeout = timeout
+        self._retry_policy = retry_policy
+        self._clock = clock
+        self._sleep = sleep
         self._uploaded: set[str] = set()
         self._lease_lock = threading.Lock()
         self._current_lease: str | None = None
         self._stop_heartbeat = threading.Event()
+        self._heartbeat_failed = threading.Event()
+        self._heartbeat_failed_token: str | None = None
+        self._last_hello: dict | None = None
 
     def run(self) -> dict:
         """Work the campaign until drained, done, or scripted death.
 
         Returns a stats dict (boards completed/abandoned, waves and
-        dumps shipped, whether the scripted death fired) — the chaos
-        tests and the CLI both read it.
+        dumps shipped, reconnects/replays survived, whether the
+        scripted death fired) — the chaos tests and the CLI both read
+        it.  Raises :class:`~repro.errors.RetryExhaustedError` when
+        the coordinator stays unreachable past the retry budget.
         """
         stats = {
             "worker": self.worker_id,
@@ -926,6 +1197,9 @@ class FabricWorker:
             "dumps_uploaded": 0,
             "dumps_deduplicated": 0,
             "stale_leases": 0,
+            "reconnects": 0,
+            "replays": 0,
+            "heartbeat_failures": 0,
             "died": False,
         }
         scratch: tempfile.TemporaryDirectory | None = None
@@ -935,15 +1209,28 @@ class FabricWorker:
         else:
             spool_root = os.fspath(self._spool_dir)
         heartbeat_thread: threading.Thread | None = None
+        client = ResilientFabricClient(
+            self._host,
+            self._port,
+            policy=self._retry_policy,
+            timeout=self._timeout,
+            handshake=self._verify_peer,
+            clock=self._clock,
+            sleep=self._sleep,
+        )
         try:
-            with FabricClient(
-                self._host, self._port, timeout=self._timeout
-            ) as client:
-                world = self._handshake(client)
+            with client:
+                # Eager dial: "coordinator never reachable" surfaces
+                # here, before any lease is claimed.  The handshake
+                # hook re-runs on every redial, so a restarted
+                # coordinator re-admits this worker automatically.
+                client.connect()
+                assert self._last_hello is not None
+                world = self._build_world(self._last_hello)
                 if self._heartbeat:
                     heartbeat_thread = threading.Thread(
                         target=self._heartbeat_loop,
-                        args=(client, world["lease_ttl"] / 3.0),
+                        args=(client, world["lease_ttl"] / 3.0, stats),
                         name=f"fabric-heartbeat-{self.worker_id}",
                         daemon=True,
                     )
@@ -959,17 +1246,27 @@ class FabricWorker:
                 heartbeat_thread.join(timeout=5)
             if scratch is not None:
                 scratch.cleanup()
+            stats.update(client.stats())
         return stats
 
     # -- the work loop -------------------------------------------------------
 
-    def _handshake(self, client: FabricClient) -> dict:
+    def _verify_peer(self, client: FabricClient) -> None:
+        """The (re)handshake: runs on every dial, first and redials.
+
+        Registers the worker, refuses a format-incompatible
+        coordinator, and keeps the latest ``hello`` payload for
+        :meth:`_build_world`.
+        """
         hello = client.request("hello", worker=self.worker_id)
         if hello["format"] != FABRIC_FORMAT:
             raise FabricProtocolError(
                 f"coordinator speaks fabric format {hello['format']}, "
                 f"this worker speaks {FABRIC_FORMAT}"
             )
+        self._last_hello = hello
+
+    def _build_world(self, hello: dict) -> dict:
         spec = spec_from_dict(hello["spec"])
         kernel_config = None
         if hello.get("defense_profile"):
@@ -992,7 +1289,7 @@ class FabricWorker:
 
     def _claim_loop(
         self,
-        client: FabricClient,
+        client: "ResilientFabricClient",
         world: dict,
         spool: DumpSpool,
         stats: dict,
@@ -1002,11 +1299,15 @@ class FabricWorker:
             if claim["board"] is None:
                 if claim["done"] or self._poll_interval is None:
                     return
-                time.sleep(self._poll_interval)
+                self._sleep(self._poll_interval)
                 continue
             board, token = int(claim["board"]), str(claim["lease"])
             with self._lease_lock:
                 self._current_lease = token
+                # A failure flagged against some *previous* lease must
+                # not poison this fresh one.
+                self._heartbeat_failed_token = None
+                self._heartbeat_failed.clear()
             try:
                 self._run_board(
                     client, world, spool, board, token, stats
@@ -1025,7 +1326,7 @@ class FabricWorker:
 
     def _run_board(
         self,
-        client: FabricClient,
+        client: "ResilientFabricClient",
         world: dict,
         spool: DumpSpool,
         board: int,
@@ -1045,6 +1346,7 @@ class FabricWorker:
         )
         waves_sent = 0
         for wave, outcomes in worker.iter_waves(jobs):
+            self._check_heartbeat(token)
             canonical = [
                 canonical_outcome(outcome) for outcome in outcomes
             ]
@@ -1070,9 +1372,27 @@ class FabricWorker:
         self._before_board_complete(client, token, board)
         client.request("board_complete", lease=token)
 
+    def _check_heartbeat(self, token: str) -> None:
+        """Abandon the board when the heartbeat thread lost its lease.
+
+        Without this check a worker whose heartbeats were silently
+        failing would grind through an entire board the coordinator
+        already re-leased, discover the fencing only at the final op,
+        and waste the whole shard's work.  The event turns that into a
+        deliberate, early abandon.
+        """
+        if not self._heartbeat_failed.is_set():
+            return
+        with self._lease_lock:
+            failed = self._heartbeat_failed_token
+        if failed == token:
+            raise StaleLeaseError(
+                token, "heartbeat failure observed by the claim loop"
+            )
+
     def _ship_dumps(
         self,
-        client: FabricClient,
+        client: "ResilientFabricClient",
         spool: DumpSpool,
         outcomes: "list[VictimOutcome]",
         stats: dict,
@@ -1092,7 +1412,10 @@ class FabricWorker:
                 stats["dumps_deduplicated"] += 1
 
     def _heartbeat_loop(
-        self, client: FabricClient, interval: float
+        self,
+        client: "ResilientFabricClient",
+        interval: float,
+        stats: dict,
     ) -> None:
         while not self._stop_heartbeat.wait(max(interval, 0.05)):
             with self._lease_lock:
@@ -1101,16 +1424,24 @@ class FabricWorker:
                 continue
             try:
                 client.request("heartbeat", lease=token)
-            except FabricError:
-                # Stale or racing — the main loop discovers this on
-                # its next authenticated op; nothing to do here.
-                continue
+            except (FabricError, RetryExhaustedError):
+                # The lease is stale, or the coordinator stayed
+                # unreachable past the retry budget — either way this
+                # lease cannot be trusted anymore.  Flag it so the
+                # claim loop abandons the board *deliberately* instead
+                # of silently working a shard the coordinator may
+                # already have re-issued to someone else.
+                with self._lease_lock:
+                    if self._current_lease == token:
+                        self._heartbeat_failed_token = token
+                        self._heartbeat_failed.set()
+                stats["heartbeat_failures"] += 1
 
     # -- chaos hooks ---------------------------------------------------------
 
     def _before_wave_send(
         self,
-        client: FabricClient,
+        client: "ResilientFabricClient",
         token: str,
         board: int,
         wave: int,
@@ -1121,7 +1452,7 @@ class FabricWorker:
         streams, duplicate sends, or die at exact points."""
 
     def _before_board_complete(
-        self, client: FabricClient, token: str, board: int
+        self, client: "ResilientFabricClient", token: str, board: int
     ) -> None:
         """Called after a board's last wave shipped, before its
         completion marker.  Chaos override point."""

@@ -32,7 +32,10 @@ Exit codes, uniformly: 0 = success, 1 = the requested work ran but
 found failures (attack failed, figure claims broke, campaign victims
 failed, fuzz oracles fired), 2 = usage or input error (bad flags,
 malformed or missing files), 3 = a checkpointable campaign was
-interrupted and can be resumed.
+interrupted and can be resumed, 4 = a fabric worker's retry budget
+ran out (the coordinator stayed unreachable past the ``--retry-*``
+bounds — the worker gave up deliberately; restart the coordinator
+with ``campaign serve --resume`` and re-run the worker).
 """
 
 from __future__ import annotations
@@ -387,13 +390,23 @@ def _cmd_campaign_serve(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_work(args: argparse.Namespace) -> int:
     from repro.campaign.runtime.fabric import FabricWorker
-    from repro.errors import FabricError
+    from repro.errors import FabricError, RetryExhaustedError
+    from repro.utils.resilience import RetryPolicy
 
     host, _, port_text = args.coordinator.rpartition(":")
     if not host or not port_text.isdigit():
         return _usage_error(
             f"coordinator address must be HOST:PORT, got {args.coordinator!r}"
         )
+    try:
+        retry_policy = RetryPolicy(
+            max_attempts=args.retry_attempts,
+            base_delay=args.retry_base,
+            max_delay=args.retry_cap,
+            deadline=args.retry_budget,
+        )
+    except ValueError as error:
+        return _usage_error(error)
     worker = FabricWorker(
         host,
         int(port_text),
@@ -401,9 +414,19 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
         spool_dir=args.spool_dir,
         poll_interval=None if args.no_wait else args.poll_interval,
         die_after_waves=args.die_after_waves,
+        retry_policy=retry_policy,
     )
     try:
         stats = worker.run()
+    except RetryExhaustedError as error:
+        print(f"RETRY BUDGET EXHAUSTED: {error}", file=sys.stderr)
+        print(
+            "the coordinator stayed unreachable; restart it with "
+            "`repro campaign serve --resume <run-dir>` and re-run "
+            "this worker",
+            file=sys.stderr,
+        )
+        return 4
     except (FabricError, OSError) as error:
         print(f"fabric worker failed: {error}", file=sys.stderr)
         return 2
@@ -414,6 +437,12 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
         f"{stats['outcomes_sent']} outcome(s), "
         f"{stats['dumps_uploaded']} dump(s) uploaded"
     )
+    if stats["reconnects"]:
+        print(
+            f"self-healed through {stats['reconnects']} reconnect(s), "
+            f"{stats['replays']} replayed op(s), "
+            f"{stats['heartbeat_failures']} heartbeat failure(s)"
+        )
     if stats["died"]:
         print(
             "DIED: scripted fault fired mid-board; the coordinator "
@@ -827,6 +856,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fault-injection drill: die mid-board (exit 3) after "
         "shipping N waves, leaving the lease to expire and re-issue",
+    )
+    campaign_work.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=6,
+        metavar="N",
+        help="max tries per fabric op before giving up with exit 4 "
+        "(connection loss and coordinator restarts are retried with "
+        "exponential backoff; default: 6)",
+    )
+    campaign_work.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="first-retry backoff; doubles per attempt (default: 0.5)",
+    )
+    campaign_work.add_argument(
+        "--retry-cap",
+        type=float,
+        default=8.0,
+        metavar="SECONDS",
+        help="ceiling on any single backoff delay (default: 8)",
+    )
+    campaign_work.add_argument(
+        "--retry-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="total wall-clock budget per retried op; a retry that "
+        "would overshoot it exits 4 instead (default: unbounded)",
     )
     campaign_work.set_defaults(func=_cmd_campaign_work)
 

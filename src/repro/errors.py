@@ -161,6 +161,67 @@ class FabricProtocolError(FabricError):
     mid-exchange)."""
 
 
+class FabricConnectionError(FabricProtocolError):
+    """The transport under a fabric exchange died — the connection was
+    refused, reset, timed out, or closed mid-frame.
+
+    Distinguished from its parent because this class is *retryable*:
+    the request may never have reached the coordinator (or its reply
+    was lost), so a :class:`~repro.utils.resilience.RetryPolicy`-driven
+    client can redial, re-handshake, and replay the op.  Every fabric
+    op is safe to replay — the journal dedups by ``job_id`` and leases
+    fence by epoch — so reconnect-and-replay can never corrupt state.
+    """
+
+
+class FabricTimeoutError(FabricError):
+    """``run_until_complete`` gave up waiting for the campaign.
+
+    A *clean* timeout: the coordinator's journal, spool, and lease
+    table are untouched — outstanding leases simply keep expiring —
+    and ``close()`` remains safe to call.  The run directory stays
+    resumable via :meth:`FabricCoordinator.resume
+    <repro.campaign.runtime.fabric.FabricCoordinator.resume>`.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A :class:`~repro.utils.resilience.CircuitBreaker` is open.
+
+    The protected operation has failed enough times in a row that the
+    breaker refuses to even attempt it until the reset window passes;
+    callers should back off rather than hammer a peer that is down.
+    """
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        self.name = name
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit {name!r} is open; retry in {retry_after:.3f}s"
+        )
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation ran out of attempts or deadline budget.
+
+    Raised by :meth:`RetryPolicy.call
+    <repro.utils.resilience.RetryPolicy.call>` (and the fabric's
+    reconnect-and-replay client built on it) with the final underlying
+    failure chained as ``__cause__``.  A fabric worker that surfaces
+    this has deliberately given up on an unreachable coordinator —
+    ``repro campaign work`` maps it to the documented exit code 4.
+    """
+
+    def __init__(self, op: str, attempts: int, elapsed: float) -> None:
+        self.op = op
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(
+            f"{op}: retry budget exhausted after {attempts} attempt(s) "
+            f"over {elapsed:.3f}s"
+        )
+
+
 class StaleLeaseError(FabricError):
     """An operation arrived under a lease that is no longer current.
 

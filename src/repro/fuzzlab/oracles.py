@@ -45,8 +45,11 @@ The registry covers every cross-cutting contract the codebase claims:
     the same spec served through the distributed fabric — a
     :class:`~repro.campaign.runtime.fabric.FabricCoordinator` leasing
     board shards to the scenario's worker count over a real socket,
-    with an optional scripted mid-board worker kill and re-lease —
-    writes a ``report.json`` byte-identical to the single-host run's.
+    with an optional scripted mid-board worker kill and re-lease, and
+    optional transport chaos (a
+    :class:`~repro.campaign.runtime.netchaos.FlakyProxy` injecting
+    scripted connection drops and full partitions) — writes a
+    ``report.json`` byte-identical to the single-host run's.
 
 Violation messages carry only deterministic facts (digests, job ids,
 counts) — never wall-clock values or filesystem paths — so a fuzz
@@ -689,10 +692,12 @@ def _fabric_identity(world: ScenarioWorld) -> list[str]:
 
     The runner served the scenario's spec through a real coordinator
     socket with ``scenario.fabric_workers`` concurrent workers and —
-    when the scenario scripts one — a worker killed mid-board whose
-    lease expired and re-issued.  Worker count, claim interleaving,
-    and crash choreography are all implementation detail; the report
-    bytes are the contract.
+    when the scenario scripts them — a worker killed mid-board whose
+    lease expired and re-issued, scripted connection drops forcing
+    reconnect-and-replay, and full partitions riding a ``FlakyProxy``.
+    Worker count, claim interleaving, crash choreography, and network
+    weather are all implementation detail; the report bytes are the
+    contract.
     """
     scenario = world.scenario
     problems = []
@@ -701,10 +706,21 @@ def _fabric_identity(world: ScenarioWorld) -> list[str]:
         return problems
     if world.fabric_report_bytes != world.baseline_report_bytes:
         kill = scenario.fabric_kill_after_waves
+        drop = scenario.fabric_drop_after_ops
+        chaos = [
+            "no scripted kill" if kill is None
+            else f"kill after {kill} wave(s)",
+            "clean wire" if drop is None
+            else f"drop every {drop} op(s)",
+        ]
+        if scenario.fabric_partition_ticks:
+            chaos.append(
+                f"{scenario.fabric_partition_ticks} partition tick(s)"
+            )
         problems.append(
             f"distributed report diverges from single-host report "
             f"({scenario.fabric_workers} worker(s), "
-            f"{'no scripted kill' if kill is None else f'kill after {kill} wave(s)'}): "
+            f"{', '.join(chaos)}): "
             f"{_digest(world.fabric_report_bytes)} != "
             f"{_digest(world.baseline_report_bytes)}"
         )

@@ -23,7 +23,10 @@ no mocks, no shortcuts — collecting every artifact the oracles need:
    ephemeral socket leasing board shards to the scenario's worker
    count, with an optional scripted worker kill whose lease expires
    on an injected :class:`~repro.campaign.runtime.fabric.ManualClock`
-   and re-issues — for the fabric-identity oracle.
+   and re-issues, and optional *transport* chaos (a
+   :class:`~repro.campaign.runtime.netchaos.FlakyProxy` injecting
+   scripted connection drops and full partitions between workers and
+   coordinator) — for the fabric-identity oracle.
 
 Offline prep (profiling + signature mining) is cached per
 ``(model mix, input size)`` across scenarios — it is a pure function
@@ -64,12 +67,18 @@ from repro.campaign.runtime.fabric import (
     FabricWorker,
     ManualClock,
 )
+from repro.campaign.runtime.netchaos import ChaosScript, FlakyProxy
 from repro.campaign.runtime.runner import CampaignRuntime
 from repro.campaign.runtime.spool import DumpSpool
 from repro.campaign.schedule import build_schedule
 from repro.defense.arena import ScrapeDelayHook
 from repro.defense.profiles import DefenseConfig, defense_profile
-from repro.errors import CampaignInterrupted
+from repro.errors import (
+    CampaignInterrupted,
+    FabricError,
+    RetryExhaustedError,
+)
+from repro.utils.resilience import RetryPolicy
 from repro.evaluation.metrics import nonzero_bytes
 from repro.fuzzlab.oracles import (
     WORLD_INTEGRITY,
@@ -129,9 +138,21 @@ FABRIC_LEASE_TTL = 30.0
 the drill advances explicitly, so the value only has to be something a
 drill can jump past — no wall clock ever waits on it."""
 
-_FABRIC_DRAIN_ROUNDS = 10
+_FABRIC_DRAIN_ROUNDS = 12
 """Claim/expire rounds a fabric drill may take before the runner calls
 non-convergence a world-build crash (a real finding)."""
+
+_FUZZ_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.01, max_delay=0.05, jitter=0.0
+)
+"""Worker retry policy for fuzzed fabric drills: enough attempts to
+ride out every scripted connection drop, with delays that cost nothing
+because the injected sleep below is a no-op."""
+
+
+def _no_sleep(seconds: float) -> None:
+    """Injected worker sleep for drills — backoff without wall clock."""
+    del seconds
 
 
 def _fabric_run(
@@ -145,6 +166,16 @@ def _fabric_run(
     manual clock past the lease TTL (expiring whatever a dead worker
     still holds) and throws ``fabric_workers`` fresh threaded workers
     at the coordinator until the campaign converges.
+
+    Transport chaos rides on top: when ``fabric_drop_after_ops`` or
+    ``fabric_partition_ticks`` is set, every worker reaches the
+    coordinator through a :class:`FlakyProxy` that cuts the wire on a
+    request-ordinal schedule (workers reconnect and replay under
+    :data:`_FUZZ_RETRY_POLICY`) and, for partition ticks, refuses all
+    traffic for whole rounds — those rounds' workers exhaust their
+    budgets and give up cleanly, their leases expire, and the healed
+    rounds finish the campaign.  The ``fabric_identity`` oracle then
+    holds the report to byte-identity regardless.
     """
     clock = ManualClock()
     coordinator = FabricCoordinator(
@@ -156,16 +187,75 @@ def _fabric_run(
         defense_profile=scenario.defense_profile,
     )
     host, port = coordinator.serve()
+    chaotic = (
+        scenario.fabric_drop_after_ops is not None
+        or scenario.fabric_partition_ticks > 0
+    )
+    proxy: FlakyProxy | None = None
+    if chaotic:
+        step = scenario.fabric_drop_after_ops
+        script = ChaosScript(
+            drop_after_requests=(
+                tuple(range(step, 5000, step)) if step else ()
+            )
+        )
+        proxy = FlakyProxy((host, port), script=script)
+        host, port = proxy.start()
+
+    def worker(worker_id: str, die_after_waves: int | None = None):
+        return FabricWorker(
+            host,
+            port,
+            worker_id=worker_id,
+            poll_interval=None,
+            heartbeat=False,
+            die_after_waves=die_after_waves,
+            retry_policy=_FUZZ_RETRY_POLICY,
+            sleep=_no_sleep,
+        )
+
+    def run_round(workers: "list[FabricWorker]") -> None:
+        def run_one(target: FabricWorker) -> None:
+            try:
+                target.run()
+            except (FabricError, RetryExhaustedError, OSError):
+                # A worker beaten by the chaos (budget exhausted
+                # mid-partition, proxy cut one drop too many) gives up
+                # cleanly; its lease expires and the board re-issues.
+                # Non-convergence is still caught by the round cap.
+                pass
+
+        threads = [
+            threading.Thread(target=run_one, args=(target,))
+            for target in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
     try:
         if scenario.fabric_kill_after_waves is not None:
-            FabricWorker(
-                host,
-                port,
-                worker_id="fuzz-casualty",
-                poll_interval=None,
-                heartbeat=False,
-                die_after_waves=scenario.fabric_kill_after_waves,
-            ).run()
+            run_round(
+                [
+                    worker(
+                        "fuzz-casualty",
+                        die_after_waves=scenario.fabric_kill_after_waves,
+                    )
+                ]
+            )
+        if proxy is not None and scenario.fabric_partition_ticks > 0:
+            # The outage: whole rounds where nothing gets through.
+            proxy.partition()
+            for tick in range(scenario.fabric_partition_ticks):
+                run_round(
+                    [
+                        worker(f"fuzz-part{tick}w{index}")
+                        for index in range(scenario.fabric_workers)
+                    ]
+                )
+                clock.advance(FABRIC_LEASE_TTL + 1.0)
+            proxy.heal()
         rounds = 0
         while not coordinator.done:
             if rounds >= _FABRIC_DRAIN_ROUNDS:
@@ -175,27 +265,18 @@ def _fabric_run(
                 )
             if rounds or scenario.fabric_kill_after_waves is not None:
                 clock.advance(FABRIC_LEASE_TTL + 1.0)
-            workers = [
-                FabricWorker(
-                    host,
-                    port,
-                    worker_id=f"fuzz-r{rounds}w{index}",
-                    poll_interval=None,
-                    heartbeat=False,
-                )
-                for index in range(scenario.fabric_workers)
-            ]
-            threads = [
-                threading.Thread(target=worker.run) for worker in workers
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+            run_round(
+                [
+                    worker(f"fuzz-r{rounds}w{index}")
+                    for index in range(scenario.fabric_workers)
+                ]
+            )
             rounds += 1
         coordinator.run_until_complete(timeout=60)
         return coordinator.run_dir.report_path.read_bytes()
     finally:
+        if proxy is not None:
+            proxy.close()
         coordinator.close()
 
 

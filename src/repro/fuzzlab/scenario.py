@@ -8,8 +8,8 @@ dump-analysis oracles slice what was scraped.  It is deliberately a
 superset of :class:`~repro.campaign.schedule.CampaignSpec`: the spec
 describes the campaign, the scenario also describes how the *harness*
 exercises it (interrupt point, resume placement, carve window, the
-distributed-fabric drill's worker count and crash point, planted
-fault).
+distributed-fabric drill's worker count, crash point, and transport
+chaos — connection drops and partitions — planted fault).
 
 Two properties carry the whole fuzzlab design:
 
@@ -111,6 +111,17 @@ class Scenario:
     dies after shipping this many waves (``0`` dies mid-wave, dumps
     uploaded but outcomes never sent), its lease expires on the manual
     clock, and the shard re-issues.  ``None`` = nobody dies."""
+    fabric_drop_after_ops: int | None = None
+    """Transport chaos for the fabric drill: a
+    :class:`~repro.campaign.runtime.netchaos.FlakyProxy` fronts the
+    coordinator and cuts the connection on every *N*-th proxied
+    request, forcing workers through their reconnect-and-replay path.
+    ``None`` = a clean wire."""
+    fabric_partition_ticks: int = 0
+    """Full-partition rounds for the fabric drill: the proxy refuses
+    all traffic for this many drain rounds (workers exhaust their
+    retry budgets and give up cleanly, leases expire) before healing.
+    ``0`` = never partitioned."""
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -144,6 +155,19 @@ class Scenario:
                 f"fabric_kill_after_waves must be >= 0 or None, got "
                 f"{self.fabric_kill_after_waves}"
             )
+        if (
+            self.fabric_drop_after_ops is not None
+            and self.fabric_drop_after_ops < 1
+        ):
+            raise ValueError(
+                f"fabric_drop_after_ops must be >= 1 or None, got "
+                f"{self.fabric_drop_after_ops}"
+            )
+        if self.fabric_partition_ticks < 0:
+            raise ValueError(
+                f"fabric_partition_ticks must be >= 0, got "
+                f"{self.fabric_partition_ticks}"
+            )
         defense_profile(self.defense_profile)  # raises on unknown names
         # Spec-shaped fields share CampaignSpec's validation.
         self.to_spec()
@@ -175,13 +199,28 @@ class Scenario:
                f"->{self.resume_executor}"),
             f"crash@{self.interrupt_after}",
         ]
-        if self.fabric_workers > 1 or self.fabric_kill_after_waves is not None:
+        if (
+            self.fabric_workers > 1
+            or self.fabric_kill_after_waves is not None
+            or self.fabric_drop_after_ops is not None
+            or self.fabric_partition_ticks
+        ):
             kill = (
                 ""
                 if self.fabric_kill_after_waves is None
                 else f"!kill@{self.fabric_kill_after_waves}"
             )
-            parts.append(f"fabric={self.fabric_workers}w{kill}")
+            drop = (
+                ""
+                if self.fabric_drop_after_ops is None
+                else f"!drop@{self.fabric_drop_after_ops}"
+            )
+            part = (
+                f"!part{self.fabric_partition_ticks}"
+                if self.fabric_partition_ticks
+                else ""
+            )
+            parts.append(f"fabric={self.fabric_workers}w{kill}{drop}{part}")
         if self.planted_fault:
             parts.append(f"plant={self.planted_fault}")
         return " ".join(parts)
@@ -253,6 +292,10 @@ class ScenarioGenerator:
             fabric_kill_after_waves=rng.choice(
                 (None, None, None, 0, 1, 2)
             ),
+            fabric_drop_after_ops=rng.choice(
+                (None, None, None, 4, 7, 12)
+            ),
+            fabric_partition_ticks=rng.choice((0, 0, 0, 1, 2)),
         )
 
     def generate(self, budget: int) -> list[Scenario]:

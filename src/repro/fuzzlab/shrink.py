@@ -76,6 +76,10 @@ def _proposals(scenario: Scenario) -> list[tuple[str, Scenario]]:
         propose("interrupt_after->1", interrupt_after=1)
     if scenario.fabric_kill_after_waves is not None:
         propose("fabric_kill->off", fabric_kill_after_waves=None)
+    if scenario.fabric_drop_after_ops is not None:
+        propose("fabric_drop->off", fabric_drop_after_ops=None)
+    if scenario.fabric_partition_ticks:
+        propose("fabric_partition->0", fabric_partition_ticks=0)
     if scenario.fabric_workers > 1:
         propose("fabric_workers->1", fabric_workers=1)
     if scenario.defense_profile != "none":

@@ -21,6 +21,14 @@ The core loop every drill shares:
    expire and re-issue;
 4. assert the fabric's ``report.json`` is **byte-identical** to the
    reference — the contract no crash choreography may bend.
+
+Transport-level chaos rides the same loop through
+:class:`~repro.campaign.runtime.netchaos.FlakyProxy` (re-exported here
+with :class:`~repro.campaign.runtime.netchaos.ChaosScript`):
+:func:`drain_through_proxy` drains with self-healing workers dialing
+the proxy instead of the coordinator, and :func:`restart_coordinator`
+kills a live coordinator and resumes the same run directory on the
+same port — the coordinator-restart drill's core move.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.campaign import (
     CampaignRuntime,
@@ -40,6 +49,33 @@ from repro.campaign.runtime.fabric import (
     FabricWorker,
     ManualClock,
 )
+from repro.campaign.runtime.netchaos import ChaosScript, FlakyProxy
+from repro.errors import FabricError, RetryExhaustedError
+from repro.utils.resilience import RetryPolicy
+
+__all__ = [
+    "ChaosScript",
+    "ChaosWorker",
+    "FAST_RETRY",
+    "FaultPlan",
+    "FlakyProxy",
+    "build_coordinator",
+    "drain",
+    "drain_through_proxy",
+    "no_sleep",
+    "reference_report_bytes",
+    "restart_coordinator",
+    "run_chaos_drill",
+]
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=8, base_delay=0.01, max_delay=0.05, jitter=0.0
+)
+"""Retry policy for drills: real retries, negligible wall-clock."""
+
+
+def no_sleep(seconds: float) -> None:
+    """A sleep that doesn't — drills drive time with manual clocks."""
 
 
 @dataclass
@@ -259,3 +295,107 @@ def run_chaos_drill(
     finally:
         coordinator.close()
     return fabric, reference, status
+
+
+def restart_coordinator(
+    coordinator: FabricCoordinator,
+    *,
+    lease_ttl: float = 30.0,
+    clock: ManualClock | None = None,
+) -> tuple[FabricCoordinator, ManualClock]:
+    """Kill a live coordinator and resume its run on the *same* port.
+
+    The restart drill in one move: captures the bound address, closes
+    the server (every worker's next request now fails at the socket),
+    reopens the same run directory via :meth:`FabricCoordinator.resume`
+    with a fresh :class:`ManualClock` (restarts forget wall-clock
+    state — that's the point), and serves on the identical
+    ``host:port`` so already-configured workers and proxies reconnect
+    without redirection.  ``leases.json`` epoch watermarks guarantee
+    the resumed lease table never re-mints a fencing token.
+    """
+    host, port = coordinator.address
+    coordinator.close()
+    clock = clock or ManualClock()
+    resumed = FabricCoordinator.resume(
+        coordinator.run_dir.root,
+        lease_ttl=lease_ttl,
+        clock=clock,
+        prep=prepare_offline_cached(coordinator.spec),
+    )
+    resumed.serve(host, port)
+    return resumed, clock
+
+
+def drain_through_proxy(
+    coordinator: FabricCoordinator,
+    clock: ManualClock,
+    proxy: FlakyProxy,
+    *,
+    lease_ttl: float = 30.0,
+    max_rounds: int = 12,
+    concurrent: int = 1,
+    retry_policy: RetryPolicy = FAST_RETRY,
+    on_round: (
+        "Callable[[int], FabricCoordinator | None] | None"
+    ) = None,
+) -> list[dict]:
+    """:func:`drain`, but every worker dials the proxy's flaky wire.
+
+    Workers are self-healing (``retry_policy`` retries, ``no_sleep``
+    so backoff costs nothing) and a worker whose budget runs out mid-
+    round is recorded, not fatal — its lease expires on the manual
+    clock and the next round picks the board up.  *on_round* fires
+    before each round with the round index; a drill that kills and
+    resumes the coordinator mid-campaign returns the replacement from
+    its hook (share the :class:`ManualClock` via
+    ``restart_coordinator(..., clock=clock)`` so lease time stays
+    continuous) and the drain tracks it.
+    """
+    stats: list[dict] = []
+    rounds = 0
+    while not coordinator.done:
+        if rounds >= max_rounds:
+            raise AssertionError(
+                f"campaign failed to drain through the proxy in "
+                f"{max_rounds} rounds: {coordinator.status()} "
+                f"(proxy: {proxy.stats()})"
+            )
+        if on_round is not None:
+            replacement = on_round(rounds)
+            if replacement is not None:
+                coordinator = replacement
+        proxy_host, proxy_port = proxy.address
+        workers = [
+            FabricWorker(
+                proxy_host,
+                proxy_port,
+                worker_id=f"proxy-r{rounds}w{index}",
+                poll_interval=None,
+                heartbeat=False,
+                retry_policy=retry_policy,
+                sleep=no_sleep,
+            )
+            for index in range(concurrent)
+        ]
+        results: list[dict] = [{} for _ in workers]
+
+        def run(index: int, worker: FabricWorker) -> None:
+            try:
+                results[index] = worker.run()
+            except (FabricError, RetryExhaustedError, OSError) as exc:
+                results[index] = {"worker_error": repr(exc)}
+
+        threads = [
+            threading.Thread(target=run, args=(index, worker))
+            for index, worker in enumerate(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats.extend(results)
+        if not coordinator.done:
+            clock.advance(lease_ttl + 1.0)
+        rounds += 1
+    return stats

@@ -16,22 +16,33 @@ The acceptance claims, pinned:
   under a new epoch and every op under the old token is rejected;
 - dumps travel by digest with verification on both ends: a corrupted
   upload or download raises instead of landing, and the wire paths
-  leak no file descriptors (the ``test_zero_copy`` hygiene pattern).
+  leak no file descriptors (the ``test_zero_copy`` hygiene pattern);
+- the fabric **self-heals**: connection drops, torn frames, stalls,
+  partitions, and a coordinator killed and resumed mid-campaign are
+  all survivable under a bounded retry budget — and none of it
+  changes a byte of the final report.
 """
 
 import base64
 import hashlib
 import json
 import os
+import socket
 from dataclasses import asdict, replace
 
 import pytest
 
 from fabric_chaos import (
+    FAST_RETRY,
+    ChaosScript,
     FaultPlan,
+    FlakyProxy,
     build_coordinator,
     drain,
+    drain_through_proxy,
+    no_sleep,
     reference_report_bytes,
+    restart_coordinator,
     run_chaos_drill,
 )
 from repro.campaign import CampaignSpec, prepare_offline_cached
@@ -41,13 +52,19 @@ from repro.campaign.runtime.fabric import (
     FabricWorker,
     LeaseTable,
     ManualClock,
+    ResilientFabricClient,
 )
 from repro.campaign.schedule import build_schedule, jobs_by_board
+from repro.cli import main
 from repro.errors import (
     DumpTransferError,
+    FabricConnectionError,
     FabricProtocolError,
+    FabricTimeoutError,
+    RetryExhaustedError,
     StaleLeaseError,
 )
+from repro.utils.resilience import RetryPolicy
 
 SPEC = CampaignSpec(boards=2, victims=8, seed=3)
 """Two boards, two waves each — big enough for mid-board faults."""
@@ -480,6 +497,275 @@ class TestCoordinator:
             drain(coordinator, clock)
             coordinator.run_until_complete(timeout=60)
         assert coordinator.run_dir.report_path.read_bytes() == reference
+
+
+# ---------------------------------------------------------------------------
+# self-healing transport: reconnect-and-replay through a flaky wire
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bound once, then released)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestResilientClient:
+    def test_send_raw_after_close_is_a_protocol_error(self, coordinator):
+        # The satellite pin: raw writes on a closed client must fail
+        # loudly, not crash on a None socket or silently vanish.
+        client = _client(coordinator)
+        client.close()
+        with pytest.raises(FabricProtocolError):
+            client.send_raw(b'{"op": "status"}\n')
+
+    def test_scripted_drop_forces_reconnect_and_replay(self, coordinator):
+        script = ChaosScript(drop_after_requests=(2,))
+        with FlakyProxy(coordinator.address, script=script) as proxy:
+            host, port = proxy.address
+            with ResilientFabricClient(
+                host, port, policy=FAST_RETRY, sleep=no_sleep
+            ) as client:
+                client.connect()
+                assert client.request("status")["done"] is False
+                # Ordinal 2 is swallowed and the link cut: the client
+                # must redial and replay the op, invisibly to us.
+                assert client.request("status")["done"] is False
+                assert client.stats() == {"reconnects": 1, "replays": 1}
+            assert proxy.stats()["drops_injected"] == 1
+
+    def test_torn_frame_heals_by_replay(self, coordinator):
+        script = ChaosScript(tear_after_requests=(1,))
+        with FlakyProxy(coordinator.address, script=script) as proxy:
+            host, port = proxy.address
+            with ResilientFabricClient(
+                host, port, policy=FAST_RETRY, sleep=no_sleep
+            ) as client:
+                assert client.request("status")["boards"] == SMALL.boards
+                assert client.stats()["replays"] == 1
+            assert proxy.stats()["tears_injected"] == 1
+
+    def test_stall_is_ridden_out_within_the_op_timeout(self, coordinator):
+        script = ChaosScript(
+            stall_after_requests=(1,), stall_seconds=0.05
+        )
+        with FlakyProxy(coordinator.address, script=script) as proxy:
+            host, port = proxy.address
+            with ResilientFabricClient(
+                host, port, policy=FAST_RETRY, sleep=no_sleep
+            ) as client:
+                assert client.request("status")["done"] is False
+                assert client.stats() == {"reconnects": 0, "replays": 0}
+            assert proxy.stats()["stalls_injected"] == 1
+
+    def test_partition_exhausts_the_budget_then_heals(self, coordinator):
+        tight = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with FlakyProxy(coordinator.address) as proxy:
+            host, port = proxy.address
+            with ResilientFabricClient(
+                host, port, policy=tight, sleep=no_sleep
+            ) as client:
+                assert client.request("status")["done"] is False
+                proxy.partition()
+                with pytest.raises(RetryExhaustedError) as excinfo:
+                    client.request("status")
+                assert isinstance(
+                    excinfo.value.__cause__, FabricConnectionError
+                )
+                proxy.heal()
+                # The same client object recovers once traffic flows.
+                assert client.request("status")["done"] is False
+            assert proxy.stats()["partition_rejects"] >= 1
+
+    def test_exhaustion_against_a_dead_address_is_bounded(self):
+        clock = ManualClock()
+        client = ResilientFabricClient(
+            "127.0.0.1",
+            _dead_port(),
+            policy=RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0),
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            client.connect()
+        assert excinfo.value.attempts == 3
+        assert clock() == 3.0  # the policy's exact schedule: 1.0 + 2.0
+
+
+class TestWorkerSelfHealing:
+    def test_worker_survives_drops_report_byte_identical(self, tmp_path):
+        reference = reference_report_bytes(SMALL, tmp_path)
+        coordinator, clock = build_coordinator(SMALL, tmp_path)
+        script = ChaosScript(drop_after_requests=(2, 5, 9))
+        try:
+            with FlakyProxy(coordinator.address, script=script) as proxy:
+                stats = drain_through_proxy(coordinator, clock, proxy)
+                coordinator.run_until_complete(timeout=60)
+                assert proxy.stats()["drops_injected"] == 3
+        finally:
+            coordinator.close()
+        assert coordinator.run_dir.report_path.read_bytes() == reference
+        assert sum(s.get("reconnects", 0) for s in stats) >= 3
+
+    def test_budget_exhaustion_raises_the_documented_error(self):
+        worker = FabricWorker(
+            "127.0.0.1",
+            _dead_port(),
+            heartbeat=False,
+            poll_interval=None,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.0, jitter=0.0
+            ),
+            sleep=no_sleep,
+        )
+        with pytest.raises(RetryExhaustedError):
+            worker.run()
+
+    def test_cli_work_maps_exhaustion_to_exit_4(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "work",
+                f"127.0.0.1:{_dead_port()}",
+                "--retry-attempts",
+                "2",
+                "--retry-base",
+                "0",
+                "--no-wait",
+            ]
+        )
+        assert code == 4
+        assert "RETRY BUDGET EXHAUSTED" in capsys.readouterr().err
+
+    def test_heartbeat_failure_is_observed_by_the_claim_loop(self):
+        # The satellite pin: a heartbeat that dies must abandon the
+        # board *deliberately* (early StaleLeaseError), and a failure
+        # flagged against an old lease must not poison a fresh one.
+        worker = FabricWorker(
+            "127.0.0.1", 9, heartbeat=False, poll_interval=None
+        )
+        with worker._lease_lock:
+            worker._current_lease = "b0e1"
+
+        class DeadClient:
+            def request(self, op, **fields):
+                worker._stop_heartbeat.set()  # one tick, then stop
+                raise FabricConnectionError("wire gone")
+
+        stats = {"heartbeat_failures": 0}
+        worker._heartbeat_loop(DeadClient(), 0.0, stats)
+        assert stats["heartbeat_failures"] == 1
+        assert worker._heartbeat_failed.is_set()
+        with pytest.raises(StaleLeaseError):
+            worker._check_heartbeat("b0e1")
+        worker._check_heartbeat("b0e2")  # fresh lease: no poison
+
+
+# ---------------------------------------------------------------------------
+# coordinator-restart survival
+
+
+class TestCoordinatorRestart:
+    def test_timeout_is_clean_and_the_run_stays_resumable(self, tmp_path):
+        # The run_until_complete contract: a timeout raises, nothing
+        # else happens — still serving, close() safe, resumable to a
+        # byte-identical report.
+        reference = reference_report_bytes(SMALL, tmp_path)
+        coordinator, _ = build_coordinator(SMALL, tmp_path)
+        with pytest.raises(FabricTimeoutError) as excinfo:
+            coordinator.run_until_complete(timeout=0.05)
+        assert "resumable" in str(excinfo.value)
+        host, port = coordinator.address  # still serving
+        with FabricClient(host, port) as client:
+            assert client.request("status")["done"] is False
+        coordinator.close()  # safe after a timeout
+
+        clock = ManualClock()
+        resumed = FabricCoordinator.resume(
+            tmp_path / "fabric",
+            clock=clock,
+            prep=prepare_offline_cached(SMALL),
+        )
+        with resumed:
+            drain(resumed, clock)
+            resumed.run_until_complete(timeout=60)
+        assert resumed.run_dir.report_path.read_bytes() == reference
+
+    def test_restart_readmits_workers_under_new_epochs(self, tmp_path):
+        # Kill a coordinator holding an outstanding lease; the resumed
+        # one (same port) must fence the old token and never re-mint
+        # its epoch — the leases.json watermark contract.
+        reference = reference_report_bytes(SPEC, tmp_path)
+        coordinator, _ = build_coordinator(SPEC, tmp_path)
+        host, port = coordinator.address
+        with FabricClient(host, port) as client:
+            stale = client.request("claim", worker="doomed")
+        assert (tmp_path / "fabric" / "leases.json").exists()
+
+        resumed, clock = restart_coordinator(coordinator)
+        assert resumed.address == (host, port)  # same door, new epoch
+        with FabricClient(host, port) as client:
+            fresh = client.request("claim", worker="reborn")
+            assert fresh["board"] == stale["board"]
+            old_epoch = int(stale["lease"].rpartition("e")[2])
+            new_epoch = int(fresh["lease"].rpartition("e")[2])
+            assert new_epoch > old_epoch
+            with pytest.raises(StaleLeaseError):
+                client.request("heartbeat", lease=stale["lease"])
+        clock.advance(31.0)  # let the probe claim expire, then drain
+        with resumed:
+            drain(resumed, clock)
+            resumed.run_until_complete(timeout=60)
+        assert resumed.run_dir.report_path.read_bytes() == reference
+
+    def test_acceptance_chaos_drill(self, tmp_path):
+        # THE acceptance drill: a two-worker campaign through a flaky
+        # proxy — at least three scripted connection drops and a stall
+        # per worker — plus one coordinator kill-and-resume between
+        # boards, ending byte-identical to the single-host report.
+        reference = reference_report_bytes(SPEC, tmp_path)
+        coordinator, clock = build_coordinator(SPEC, tmp_path)
+        script = ChaosScript(
+            drop_after_requests=(3, 6, 9),
+            stall_after_requests=(5, 12),
+            stall_seconds=0.05,
+        )
+        proxy = FlakyProxy(coordinator.address, script=script)
+        live = coordinator
+        try:
+            with proxy:
+                proxy_host, proxy_port = proxy.address
+                # Phase 1: one worker grinds a board through the worst
+                # of the chaos window (drops at ordinals 3/6/9, stall
+                # at 5 — every redial's re-hello shifts the stream,
+                # which is exactly the point).
+                first = FabricWorker(
+                    proxy_host,
+                    proxy_port,
+                    worker_id="chaos-first",
+                    poll_interval=None,
+                    heartbeat=False,
+                    retry_policy=FAST_RETRY,
+                    sleep=no_sleep,
+                )
+                assert _run_single_board(first) == [0]
+                # Phase 2: kill the coordinator mid-campaign and
+                # resume the same run directory on the same port.
+                live, clock = restart_coordinator(coordinator, clock=clock)
+                # Phase 3: two workers race the rest through whatever
+                # chaos remains in the script.
+                drain_through_proxy(live, clock, proxy, concurrent=2)
+                live.run_until_complete(timeout=60)
+                stats = proxy.stats()
+                assert stats["drops_injected"] >= 3
+                assert stats["stalls_injected"] >= 2
+        finally:
+            live.close()
+        assert live.run_dir.report_path.read_bytes() == reference
+        telemetry = json.loads(live.run_dir.telemetry_path.read_text())
+        assert telemetry["victims_attacked"] == SPEC.victims
 
 
 def _run_single_board(worker: FabricWorker) -> list[int]:
