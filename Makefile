@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-json docs-check cli-docs coverage fuzz-smoke fabric-smoke
+.PHONY: test test-fast bench bench-json docs-check cli-docs coverage fuzz-smoke fabric-smoke serve-smoke
 
 # Run the docs gate AND the test suite even when the first fails, then
 # report both statuses — a docs slip must never mask a test failure
@@ -17,6 +17,13 @@ test:
 	echo "docs-check: $$([ $$docs_status -eq 0 ] && echo PASS || echo "FAIL (exit $$docs_status)")"; \
 	echo "pytest:     $$([ $$pytest_status -eq 0 ] && echo PASS || echo "FAIL (exit $$pytest_status)")"; \
 	[ $$docs_status -eq 0 ] && [ $$pytest_status -eq 0 ]
+
+# Everything except the minutes-scale chaos drills and soak tests
+# (`-m "not slow"`); `make test` above still runs the full set.  The
+# slow tests get their own CI lane so a red fast lane answers in
+# seconds, not minutes.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files="bench_*.py"
@@ -57,3 +64,10 @@ fuzz-smoke:
 # reference. See docs/distributed.md.
 fabric-smoke:
 	$(PYTHON) tools/fabric_smoke.py
+
+# The analysis daemon as a real OS process: `repro serve analysis` on
+# an ephemeral port, two concurrent clients (duplicate upload dedup,
+# one guaranteed quota rejection healed via retry-after), a streaming
+# subscriber, and a clean SIGTERM drain. See docs/service.md.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py

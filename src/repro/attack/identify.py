@@ -179,17 +179,22 @@ class ModelIdentifier:
         self._database = database
         self._min_score = min_score
 
-    def identify(self, dump: ScrapedDump) -> IdentificationResult:
-        """Attribute the dump to one model.
+    def identify_buffer(self, data) -> IdentificationResult:
+        """Attribute raw dump bytes to one model — no board required.
 
-        The winner needs a score of at least ``min_score``; otherwise
-        the attribution failed and
+        The world-free core of :meth:`identify`: *data* is any
+        bytes-like buffer (bytes, memoryview, an mmap-backed spool
+        object), so the analysis service can attribute dumps it never
+        simulated.  The winner needs a score of at least ``min_score``;
+        otherwise the attribution failed and
         :class:`~repro.errors.IdentificationError` is raised (the
         expected outcome on a scrubbed dump or an unprofiled model).
         A winner whose margin over the runner-up is zero is flagged
-        ``confident=False``.
+        ``confident=False``.  ``grep_hits`` is empty here — evidence
+        rows come from the dump's hexdump, which only
+        :meth:`identify` has.
         """
-        matches = self._database.match(dump.data)
+        matches = self._database.match(data)
         scores = {name: score for name, (score, _) in matches.items()}
         ranked = sorted(scores, key=lambda name: scores[name], reverse=True)
         best = ranked[0]
@@ -200,11 +205,20 @@ class ModelIdentifier:
                 f"(< {self._min_score}); cannot attribute a model"
             )
         runner_up_score = scores[ranked[1]] if len(ranked) > 1 else 0.0
-        grep_hits = dump.hexdump.grep(best)[:4]
         return IdentificationResult(
             best_model=best,
             scores=scores,
             matched_tokens=matched_tokens,
-            grep_hits=grep_hits,
             confident=best_score > runner_up_score,
         )
+
+    def identify(self, dump: ScrapedDump) -> IdentificationResult:
+        """Attribute the dump to one model (attack-pipeline flavour).
+
+        Delegates the scoring to :meth:`identify_buffer` and decorates
+        the result with the paper's evidence rows — the first hexdump
+        lines where the winning name appears verbatim.
+        """
+        result = self.identify_buffer(dump.data)
+        result.grep_hits = dump.hexdump.grep(result.best_model)[:4]
+        return result

@@ -288,14 +288,45 @@ class RunDirectory:
 
         Empty when the run never served leases (fresh directory, or a
         single-host run) — epoch numbering then starts at 1 as usual.
+        An *empty file* is treated the same way: ``save_lease_epochs``
+        never writes one (atomic rename), but a crashed pre-rename
+        writer or an operator ``touch`` can leave one behind, and it
+        carries the same information as no file at all.
+
+        Anything else unreadable — torn JSON, a non-object payload,
+        non-numeric entries — raises ``ValueError`` naming the file.
+        Epochs are fencing tokens: silently treating a corrupt
+        watermark file as empty would restart numbering at 1 and
+        re-issue tokens some fenced-off worker may still hold, so
+        corruption here must stop the resume, not be papered over.
+        Entries for boards the spec no longer knows are preserved
+        as-is; the fabric only consults watermarks for boards it
+        actually leases, so stale extras are harmless.
         """
         if not self.lease_epochs_path.exists():
             return {}
-        payload = json.loads(self.lease_epochs_path.read_text())
-        return {
-            int(board): int(epoch)
-            for board, epoch in payload.get("epochs", {}).items()
-        }
+        text = self.lease_epochs_path.read_text()
+        if not text.strip():
+            return {}
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("epochs", {}), dict
+            ):
+                raise ValueError("payload is not an epochs object")
+            return {
+                int(board): int(epoch)
+                for board, epoch in payload.get("epochs", {}).items()
+            }
+        except (json.JSONDecodeError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"{self.lease_epochs_path}: corrupt lease-epoch "
+                f"watermarks ({error}); refusing to resume — restarting "
+                f"epoch numbering could re-issue a fencing token a "
+                f"partitioned worker still holds.  Restore the file or "
+                f"delete it only if no worker from the previous "
+                f"coordinator can still be alive."
+            ) from None
 
     def save_lease_epochs(self, epochs: dict[int, int]) -> None:
         """Persist the highest epoch issued per board (atomic rename).

@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
@@ -459,3 +460,122 @@ class MultiprocessExecutor:
                 # wedged workers) behind; retire the pool so the next
                 # run starts from a clean fork.
                 self._shutdown(terminate=True)
+
+
+class AnalysisPool:
+    """A bounded worker pool for service analysis jobs.
+
+    The board executors above schedule *simulations*; this pool
+    schedules the service daemon's *pure analysis* callables
+    (:func:`repro.service.analysis.analyze_dump` closures) with the
+    one property the daemon's admission control needs: a **bounded**
+    queue whose fullness is observable at submit time.
+    :meth:`try_submit` never blocks and never buffers beyond
+    ``capacity`` — a full queue returns ``False`` and the daemon
+    answers ``retry-after`` instead of eating memory.
+
+    Completion is delivered by calling ``on_done(result, error)`` from
+    the worker thread (exactly one of the two is ``None``); the daemon
+    bridges that back onto its event loop with
+    ``loop.call_soon_threadsafe``.  :meth:`drain` blocks until every
+    accepted job has completed — the SIGTERM path's "no lost accepted
+    jobs" guarantee.
+    """
+
+    def __init__(self, workers: int = 2, capacity: int = 8) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._queue: queue_module.Queue = queue_module.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._accepted = 0
+        self._completed = 0
+        self._in_flight = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"analysis-pool-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, on_done = item
+            with self._lock:
+                self._in_flight += 1
+            result, error = None, None
+            try:
+                result = fn()
+            except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+                error = exc
+            try:
+                on_done(result, error)
+            finally:
+                with self._idle:
+                    self._in_flight -= 1
+                    self._completed += 1
+                    self._idle.notify_all()
+
+    def try_submit(self, fn: Callable[[], object], on_done) -> bool:
+        """Enqueue ``fn`` without blocking; ``False`` means queue full.
+
+        ``on_done(result, error)`` fires from a worker thread once the
+        job finishes (or raises).  A ``False`` return is the explicit
+        backpressure signal — nothing was buffered, nothing is owed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("analysis pool is closed")
+        try:
+            self._queue.put_nowait((fn, on_done))
+        except queue_module.Full:
+            return False
+        with self._lock:
+            self._accepted += 1
+        return True
+
+    def stats(self) -> dict:
+        """Queue depth, in-flight count, accepted/completed totals."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "queued": self._queue.qsize(),
+                "in_flight": self._in_flight,
+                "accepted": self._accepted,
+                "completed": self._completed,
+            }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every accepted job completed; ``False`` on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._completed >= self._accepted, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Stop the workers after the queue empties.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=10)
+
+    def __enter__(self) -> "AnalysisPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -183,6 +183,14 @@ class FlakyProxy:
         listener, self._listener = self._listener, None
         if listener is not None:
             try:
+                # close() alone does not wake a thread blocked in
+                # accept(2); shutdown() does (the accept raises), so
+                # the join below returns immediately instead of eating
+                # its full timeout on every proxy teardown.
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 listener.close()
             except OSError:
                 pass

@@ -174,6 +174,9 @@ class DumpSpool:
     def __init__(self, root: str | os.PathLike[str]) -> None:
         self._root = Path(root)
         (self._root / "objects").mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
+        self._put_hits = 0
+        self._put_misses = 0
 
     @property
     def root(self) -> Path:
@@ -215,6 +218,8 @@ class DumpSpool:
     ) -> SpoolEntry:
         path = self.object_path(digest)
         if path.exists():
+            with self._stats_lock:
+                self._put_hits += 1
             return SpoolEntry(digest, nbytes, deduplicated=True)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Scratch name is unique per writer (pid *and* thread: the
@@ -226,7 +231,26 @@ class DumpSpool:
         )
         scratch.write_bytes(data)
         os.replace(scratch, path)
+        with self._stats_lock:
+            self._put_misses += 1
         return SpoolEntry(digest, nbytes, deduplicated=False)
+
+    def put_stats(self) -> dict:
+        """Dedup telemetry for this handle's lifetime.
+
+        ``hits`` counts puts satisfied by an already-filed object,
+        ``misses`` counts fresh writes; ``hit_rate`` is hits over all
+        puts (0.0 before the first put).  Feeds the analysis service's
+        ``/stats`` surface — a high hit rate on an ingest daemon means
+        clients keep re-uploading residue the store already holds.
+        """
+        with self._stats_lock:
+            total = self._put_hits + self._put_misses
+            return {
+                "hits": self._put_hits,
+                "misses": self._put_misses,
+                "hit_rate": (self._put_hits / total) if total else 0.0,
+            }
 
     def read(self, sha256: str) -> bytes:
         """The raw dump bytes filed under *sha256*, slurped into memory.

@@ -27,6 +27,14 @@ Commands map one-to-one onto the evaluation entry points:
   registry (failures are shrunk and written as replayable JSON
   seeds); ``fuzz replay`` re-runs saved seeds — the regression-corpus
   workflow (see ``docs/testing.md``)
+- ``analyze``   — batch-analyze raw dump files (simulated or externally
+  captured) against a mined signature database: region map, residue,
+  entropy, model attribution — no board, no simulation
+- ``serve``     — long-lived daemons: ``serve analysis`` runs the
+  ingest service — newline-JSON dump uploads (content-addressed,
+  deduplicated), analysis jobs with per-tenant quotas and explicit
+  backpressure, and streaming report deltas; SIGTERM drains cleanly
+  (see ``docs/service.md``)
 
 Exit codes, uniformly: 0 = success, 1 = the requested work ran but
 found failures (attack failed, figure claims broke, campaign victims
@@ -608,6 +616,89 @@ def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.service.analysis import (
+        CARVE_PRESETS,
+        AnalysisConfig,
+        AnalysisReport,
+        analyze_dump,
+        mine_database,
+    )
+
+    if not 0.0 <= args.min_score <= 1.0:
+        return _usage_error(
+            f"--min-score must be in [0, 1], got {args.min_score}"
+        )
+    try:
+        database = mine_database(
+            tuple(args.models.split(",")), args.input_hw
+        )
+    except ValueError as error:
+        return _usage_error(error)
+    config = AnalysisConfig(
+        database=database,
+        carve=CARVE_PRESETS[args.carve],
+        min_score=args.min_score,
+    )
+    report = AnalysisReport()
+    for path in args.dumps:
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            return _usage_error(error)
+        report.add(analyze_dump(data, config))
+    print(report.render())
+    if args.output is not None:
+        status = _write_artifact(
+            args.output, report.to_json(), "analysis report"
+        )
+        if status is not None:
+            return status
+    return 0
+
+
+def _cmd_serve_analysis(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.service.daemon import AnalysisService, serve_forever
+
+    if not 0.0 <= args.min_score <= 1.0:
+        return _usage_error(
+            f"--min-score must be in [0, 1], got {args.min_score}"
+        )
+    spool_dir = args.spool_dir or tempfile.mkdtemp(prefix="repro-service-")
+    try:
+        service = AnalysisService(
+            spool_dir,
+            tuple(args.models.split(",")),
+            args.input_hw,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            min_score=args.min_score,
+        )
+    except ValueError as error:
+        return _usage_error(error)
+
+    def on_listening(host: str, port: int) -> None:
+        # Clients (and the smoke harness) parse this line for the port.
+        print(f"analysis service listening on {host}:{port}", flush=True)
+
+    report = asyncio.run(serve_forever(service, on_listening=on_listening))
+    print(f"drained: {len(report)} dump analysis(es) aggregated")
+    print(report.render())
+    if args.output is not None:
+        status = _write_artifact(
+            args.output, report.to_json(), "analysis report"
+        )
+        if status is not None:
+            return status
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1037,6 +1128,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated oracle subset (default: all registered)",
     )
     fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
+
+    from repro.service.analysis import CARVE_PRESETS
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="batch-analyze raw dump files (no board, no simulation)",
+    )
+    analyze.add_argument(
+        "dumps",
+        nargs="+",
+        metavar="DUMP",
+        help="raw dump file(s) — any bytes, simulated or external",
+    )
+    analyze.add_argument(
+        "--models",
+        default="resnet50_pt,squeezenet_pt,inception_v1_tf",
+        metavar="A,B",
+        help="model mix to mine the signature database from "
+        "(default: resnet50_pt,squeezenet_pt,inception_v1_tf)",
+    )
+    analyze.add_argument(
+        "--input-hw",
+        type=int,
+        default=32,
+        help="square input edge used for profiling (default: 32)",
+    )
+    analyze.add_argument(
+        "--carve",
+        default="default",
+        choices=sorted(CARVE_PRESETS),
+        help="carve preset controlling region-map granularity "
+        "(default: default)",
+    )
+    analyze.add_argument(
+        "--min-score",
+        type=float,
+        default=0.3,
+        metavar="F",
+        help="minimum signature-match score for attribution "
+        "(default: 0.3)",
+    )
+    analyze.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the canonical JSON analysis report",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    serve = subparsers.add_parser(
+        "serve", help="long-lived service daemons"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_analysis = serve_sub.add_parser(
+        "analysis",
+        help="the analysis ingest daemon: newline-JSON uploads, jobs, "
+        "and streaming report deltas (see docs/service.md)",
+    )
+    serve_analysis.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_analysis.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port; 0 picks an ephemeral one (default: 0)",
+    )
+    serve_analysis.add_argument(
+        "--models",
+        default="resnet50_pt,squeezenet_pt,inception_v1_tf",
+        metavar="A,B",
+        help="model mix behind the 'default' signature database "
+        "(default: resnet50_pt,squeezenet_pt,inception_v1_tf)",
+    )
+    serve_analysis.add_argument(
+        "--input-hw",
+        type=int,
+        default=32,
+        help="square input edge used for profiling (default: 32)",
+    )
+    serve_analysis.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="analysis worker threads (default: 2)",
+    )
+    serve_analysis.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bounded job queue depth; a full queue answers "
+        "backpressure with retry-after (default: 8)",
+    )
+    serve_analysis.add_argument(
+        "--min-score",
+        type=float,
+        default=0.3,
+        metavar="F",
+        help="minimum signature-match score for attribution "
+        "(default: 0.3)",
+    )
+    serve_analysis.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed dump spool root "
+        "(default: a fresh temp directory)",
+    )
+    serve_analysis.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the final aggregate report as JSON after the drain",
+    )
+    serve_analysis.set_defaults(func=_cmd_serve_analysis)
     return parser
 
 

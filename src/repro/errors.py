@@ -248,6 +248,69 @@ class DumpTransferError(FabricError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for analysis-service failures.
+
+    The serving layer (:mod:`repro.service`) accepts dump uploads and
+    analysis jobs from external clients over a newline-JSON protocol.
+    Everything that can go wrong between a client and the daemon —
+    admission refusals, unknown references, protocol violations —
+    derives from this class so service loops can catch one base while
+    the analysis itself keeps the :class:`AttackError` taxonomy.
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's token bucket refused the request.
+
+    Carries ``retry_after`` — the seconds until the bucket will have
+    refilled enough to admit the identical request (``inf`` when the
+    request is larger than the bucket's burst capacity and can never
+    pass).  The daemon maps this to a ``quota`` wire response instead
+    of buffering the work, so a hot tenant is throttled without
+    degrading anyone else.
+    """
+
+    def __init__(self, tenant: str, what: str, retry_after: float) -> None:
+        self.tenant = tenant
+        self.what = what
+        self.retry_after = retry_after
+        super().__init__(
+            f"tenant {tenant!r} exceeded its {what} quota; "
+            f"retry in {retry_after:.3f}s"
+        )
+
+
+class BackpressureError(ServiceError):
+    """The analysis queue is full; the daemon refuses to buffer more.
+
+    Explicit backpressure: a bounded queue answers ``retry-after``
+    instead of growing without bound.  Carries the advisory
+    ``retry_after`` hint the wire response forwards.
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"analysis queue is full; retry in {retry_after:.3f}s"
+        )
+
+
+class UnknownJobError(ServiceError):
+    """A ``status`` request referenced a job id never issued."""
+
+    def __init__(self, job_id: int) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job id {job_id}")
+
+
+class ServiceDrainingError(ServiceError):
+    """The daemon is draining (SIGTERM received); no new work is
+    admitted.  Jobs accepted before the drain began still complete and
+    stream their deltas — drain loses nothing, it only closes the
+    door."""
+
+
 class CampaignInterrupted(ReproError):
     """A checkpointable campaign stopped before finishing every board.
 

@@ -1,0 +1,50 @@
+"""Analysis-as-a-service: the repo's serving face.
+
+The CLI analyzes what it simulated; this package analyzes whatever it
+is *sent*.  A long-lived asyncio daemon (:mod:`repro.service.daemon`)
+accepts newline-JSON requests from external clients — dump uploads
+(content-addressed through the campaign's
+:class:`~repro.campaign.runtime.spool.DumpSpool`, deduplicated by
+sha256), analysis-job submissions, job status polls, and streaming
+subscriptions that push incremental report deltas as jobs complete.
+
+The split that makes it possible lives in
+:mod:`repro.service.analysis`: a pure ``analyze_dump(buffer, config)``
+function with no dependency on simulated boards, so externally
+captured dumps (the Resurrection-Attack ingest case) flow through the
+same carving / identification / metrics pipeline as simulated ones.
+
+Admission control is explicit rather than implicit: bounded queues
+answer ``retry-after`` instead of buffering unboundedly
+(:class:`~repro.errors.BackpressureError`), and per-tenant token
+buckets (:mod:`repro.service.quotas`) throttle upload bytes and queued
+jobs per tenant without degrading anyone else.
+"""
+
+from repro.service.analysis import (
+    CARVE_PRESETS,
+    AnalysisConfig,
+    AnalysisReport,
+    CarvePreset,
+    DumpAnalysis,
+    analyze_dump,
+    mine_database,
+)
+from repro.service.client import AsyncServiceClient
+from repro.service.daemon import AnalysisService
+from repro.service.quotas import TenantLedger, TenantQuotaConfig, TokenBucket
+
+__all__ = [
+    "CARVE_PRESETS",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "AnalysisService",
+    "AsyncServiceClient",
+    "CarvePreset",
+    "DumpAnalysis",
+    "TenantLedger",
+    "TenantQuotaConfig",
+    "TokenBucket",
+    "analyze_dump",
+    "mine_database",
+]

@@ -1,0 +1,116 @@
+"""Asyncio client for the analysis daemon's newline-JSON protocol.
+
+Deliberately thin: :meth:`AsyncServiceClient.request` returns the
+server's response dict *verbatim* — quota and backpressure refusals
+come back as ``{"ok": False, "code": ..., "retry_after": ...}``
+answers for the caller to pace on, not as exceptions.  Only transport
+failures (dead socket, torn frame, non-JSON bytes) raise, because
+those mean the answer is unknowable, not "no".
+
+One client is one connection.  :meth:`subscribe` dedicates the
+connection to the delta stream — open a second client for control
+traffic while a subscription is live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+from typing import AsyncIterator
+
+from repro.errors import FabricProtocolError
+
+
+class AsyncServiceClient:
+    """One newline-JSON connection to an :class:`AnalysisService`.
+
+    >>> # client = await AsyncServiceClient.connect("127.0.0.1", 4100)
+    >>> # await client.put_dump("tenant-a", b"residue...")
+    >>> # await client.request("submit", tenant="tenant-a", sha256=digest)
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        """Dial the daemon."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields) -> dict:
+        """Send one op, await one response dict (refusals included)."""
+        payload = {"op": op, **fields}
+        self._writer.write(
+            json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        await self._writer.drain()
+        return await self._read_response(op)
+
+    async def _read_response(self, op: str) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise FabricProtocolError(
+                f"connection closed before a response to {op!r}"
+            )
+        try:
+            response = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FabricProtocolError(
+                f"undecodable response to {op!r}"
+            ) from exc
+        if not isinstance(response, dict):
+            raise FabricProtocolError(
+                f"response to {op!r} is not a JSON object"
+            )
+        return response
+
+    async def put_dump(self, tenant: str, data: bytes) -> dict:
+        """Upload raw dump bytes, self-attesting the sha256."""
+        return await self.request(
+            "put_dump",
+            tenant=tenant,
+            sha256=hashlib.sha256(data).hexdigest(),
+            data_b64=base64.b64encode(data).decode("ascii"),
+        )
+
+    async def subscribe(self) -> AsyncIterator[dict]:
+        """Dedicate this connection to the delta stream.
+
+        Yields every ``{"event": ...}`` line the daemon pushes —
+        the backlog of already-completed jobs first, then live deltas
+        — and returns after the terminal ``drained`` event (which is
+        also yielded).  The connection is unusable for further ops.
+        """
+        response = await self.request("subscribe")
+        if not response.get("ok"):
+            raise FabricProtocolError(
+                f"subscription refused: {response.get('error')}"
+            )
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                return
+            event = json.loads(line)
+            yield event
+            if event.get("event") == "drained":
+                return
+
+    async def close(self) -> None:
+        """Close the connection.  Idempotent."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

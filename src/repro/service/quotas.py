@@ -1,0 +1,207 @@
+"""Per-tenant admission control: token buckets over an injectable clock.
+
+Two buckets per tenant — one metered in upload *bytes*, one in queued
+*jobs* — refill continuously at a configured rate up to a burst
+capacity.  A request either fits (tokens are taken, request admitted)
+or it does not, in which case the bucket answers the exact number of
+seconds until the identical request would fit.  The daemon forwards
+that as a ``retry-after`` hint instead of buffering the work: a hot
+tenant is throttled precisely, everyone else is untouched.
+
+The clock is injected (any ``() -> float`` callable, e.g.
+:class:`~repro.utils.resilience.ManualClock`), which is what makes the
+soak test's scripted quota rejections deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QuotaExceededError
+
+_MIN_RETRY_AFTER = 1e-6
+"""Floor on the retry-after hint.  A refusal's deficit can be a few
+ULPs of tokens; the corresponding wait (~1e-16 s) is smaller than the
+float resolution of a clock reading in the seconds range, so a caller
+advancing an injectable clock by exactly the hint would never move it
+(``now + 2e-16 == now``) and retry forever.  One microsecond always
+advances the clock and always refills more than any sub-floor
+deficit."""
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    Starts full.  ``rate`` is tokens per second, ``capacity`` the
+    burst ceiling.  Thread-safe: the daemon's event loop and the
+    executor's worker threads may consult it concurrently.
+
+    >>> from repro.utils.resilience import ManualClock
+    >>> clock = ManualClock()
+    >>> bucket = TokenBucket(rate=10.0, capacity=20.0, clock=clock)
+    >>> bucket.try_take(20.0)   # the full burst fits immediately
+    0.0
+    >>> bucket.try_take(5.0)    # empty: 5 tokens arrive in 0.5s
+    0.5
+    >>> clock.advance(0.5)
+    >>> bucket.try_take(5.0)
+    0.0
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError(
+                f"rate and capacity must be positive, got "
+                f"rate={rate}, capacity={capacity}"
+            )
+        self._rate = float(rate)
+        self._capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+
+    def try_take(self, amount: float) -> float:
+        """Take *amount* tokens if available.
+
+        Returns ``0.0`` on success.  On refusal, returns the seconds
+        until the bucket will hold *amount* tokens — or ``inf`` when
+        *amount* exceeds the burst capacity and no amount of waiting
+        helps.  The hint is floored at one microsecond so that waiting
+        exactly the hinted time always clears the deficit, even when
+        the deficit is pure float residue.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        with self._lock:
+            self._refill()
+            if amount > self._capacity:
+                return math.inf
+            if amount <= self._tokens:
+                self._tokens -= amount
+                return 0.0
+            return max((amount - self._tokens) / self._rate, _MIN_RETRY_AFTER)
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refilled to now)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuotaConfig:
+    """The admission limits every tenant gets.
+
+    Defaults are sized for the test-scale world: a few hundred KiB of
+    dump upload per second with a ~1 MiB burst, and a steady trickle
+    of job submissions with a burst of 8.
+    """
+
+    upload_bytes_per_sec: float = 256 * 1024
+    upload_burst_bytes: float = 1024 * 1024
+    jobs_per_sec: float = 2.0
+    jobs_burst: float = 8.0
+
+
+class TenantLedger:
+    """All tenants' buckets and counters, created lazily on first use.
+
+    The daemon consults this at admission time; ``counters()`` feeds
+    the ``/stats`` telemetry surface so operators can see who is being
+    throttled without grepping logs.
+    """
+
+    def __init__(
+        self,
+        config: TenantQuotaConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config or TenantQuotaConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._upload_buckets: dict[str, TokenBucket] = {}
+        self._job_buckets: dict[str, TokenBucket] = {}
+        self._counters: dict[str, dict[str, int]] = {}
+
+    def _counter(self, tenant: str) -> dict[str, int]:
+        return self._counters.setdefault(
+            tenant,
+            {
+                "uploads_admitted": 0,
+                "upload_bytes_admitted": 0,
+                "uploads_rejected": 0,
+                "jobs_admitted": 0,
+                "jobs_rejected": 0,
+            },
+        )
+
+    def admit_upload(self, tenant: str, nbytes: int) -> None:
+        """Charge *nbytes* of upload to *tenant* or refuse.
+
+        Raises :class:`~repro.errors.QuotaExceededError` with the
+        retry-after hint when the tenant's byte bucket cannot cover
+        the upload.
+        """
+        with self._lock:
+            bucket = self._upload_buckets.get(tenant)
+            if bucket is None:
+                bucket = self._upload_buckets[tenant] = TokenBucket(
+                    rate=self._config.upload_bytes_per_sec,
+                    capacity=self._config.upload_burst_bytes,
+                    clock=self._clock,
+                )
+            counter = self._counter(tenant)
+        retry_after = bucket.try_take(float(nbytes))
+        with self._lock:
+            if retry_after > 0.0:
+                counter["uploads_rejected"] += 1
+            else:
+                counter["uploads_admitted"] += 1
+                counter["upload_bytes_admitted"] += nbytes
+        if retry_after > 0.0:
+            raise QuotaExceededError(tenant, "upload-bytes", retry_after)
+
+    def admit_job(self, tenant: str) -> None:
+        """Charge one job submission to *tenant* or refuse."""
+        with self._lock:
+            bucket = self._job_buckets.get(tenant)
+            if bucket is None:
+                bucket = self._job_buckets[tenant] = TokenBucket(
+                    rate=self._config.jobs_per_sec,
+                    capacity=self._config.jobs_burst,
+                    clock=self._clock,
+                )
+            counter = self._counter(tenant)
+        retry_after = bucket.try_take(1.0)
+        with self._lock:
+            if retry_after > 0.0:
+                counter["jobs_rejected"] += 1
+            else:
+                counter["jobs_admitted"] += 1
+        if retry_after > 0.0:
+            raise QuotaExceededError(tenant, "queued-jobs", retry_after)
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Per-tenant admission counters, a snapshot copy."""
+        with self._lock:
+            return {
+                tenant: dict(counter)
+                for tenant, counter in sorted(self._counters.items())
+            }

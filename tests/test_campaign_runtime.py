@@ -198,6 +198,70 @@ class TestRunDirectory:
         assert clean.nbytes == noisy.nbytes
 
 
+class TestLeaseEpochWatermarks:
+    """Edge cases of ``RunDirectory`` reading ``leases.json``.
+
+    Epochs are fencing tokens, so the reader's contract is asymmetric:
+    *absence* of information (no file, empty file) safely means "no
+    epochs ever issued", but *unreadable* information must stop the
+    resume — restarting epoch numbering could re-issue a token a
+    partitioned worker still holds.
+    """
+
+    def _run(self, tmp_path):
+        return RunDirectory.create(tmp_path / "run", SPEC)
+
+    def test_missing_file_means_no_epochs(self, tmp_path):
+        assert self._run(tmp_path).load_lease_epochs() == {}
+
+    def test_empty_file_means_no_epochs(self, tmp_path):
+        run = self._run(tmp_path)
+        run.lease_epochs_path.write_text("")
+        assert run.load_lease_epochs() == {}
+
+    def test_whitespace_only_file_means_no_epochs(self, tmp_path):
+        run = self._run(tmp_path)
+        run.lease_epochs_path.write_text("\n  \n")
+        assert run.load_lease_epochs() == {}
+
+    def test_round_trip(self, tmp_path):
+        run = self._run(tmp_path)
+        run.save_lease_epochs({0: 3, 2: 7})
+        assert run.load_lease_epochs() == {0: 3, 2: 7}
+
+    def test_torn_final_line_refuses_resume(self, tmp_path):
+        run = self._run(tmp_path)
+        run.save_lease_epochs({0: 3, 1: 5})
+        text = run.lease_epochs_path.read_text()
+        # A non-atomic writer killed mid-write: valid prefix, torn tail.
+        run.lease_epochs_path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="corrupt lease-epoch"):
+            run.load_lease_epochs()
+
+    def test_non_object_payload_refuses_resume(self, tmp_path):
+        run = self._run(tmp_path)
+        run.lease_epochs_path.write_text('[1, 2, 3]\n')
+        with pytest.raises(ValueError, match="corrupt lease-epoch"):
+            run.load_lease_epochs()
+
+    def test_non_numeric_epoch_refuses_resume(self, tmp_path):
+        run = self._run(tmp_path)
+        run.lease_epochs_path.write_text(
+            '{"epochs": {"0": "three"}}\n'
+        )
+        with pytest.raises(ValueError, match="corrupt lease-epoch"):
+            run.load_lease_epochs()
+
+    def test_unknown_board_entries_are_preserved(self, tmp_path):
+        # SPEC has 3 boards (0..2); board 99 is from an older, wider
+        # spec.  The reader keeps it — the fabric only consults
+        # watermarks for boards it actually leases.
+        run = self._run(tmp_path)
+        run.save_lease_epochs({0: 2, 99: 11})
+        epochs = run.load_lease_epochs()
+        assert epochs == {0: 2, 99: 11}
+
+
 class TestExecutorEquivalence:
     def test_multiprocess_matches_inprocess(self):
         inproc = run_campaign(SPEC, executor="inprocess")

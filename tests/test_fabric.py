@@ -28,6 +28,8 @@ import hashlib
 import json
 import os
 import socket
+import threading
+import time
 from dataclasses import asdict, replace
 
 import pytest
@@ -332,6 +334,7 @@ class TestWireSpool:
 # chaos drills — the byte-identity contract under fire
 
 
+@pytest.mark.slow
 class TestChaos:
     def test_worker_count_and_claim_order_do_not_change_a_byte(
         self, tmp_path
@@ -439,6 +442,118 @@ class TestChaos:
         )
         assert telemetry["victims_attacked"] == len(report["outcomes"])
         assert telemetry["victims_attacked"] == SPEC.victims
+
+
+def _fd_count() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="requires /proc (Linux)"
+)
+class TestFlakyProxyFdHygiene:
+    """The chaos proxy must not leak sockets across its lifecycle.
+
+    Every proxied connection is a client/upstream socket *pair* plus
+    two pump threads; a leak here compounds across the hundreds of
+    connections a chaos drill churns through.  Counted the blunt way:
+    ``/proc/self/fd`` before and after.
+    """
+
+    def _echo_upstream(self):
+        """A minimal newline-echoing server; returns (addr, closer)."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        closed = threading.Event()
+
+        def handle(conn):
+            with conn:
+                try:
+                    while data := conn.recv(65536):
+                        conn.sendall(data)
+                except OSError:
+                    pass
+
+        def accept_loop():
+            while not closed.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                threading.Thread(
+                    target=handle, args=(conn,), daemon=True
+                ).start()
+
+        thread = threading.Thread(target=accept_loop, daemon=True)
+        thread.start()
+
+        def closer():
+            closed.set()
+            try:
+                listener.shutdown(socket.SHUT_RDWR)  # wake accept()
+            except OSError:
+                pass
+            listener.close()
+            thread.join(timeout=5)
+
+        return listener.getsockname()[:2], closer
+
+    def _wait_for_baseline(self, baseline: int) -> int:
+        # Pump and echo threads close their sockets asynchronously
+        # after a link is killed, so give stragglers a bounded grace.
+        for _ in range(500):
+            count = _fd_count()
+            if count <= baseline:
+                return count
+            time.sleep(0.01)
+        return _fd_count()
+
+    def test_connection_churn_releases_every_fd(self, tmp_path):
+        upstream, close_upstream = self._echo_upstream()
+        try:
+            baseline = _fd_count()
+            with FlakyProxy(upstream) as proxy:
+                host, port = proxy.address
+                for _ in range(5):
+                    with socket.create_connection((host, port)) as conn:
+                        conn.sendall(b"ping\n")
+                        assert conn.recv(65536) == b"ping\n"
+                assert proxy.stats()["connections"] == 5
+            assert self._wait_for_baseline(baseline) == baseline
+        finally:
+            close_upstream()
+
+    def test_partition_reject_and_kill_release_every_fd(self, tmp_path):
+        upstream, close_upstream = self._echo_upstream()
+        try:
+            baseline = _fd_count()
+            with FlakyProxy(upstream) as proxy:
+                host, port = proxy.address
+                # A live link cut by partition(): both sides must close.
+                conn = socket.create_connection((host, port))
+                conn.sendall(b"ping\n")
+                assert conn.recv(65536) == b"ping\n"
+                proxy.partition()
+                # A connection rejected while partitioned: the accepted
+                # socket must be closed immediately, not tracked.
+                with socket.create_connection((host, port)) as rejected:
+                    assert rejected.recv(65536) == b""
+                conn.close()
+                assert proxy.stats()["partition_rejects"] == 1
+            assert self._wait_for_baseline(baseline) == baseline
+        finally:
+            close_upstream()
+
+    def test_upstream_down_closes_client_socket(self, tmp_path):
+        # The upstream vanishes between accept and connect: the proxy
+        # must close the freshly-accepted client socket, not leak it.
+        upstream, close_upstream = self._echo_upstream()
+        close_upstream()  # dead on arrival
+        baseline = _fd_count()
+        with FlakyProxy(upstream) as proxy:
+            host, port = proxy.address
+            with socket.create_connection((host, port)) as conn:
+                assert conn.recv(65536) == b""
+        assert self._wait_for_baseline(baseline) == baseline
 
 
 # ---------------------------------------------------------------------------
@@ -595,6 +710,7 @@ class TestResilientClient:
 
 
 class TestWorkerSelfHealing:
+    @pytest.mark.slow
     def test_worker_survives_drops_report_byte_identical(self, tmp_path):
         reference = reference_report_bytes(SMALL, tmp_path)
         coordinator, clock = build_coordinator(SMALL, tmp_path)
@@ -720,6 +836,7 @@ class TestCoordinatorRestart:
             resumed.run_until_complete(timeout=60)
         assert resumed.run_dir.report_path.read_bytes() == reference
 
+    @pytest.mark.slow
     def test_acceptance_chaos_drill(self, tmp_path):
         # THE acceptance drill: a two-worker campaign through a flaky
         # proxy — at least three scripted connection drops and a stall

@@ -1,0 +1,230 @@
+"""Multi-client soak of the analysis daemon (the PR's acceptance bar).
+
+Three async tenants interleave uploads, duplicate uploads, job
+submissions, and subscriptions against one in-process daemon with
+deliberately tight limits — a wedged single-worker pool with a
+capacity-2 queue and token buckets sized so the scripted load *must*
+hit both refusal paths.  Time is a :class:`ManualClock`, so quota
+rejections and their retry-after healing are exact, not statistical.
+
+The acceptance assertions:
+
+- the aggregate assembled from streamed deltas is **byte-identical**
+  to a batch ``repro analyze`` CLI run over the same dump files;
+- backpressure and quota rejections each fired at least once;
+- the SIGTERM-style drain lost no accepted job (every accepted job id
+  has a streamed delta, early and late subscribers agree).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+import threading
+
+import pytest
+
+from repro import cli
+from repro.service.analysis import AnalysisReport, DumpAnalysis
+from repro.service.client import AsyncServiceClient
+from repro.service.daemon import AnalysisService
+from repro.service.quotas import TenantQuotaConfig
+from repro.utils.resilience import ManualClock
+
+INPUT_HW = 32
+MODELS = "resnet50_pt,squeezenet_pt"
+SEED = 2024
+
+
+def _scrape(session, model_name: str):
+    from repro.attack.addressing import AddressHarvester
+    from repro.attack.extraction import MemoryScraper
+    from repro.vitis.app import VictimApplication
+    from repro.vitis.image import Image
+
+    run = VictimApplication(session.victim_shell, input_hw=INPUT_HW).launch(
+        model_name, image=Image.test_pattern(INPUT_HW, INPUT_HW)
+    )
+    harvester = AddressHarvester(
+        session.attacker_shell.procfs, caller=session.attacker_shell.user
+    )
+    harvested = harvester.harvest(run.pid)
+    run.terminate()
+    scraper = MemoryScraper(
+        session.attacker_shell.devmem_tool, session.attacker_shell.user
+    )
+    return bytes(scraper.scrape(harvested).data)
+
+
+@pytest.fixture(scope="module")
+def corpus() -> list[bytes]:
+    """Simulated dumps plus one externally-captured-style blob."""
+    from repro.evaluation.scenarios import BoardSession
+
+    session = BoardSession.boot(input_hw=INPUT_HW)
+    dumps = [
+        _scrape(session, "resnet50_pt"),
+        _scrape(session, "squeezenet_pt"),
+    ]
+    # The external-ingest case: bytes no board of ours ever produced —
+    # seeded noise around a verbatim model-name string.
+    rng = random.Random(SEED)
+    external = (
+        bytes(rng.randrange(256) for _ in range(2048))
+        + b"/usr/share/vitis_ai_library/models/resnet50_pt\x00"
+        + bytes(rng.randrange(256) for _ in range(2048))
+    )
+    dumps.append(external)
+    return dumps
+
+
+@pytest.mark.slow
+def test_soak_streamed_aggregate_matches_batch_cli(corpus, tmp_path, capsys):
+    clock = ManualClock()
+    gate = threading.Event()  # starts wedged: workers wait for set()
+    observed = {"backpressure": 0, "quota": 0, "dup_uploads": 0}
+    max_dump = max(len(dump) for dump in corpus)
+    service = AnalysisService(
+        tmp_path / "spool",
+        tuple(MODELS.split(",")),
+        INPUT_HW,
+        workers=1,
+        queue_capacity=2,
+        quota_config=TenantQuotaConfig(
+            # Byte bucket: one largest dump fits, two in a burst do not
+            # — every tenant uploads its whole slice, so at least one
+            # quota rejection is structurally guaranteed.
+            upload_bytes_per_sec=float(max_dump),
+            upload_burst_bytes=float(max_dump) * 1.5,
+            jobs_per_sec=100.0,
+            jobs_burst=100.0,
+        ),
+        clock=clock,
+        worker_gate=gate,
+    )
+
+    async def upload_all(client, tenant: str, dumps: list[bytes]) -> list[str]:
+        digests = []
+        for dump in dumps:
+            while True:
+                response = await client.put_dump(tenant, dump)
+                if response.get("ok"):
+                    if response["deduplicated"]:
+                        observed["dup_uploads"] += 1
+                    digests.append(response["sha256"])
+                    break
+                assert response["code"] == "quota"
+                observed["quota"] += 1
+                clock.advance(response["retry_after"])
+        return digests
+
+    async def submit_all(client, tenant: str, digests: list[str]) -> list[int]:
+        job_ids = []
+        for digest in digests:
+            while True:
+                response = await client.request(
+                    "submit", tenant=tenant, sha256=digest
+                )
+                if response.get("ok"):
+                    job_ids.append(response["job_id"])
+                    break
+                assert response["code"] == "backpressure"
+                observed["backpressure"] += 1
+                # Release the wedge so the backlog can drain, then
+                # yield real time for the pool to make room.
+                gate.set()
+                await asyncio.sleep(0.01)
+        return job_ids
+
+    async def tenant_script(host, port, tenant, dumps):
+        async with await AsyncServiceClient.connect(host, port) as client:
+            digests = await upload_all(client, tenant, dumps)
+            # Re-upload everything: pure dedup hits, quota depleting.
+            await upload_all(client, tenant, dumps)
+            return await submit_all(client, tenant, digests)
+
+    async def subscribe_events(host, port, events):
+        async with await AsyncServiceClient.connect(host, port) as client:
+            async for event in client.subscribe():
+                events.append(event)
+
+    async def scenario():
+        host, port = await service.start()
+        early_events: list[dict] = []
+        early = asyncio.create_task(
+            subscribe_events(host, port, early_events)
+        )
+        await asyncio.sleep(0.01)
+        # Three tenants, overlapping slices: every dump is uploaded by
+        # at least two tenants (cross-tenant dedup), concurrently.
+        slices = {
+            "tenant-a": corpus,
+            "tenant-b": corpus[:2] + corpus[:1],
+            "tenant-c": corpus[1:] + corpus[2:],
+        }
+        job_lists = await asyncio.gather(
+            *(
+                tenant_script(host, port, tenant, dumps)
+                for tenant, dumps in slices.items()
+            )
+        )
+        accepted_jobs = [job for jobs in job_lists for job in jobs]
+        # SIGTERM equivalent: drain must finish every accepted job.
+        service.request_drain()
+        await service.drained()
+        late_events: list[dict] = []
+        await subscribe_events(host, port, late_events)  # pure backlog
+        await asyncio.wait_for(early, timeout=10)
+        stats = None
+        async with await AsyncServiceClient.connect(host, port) as client:
+            stats = (await client.request("stats"))["stats"]
+        await service.close()
+        return accepted_jobs, early_events, late_events, stats
+
+    accepted_jobs, early_events, late_events, stats = asyncio.run(scenario())
+
+    # The scripted load actually exercised both refusal paths.
+    assert observed["quota"] >= 1
+    assert observed["backpressure"] >= 1
+    assert observed["dup_uploads"] >= len(corpus)
+    assert stats["spool"]["hits"] >= len(corpus)
+    assert any(
+        counters["uploads_rejected"] >= 1
+        for counters in stats["tenants"].values()
+    )
+
+    # No accepted job was lost to the drain: every job id streamed a
+    # delta, and early/live and late/backlog subscribers agree.
+    deltas = [event for event in early_events if event["event"] == "delta"]
+    assert sorted(event["job_id"] for event in deltas) == sorted(accepted_jobs)
+    assert early_events[-1]["event"] == "drained"
+    assert late_events == early_events
+    assert stats["jobs"]["failed"] == 0
+
+    # Byte-identity: the streamed aggregate equals a batch CLI run
+    # over the same (unique) dump files.
+    streamed = AnalysisReport()
+    for event in deltas:
+        streamed.add(DumpAnalysis.from_payload(event["analysis"]))
+    dump_paths = []
+    for dump in {hashlib.sha256(d).hexdigest(): d for d in corpus}.values():
+        path = tmp_path / f"{hashlib.sha256(dump).hexdigest()}.bin"
+        path.write_bytes(dump)
+        dump_paths.append(str(path))
+    batch_report = tmp_path / "batch.json"
+    exit_code = cli.main(
+        [
+            "analyze",
+            *dump_paths,
+            "--models",
+            MODELS,
+            "--input-hw",
+            str(INPUT_HW),
+            "-o",
+            str(batch_report),
+        ]
+    )
+    capsys.readouterr()
+    assert exit_code == 0
+    assert batch_report.read_bytes() == streamed.to_json().encode("utf-8")

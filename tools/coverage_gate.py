@@ -3,12 +3,16 @@
 
 Runs the gated test modules under coverage measurement and fails when
 any gated package's aggregate coverage drops below :data:`FLOOR`
-percent.  Two packages are gated:
+percent.  Three packages are gated:
 
 - ``repro.fuzzlab`` — the fuzz harness is the machinery that vouches
   for everything else, so it does not get to rot quietly;
 - ``repro.analysis`` — the zero-copy fast paths every oracle, campaign
-  and benchmark lean on.
+  and benchmark lean on;
+- ``repro.service`` — the ingest daemon's admission-control and
+  drain paths mostly matter under rare conditions (quota refusals,
+  full queues, SIGTERM mid-job), exactly the code a green happy-path
+  suite can quietly stop exercising.
 
 Two measurement backends, picked automatically:
 
@@ -38,12 +42,14 @@ SRC_ROOT = REPO_ROOT / "src"
 PACKAGES: dict[str, Path] = {
     "repro.fuzzlab": SRC_ROOT / "repro" / "fuzzlab",
     "repro.analysis": SRC_ROOT / "repro" / "analysis",
+    "repro.service": SRC_ROOT / "repro" / "service",
 }
 
 TEST_TARGETS = (
     "tests/test_fuzzlab.py",
     "tests/test_analysis_scan.py",
     "tests/test_zero_copy.py",
+    "tests/test_service.py",
 )
 
 FLOOR = 80.0
