@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-json docs-check cli-docs coverage fuzz-smoke fabric-smoke serve-smoke
+.PHONY: test test-fast bench bench-json docs-check cli-docs coverage fuzz-smoke fabric-smoke serve-smoke explore-smoke
 
 # Run the docs gate AND the test suite even when the first fails, then
 # report both statuses — a docs slip must never mask a test failure
@@ -64,6 +64,20 @@ fuzz-smoke:
 # reference. See docs/distributed.md.
 fabric-smoke:
 	$(PYTHON) tools/fabric_smoke.py
+
+# The bounded exploration lane CI runs: a 3-generation attack
+# evolution against two profiles (frontier JSON + elite corpus seeds
+# under explore-artifacts/) and a small-scrub-axis defense Pareto
+# sweep — both byte-deterministic for the fixed seed. See
+# docs/exploration.md.
+explore-smoke:
+	$(PYTHON) -m repro explore attack --seed 0 --population 4 \
+		--generations 3 --keep-elites 1 --profiles none,scrub_pool \
+		-o explore-artifacts/attack-frontier.json \
+		--elites explore-artifacts/elites
+	$(PYTHON) -m repro explore defenses --boards 1 --victims 2 \
+		--models resnet50_pt --input-hw 16 --scrub-rates 16,64 \
+		-o explore-artifacts/defense-frontier.json
 
 # The analysis daemon as a real OS process: `repro serve analysis` on
 # an ephemeral port, two concurrent clients (duplicate upload dedup,

@@ -27,6 +27,15 @@ Commands map one-to-one onto the evaluation entry points:
   registry (failures are shrunk and written as replayable JSON
   seeds); ``fuzz replay`` re-runs saved seeds — the regression-corpus
   workflow (see ``docs/testing.md``)
+- ``explore``   — search-guided scenario exploration: ``explore attack``
+  evolves attacker-strategy genomes under a chosen fitness (residue,
+  window, weights) against one or more defense profiles and prints
+  the ranked frontier (``--elites DIR`` exports champions as
+  replayable fuzz corpus seeds); ``explore defenses`` sweeps the full
+  defense-configuration space against one fixed attacker and flags
+  the non-dominated leakage-vs-overhead Pareto frontier — both
+  frontiers are byte-deterministic per seed (see
+  ``docs/exploration.md``)
 - ``analyze``   — batch-analyze raw dump files (simulated or externally
   captured) against a mined signature database: region map, residue,
   entropy, model attribution — no board, no simulation
@@ -465,6 +474,10 @@ def _cmd_defense_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignSpec
     from repro.defense import run_defense_arena
 
+    # A duplicated profile would either run twice (same row, twice the
+    # wall clock) or trip the arena's duplicate guard; dedupe
+    # order-preservingly, warn, and sweep each profile exactly once.
+    profiles = _dedupe_profiles(args.profiles)
     try:
         spec = CampaignSpec(
             boards=args.boards,
@@ -477,13 +490,13 @@ def _cmd_defense_sweep(args: argparse.Namespace) -> int:
         )
         matrix = run_defense_arena(
             spec,
-            profiles=tuple(args.profiles.split(",")),
+            profiles=profiles,
             scrape_delay_ticks=args.delay_ticks,
             weight_theft=not args.no_weight_theft,
         )
     except ValueError as error:
-        # Bad spec values, an unknown or duplicated profile name, or
-        # conflicting '+'-composed axes.
+        # Bad spec values, an unknown profile name, or conflicting
+        # '+'-composed axes.
         return _usage_error(error)
     print(matrix.render_markdown() if args.markdown else matrix.render())
     if args.output is not None:
@@ -503,6 +516,138 @@ def _cmd_defense_report(args: argparse.Namespace) -> int:
     if status is not None:
         return status
     print(matrix.render_markdown() if args.markdown else matrix.render())
+    return 0
+
+
+def _dedupe_profiles(raw: str) -> tuple[str, ...]:
+    """Split a ``--profiles a,b`` flag, dropping duplicates with a
+    warning (order-preserving) — shared by sweep and explore lanes."""
+    requested = tuple(name.strip() for name in raw.split(","))
+    profiles = tuple(dict.fromkeys(requested))
+    if len(profiles) != len(requested):
+        dropped = sorted(
+            name for name in set(requested) if requested.count(name) > 1
+        )
+        print(
+            f"warning: duplicate profile(s) in --profiles "
+            f"({', '.join(dropped)}); sweeping each once",
+            file=sys.stderr,
+        )
+    return profiles
+
+
+def _cmd_explore_attack(args: argparse.Namespace) -> int:
+    from repro.explore import (
+        EvolutionConfig,
+        attack_report,
+        evolve,
+        export_elites,
+    )
+
+    profiles = _dedupe_profiles(args.profiles)
+    try:
+        configs = {
+            profile: EvolutionConfig(
+                seed=args.seed,
+                population=args.population,
+                generations=args.generations,
+                elites=args.keep_elites,
+                tournament=args.tournament,
+                crossover_rate=args.crossover_rate,
+                mutation_rate=args.mutation_rate,
+                fitness=args.fitness,
+                profile=profile,
+                input_hw=args.input_hw,
+            )
+            for profile in profiles
+        }
+        results = {}
+        for profile, config in configs.items():
+            result = evolve(config)
+            results[profile] = result
+            print(
+                f"profile {profile}: best={result.best[0]:g} "
+                f"evaluations={result.evaluations} "
+                f"(cache hits {result.cache_hits})",
+                file=sys.stderr,
+            )
+    except ValueError as error:
+        # Bad evolution parameters or an unknown profile name.
+        return _usage_error(error)
+    report = attack_report(
+        results,
+        seed=args.seed,
+        params={
+            "population": args.population,
+            "generations": args.generations,
+            "elites": args.keep_elites,
+            "tournament": args.tournament,
+            "crossover_rate": args.crossover_rate,
+            "mutation_rate": args.mutation_rate,
+            "profiles": list(profiles),
+            "input_hw": args.input_hw,
+        },
+    )
+    print(report.render_markdown() if args.markdown else report.render())
+    if args.elites is not None:
+        try:
+            paths = export_elites(
+                report, args.elites, input_hw=args.input_hw
+            )
+        except OSError as error:
+            return _usage_error(error)
+        print(f"exported {len(paths)} elite seed(s) to {args.elites}")
+    if args.output is not None:
+        status = _write_artifact(
+            args.output, report.to_json() + "\n", "frontier report"
+        )
+        if status is not None:
+            return status
+    return 0
+
+
+def _cmd_explore_defenses(args: argparse.Namespace) -> int:
+    from repro.explore import AttackGenome, defense_report, sweep_defense_space
+
+    try:
+        scrub_rates = tuple(
+            int(rate) for rate in args.scrub_rates.split(",")
+        )
+        genome = AttackGenome(
+            boards=args.boards,
+            victims=args.victims,
+            wave_size=args.wave_size,
+            tenants_per_board=args.tenants,
+            model_mix=tuple(sorted(args.models.split(","))),
+            coalesce_reads=not args.no_coalesce,
+            delay_ticks=args.delay_ticks,
+            carve_window=args.carve_window,
+            corruption=args.corruption,
+            seed=args.seed,
+        )
+        points = sweep_defense_space(
+            genome, input_hw=args.input_hw, scrub_rates=scrub_rates
+        )
+    except ValueError as error:
+        # Genome fields outside their gene pools, malformed
+        # --scrub-rates, or invalid rates.
+        return _usage_error(error)
+    report = defense_report(
+        points,
+        seed=args.seed,
+        params={
+            "attacker": genome.label(),
+            "input_hw": args.input_hw,
+            "scrub_rates": list(scrub_rates),
+        },
+    )
+    print(report.render_markdown() if args.markdown else report.render())
+    if args.output is not None:
+        status = _write_artifact(
+            args.output, report.to_json() + "\n", "frontier report"
+        )
+        if status is not None:
+            return status
     return 0
 
 
@@ -1128,6 +1273,216 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated oracle subset (default: all registered)",
     )
     fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
+
+    from repro.explore.fitness import FITNESS_NAMES
+    from repro.explore.genome import (
+        BOARD_COUNTS,
+        CAMPAIGN_SEEDS,
+        CORRUPTION_LEVELS,
+        DELAY_TICKS,
+        TENANT_COUNTS,
+        VICTIM_COUNTS,
+        WAVE_SIZES,
+    )
+    from repro.fuzzlab.scenario import CARVE_WINDOWS
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="search-guided exploration: evolve attacks, map defenses",
+    )
+    explore_sub = explore.add_subparsers(
+        dest="explore_command", required=True
+    )
+
+    explore_attack = explore_sub.add_parser(
+        "attack",
+        help="evolve attacker genomes under a fitness; print the ranked "
+        "frontier (byte-deterministic per seed)",
+    )
+    explore_attack.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="evolution seed; the frontier is a pure function of it "
+        "(default: 0)",
+    )
+    explore_attack.add_argument(
+        "--population",
+        type=int,
+        default=8,
+        help="genomes per generation (default: 8)",
+    )
+    explore_attack.add_argument(
+        "--generations",
+        type=int,
+        default=4,
+        help="generations to evolve (default: 4)",
+    )
+    explore_attack.add_argument(
+        "--keep-elites",
+        type=int,
+        default=2,
+        metavar="N",
+        help="top genomes copied unchanged into the next generation "
+        "(default: 2)",
+    )
+    explore_attack.add_argument(
+        "--tournament",
+        type=int,
+        default=2,
+        metavar="K",
+        help="tournament size for parent selection (default: 2)",
+    )
+    explore_attack.add_argument(
+        "--crossover-rate",
+        type=float,
+        default=0.6,
+        metavar="F",
+        help="probability a child is bred from two parents "
+        "(default: 0.6)",
+    )
+    explore_attack.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.9,
+        metavar="F",
+        help="probability a child gets one gene flipped (default: 0.9)",
+    )
+    explore_attack.add_argument(
+        "--fitness",
+        default="residue",
+        choices=FITNESS_NAMES,
+        help="what a genome is scored on (default: residue)",
+    )
+    explore_attack.add_argument(
+        "--profiles",
+        default="none",
+        metavar="A,B",
+        help="defense profiles to evolve against, one run each "
+        "(default: none)",
+    )
+    explore_attack.add_argument(
+        "--input-hw",
+        type=int,
+        default=16,
+        help="square input edge in pixels (default: 16)",
+    )
+    explore_attack.add_argument(
+        "--elites",
+        default=None,
+        metavar="DIR",
+        help="export frontier genomes as replayable fuzz corpus seeds",
+    )
+    explore_attack.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the frontier as a markdown table",
+    )
+    explore_attack.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the byte-deterministic frontier report as JSON",
+    )
+    explore_attack.set_defaults(func=_cmd_explore_attack)
+
+    explore_defenses = explore_sub.add_parser(
+        "defenses",
+        help="Pareto-sweep the defense-config space against one fixed "
+        "attacker; flag the non-dominated leakage-vs-overhead frontier",
+    )
+    explore_defenses.add_argument(
+        "--boards",
+        type=int,
+        default=1,
+        choices=BOARD_COUNTS,
+        help="boards the attacker spans (default: 1)",
+    )
+    explore_defenses.add_argument(
+        "--victims",
+        type=int,
+        default=2,
+        choices=VICTIM_COUNTS,
+        help="victims per campaign (default: 2)",
+    )
+    explore_defenses.add_argument(
+        "--models",
+        default="resnet50_pt",
+        metavar="A,B",
+        help="victim model mix (default: resnet50_pt)",
+    )
+    explore_defenses.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        choices=TENANT_COUNTS,
+        help="co-tenants per board (default: 1)",
+    )
+    explore_defenses.add_argument(
+        "--wave-size",
+        type=int,
+        default=1,
+        choices=WAVE_SIZES,
+        help="victims torn down per wave (default: 1)",
+    )
+    explore_defenses.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        choices=CAMPAIGN_SEEDS,
+        help="campaign schedule seed (default: 0)",
+    )
+    explore_defenses.add_argument(
+        "--delay-ticks",
+        type=int,
+        default=2,
+        choices=DELAY_TICKS,
+        help="scrape delay after teardown in ticks (default: 2)",
+    )
+    explore_defenses.add_argument(
+        "--carve-window",
+        type=int,
+        default=256,
+        choices=CARVE_WINDOWS,
+        help="attacker carve window (default: 256)",
+    )
+    explore_defenses.add_argument(
+        "--corruption",
+        type=float,
+        default=0.0,
+        choices=CORRUPTION_LEVELS,
+        help="injected dump corruption fraction (default: 0.0)",
+    )
+    explore_defenses.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="scrape word-by-word instead of coalesced reads",
+    )
+    explore_defenses.add_argument(
+        "--input-hw",
+        type=int,
+        default=16,
+        help="square input edge in pixels (default: 16)",
+    )
+    explore_defenses.add_argument(
+        "--scrub-rates",
+        default="16,64,256",
+        metavar="R1,R2",
+        help="scrub-daemon rates enumerated on the sanitize axis "
+        "(default: 16,64,256)",
+    )
+    explore_defenses.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the frontier as a markdown table",
+    )
+    explore_defenses.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the byte-deterministic frontier report as JSON",
+    )
+    explore_defenses.set_defaults(func=_cmd_explore_defenses)
 
     from repro.service.analysis import CARVE_PRESETS
 

@@ -41,15 +41,18 @@ from repro.defense.arena import (
 )
 from repro.defense.matrix import DefenseMatrix, DefenseRow
 from repro.defense.profiles import (
+    DEFAULT_SCRUB_RATES,
     DEFAULT_SWEEP,
     PROFILE_NAMES,
     DefenseConfig,
     XenPolicy,
     campaign_deployment,
+    defense_config_space,
     defense_profile,
 )
 
 __all__ = [
+    "DEFAULT_SCRUB_RATES",
     "DEFAULT_SWEEP",
     "PROFILE_NAMES",
     "DefenseConfig",
@@ -59,6 +62,7 @@ __all__ = [
     "XenPolicy",
     "prepare_weight_probe",
     "campaign_deployment",
+    "defense_config_space",
     "defense_profile",
     "probe_weight_theft",
     "run_defense_arena",

@@ -40,7 +40,7 @@ from repro.campaign.report import CampaignReport
 from repro.campaign.schedule import CampaignSpec
 from repro.defense.matrix import DefenseMatrix, DefenseRow
 from repro.defense.profiles import DefenseConfig, DEFAULT_SWEEP, defense_profile
-from repro.errors import AttackError, PermissionDeniedError
+from repro.errors import AttackError, EmptyMetricError, PermissionDeniedError
 from repro.evaluation.metrics import window_hit_rate
 from repro.evaluation.scenarios import BoardSession
 from repro.petalinux.kernel import KernelConfig, PetaLinuxKernel
@@ -154,8 +154,18 @@ def summarize_run(
     hook: ScrapeDelayHook,
     weight_theft_match: float | None,
 ) -> DefenseRow:
-    """Distill one profile's campaign into a matrix row."""
+    """Distill one profile's campaign into a matrix row.
+
+    A zero-victim run has a defined answer here: nothing was attacked,
+    so nothing was scraped inside the window — the
+    :class:`~repro.errors.EmptyMetricError` the rate metric raises is
+    caught and reported as 0.0 instead of crashing summarization.
+    """
     outcomes = report.outcomes
+    try:
+        hit_rate = window_hit_rate([o.residue_nbytes for o in outcomes])
+    except EmptyMetricError:
+        hit_rate = 0.0
     return DefenseRow(
         profile=profile.name,
         defenses=profile.describe(),
@@ -165,11 +175,7 @@ def summarize_run(
         image_recovery_rate=report.image_recovery_rate,
         residue_bytes=sum(o.residue_nbytes for o in outcomes),
         bytes_scraped=sum(o.nbytes for o in outcomes),
-        window_hit_rate=(
-            window_hit_rate([o.residue_nbytes for o in outcomes])
-            if outcomes
-            else 0.0
-        ),
+        window_hit_rate=hit_rate,
         weight_theft_match=weight_theft_match,
         teardown_seconds=sum(o.teardown_seconds for o in outcomes),
         frames_scrubbed_sync=sum(o.frames_scrubbed_sync for o in outcomes),

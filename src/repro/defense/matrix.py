@@ -15,10 +15,35 @@ docs.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass
 
 from repro.campaign.schedule import CampaignSpec
 from repro.evaluation.metrics import leakage_reduction
+
+_NON_FINITE = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+"""JSON-safe sentinel strings for the float values ``json.dumps`` would
+otherwise emit as bare (invalid-JSON) tokens.  Rows built from
+zero-victim runs or hand-computed rates can carry them; the round trip
+preserves them explicitly instead of corrupting ``report.json``."""
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, str) and value in _NON_FINITE:
+        return _NON_FINITE[value]
+    return value
+
+
+def _is_non_finite(value: float | None) -> bool:
+    return value is not None and not math.isfinite(value)
 
 
 @dataclass(frozen=True)
@@ -110,20 +135,32 @@ class DefenseMatrix:
         ("backlog", ">7"),
     )
 
+    @staticmethod
+    def _percent(value: float | None) -> str:
+        """A rate cell; ``None`` and non-finite rates render as ``-``.
+
+        A ``nan%`` (or ``inf%``) in the table reads like data; an
+        undefined rate — a zero-victim run, a degenerate sweep — is
+        rendered as explicitly absent instead.
+        """
+        if value is None or _is_non_finite(value):
+            return "-"
+        return f"{value:.0%}"
+
     def _cells(self, row: DefenseRow) -> list[str]:
         return [
             row.profile,
-            f"{row.success_rate:.0%}",
-            f"{row.identification_rate:.0%}",
-            f"{row.image_recovery_rate:.0%}",
+            self._percent(row.success_rate),
+            self._percent(row.identification_rate),
+            self._percent(row.image_recovery_rate),
             f"{row.residue_bytes / 1024:.1f}",
-            f"{row.window_hit_rate:.0%}",
+            self._percent(row.window_hit_rate),
+            self._percent(row.weight_theft_match),
             (
                 "-"
-                if row.weight_theft_match is None
-                else f"{row.weight_theft_match:.0%}"
+                if _is_non_finite(row.teardown_seconds)
+                else f"{row.teardown_seconds * 1000:.2f}"
             ),
-            f"{row.teardown_seconds * 1000:.2f}",
             f"{row.frames_scrubbed_sync}/{row.frames_scrubbed_async}",
             str(row.scrub_backlog),
         ]
@@ -177,15 +214,29 @@ class DefenseMatrix:
     # -- persistence ---------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize the matrix (spec and all rows) to JSON."""
+        """Serialize the matrix (spec and all rows) to JSON.
+
+        Non-finite rates are encoded as the explicit sentinel strings
+        of :data:`_NON_FINITE` and ``allow_nan`` is off, so the output
+        is always *valid* JSON — never a bare ``NaN`` token that only
+        Python's parser accepts — and :meth:`from_json` restores the
+        original floats exactly.
+        """
         return json.dumps(
             {
                 "spec": asdict(self.spec),
                 "scrape_delay_ticks": self.scrape_delay_ticks,
-                "rows": [asdict(row) for row in self.rows],
+                "rows": [
+                    {
+                        key: _encode_value(value)
+                        for key, value in asdict(row).items()
+                    }
+                    for row in self.rows
+                ],
             },
             indent=2,
             sort_keys=True,
+            allow_nan=False,
         )
 
     @classmethod
@@ -198,5 +249,13 @@ class DefenseMatrix:
         return cls(
             spec=CampaignSpec(**spec_fields),
             scrape_delay_ticks=payload["scrape_delay_ticks"],
-            rows=[DefenseRow(**record) for record in payload["rows"]],
+            rows=[
+                DefenseRow(
+                    **{
+                        key: _decode_value(value)
+                        for key, value in record.items()
+                    }
+                )
+                for record in payload["rows"]
+            ],
         )

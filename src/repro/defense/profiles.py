@@ -293,6 +293,71 @@ DEFAULT_SWEEP = ("none", "zero_on_free", "scrub_pool", "aslr", "pinned_xen")
 """The profiles ``repro defense sweep`` runs by default."""
 
 
+DEFAULT_SCRUB_RATES = (16, 64, 256)
+"""Scrub-daemon rates (frames/tick) :func:`defense_config_space`
+enumerates for the asynchronous scrubber axis."""
+
+
+def defense_config_space(
+    scrub_rates: tuple[int, ...] = DEFAULT_SCRUB_RATES,
+) -> tuple[DefenseConfig, ...]:
+    """Every combination of the defense axes, as concrete configs.
+
+    The named-profile list (:data:`DEFAULT_SWEEP`) samples a few
+    hand-picked points; the Pareto sweep (:mod:`repro.explore.pareto`)
+    instead walks this full cross product — sanitize policy (off,
+    synchronous zero-on-free, or the background scrubber at each of
+    *scrub_rates*) × ASLR (off / physical+virtual) × Xen (absent /
+    pinned) — and keeps only the non-dominated frontier.  Names are
+    canonical ``+``-joined axis labels (``scrub_pool@16+aslr``), with
+    the all-off corner named ``none``, and the enumeration order is
+    deterministic so downstream reports stay byte-stable.
+
+    >>> len(defense_config_space((16, 64)))
+    16
+    >>> defense_config_space()[0].name
+    'none'
+    """
+    if not scrub_rates:
+        raise ValueError("scrub_rates must be non-empty")
+    if any(rate <= 0 for rate in scrub_rates):
+        raise ValueError(f"scrub rates must be positive, got {scrub_rates}")
+    if len(set(scrub_rates)) != len(scrub_rates):
+        raise ValueError(f"duplicate scrub rates: {scrub_rates}")
+    sanitize_axis: list[tuple[str, SanitizePolicy, int]] = [
+        ("", SanitizePolicy.NONE, 64),
+        ("zero_on_free", SanitizePolicy.ZERO_ON_FREE, 64),
+    ] + [
+        (f"scrub_pool@{rate}", SanitizePolicy.SCRUB_POOL, rate)
+        for rate in scrub_rates
+    ]
+    configs = []
+    for label, policy, rate in sanitize_axis:
+        for aslr in (False, True):
+            for xen in (XenPolicy.NONE, XenPolicy.PINNED):
+                parts = [
+                    part
+                    for part in (
+                        label,
+                        "aslr" if aslr else "",
+                        "pinned_xen" if xen is XenPolicy.PINNED else "",
+                    )
+                    if part
+                ]
+                configs.append(
+                    DefenseConfig(
+                        name="+".join(parts) or "none",
+                        sanitize_policy=policy,
+                        scrub_rate_per_tick=rate,
+                        physical_aslr=aslr,
+                        virtual_aslr=aslr,
+                        xen=xen,
+                        description="config-space point",
+                    )
+                )
+    return tuple(configs)
+
+
 def defense_profile(name: str) -> DefenseConfig:
     """Resolve a profile name, composing ``a+b+...`` syntax.
 

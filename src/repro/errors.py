@@ -311,6 +311,34 @@ class ServiceDrainingError(ServiceError):
     door."""
 
 
+class MetricsError(ReproError):
+    """Base class for evaluation-metric failures.
+
+    Metrics are pure functions over campaign artifacts; everything that
+    can make one undefined — an empty sample, mismatched inputs —
+    derives from this class so summarizers can catch one base instead
+    of a bare ``ValueError`` they cannot tell apart from a programming
+    mistake.
+    """
+
+
+class EmptyMetricError(MetricsError, ValueError):
+    """A metric was asked to summarize an empty sample.
+
+    Zero-victim runs are legal inputs now that explored scenarios and
+    degenerate sweeps can produce them, so rate metrics raise this
+    *typed* error instead of a bare ``ValueError``; callers that have a
+    defined answer for "no victims" (``summarize_run`` reports 0.0)
+    catch it explicitly.  Subclasses ``ValueError`` too, so pre-typed
+    ``except ValueError`` call sites keep working unchanged.
+    """
+
+    def __init__(self, metric: str, what: str) -> None:
+        self.metric = metric
+        self.what = what
+        super().__init__(f"{metric}: {what} is empty; the rate is undefined")
+
+
 class CampaignInterrupted(ReproError):
     """A checkpointable campaign stopped before finishing every board.
 

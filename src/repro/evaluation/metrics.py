@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.scan import count_positive, nonzero_count
+from repro.errors import EmptyMetricError
 from repro.mmu.frame_alloc import FrameAllocator
 from repro.vitis.image import Image
 
@@ -134,9 +135,15 @@ def window_hit_rate(residue_counts: list[int]) -> float:
     the attacker's scrape landed inside the window of vulnerability
     (any nonzero residue recovered).  Synchronous zero-on-free drives
     it to 0.0; the undefended board sits at 1.0.
+
+    An empty sample (a zero-victim campaign — degenerate explored
+    scenarios produce them) has no defined rate; raises
+    :class:`~repro.errors.EmptyMetricError` (a ``ValueError``
+    subclass), which summarizers with a defined "no victims" answer
+    catch explicitly.
     """
     if not residue_counts:
-        raise ValueError("no victims")
+        raise EmptyMetricError("window_hit_rate", "residue_counts")
     return count_positive(residue_counts) / len(residue_counts)
 
 
@@ -146,8 +153,12 @@ def residue_survival(allocator: FrameAllocator, victim_frames: list[int]) -> flo
     Frames still in the free pool retain their residue verbatim;
     reallocated frames may have been overwritten.  This is the
     denominator of the reuse-decay experiment.
+
+    Raises :class:`~repro.errors.EmptyMetricError` (a ``ValueError``
+    subclass) for a victim with no frames — there is no survival rate
+    to report.
     """
     if not victim_frames:
-        raise ValueError("victim_frames is empty")
+        raise EmptyMetricError("residue_survival", "victim_frames")
     surviving = sum(1 for frame in victim_frames if allocator.is_free(frame))
     return surviving / len(victim_frames)

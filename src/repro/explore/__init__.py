@@ -1,0 +1,92 @@
+"""Search-guided scenario exploration — evolve attacks, map defenses.
+
+The fuzzlab samples scenarios at random and asks "does anything
+break?"; this package *searches* the same scenario space and asks two
+sharper questions.  On the attack side, a seeded evolutionary driver
+(:mod:`repro.explore.evolve`) breeds attacker-strategy genomes
+(:mod:`repro.explore.genome`) under pluggable fitness functions
+(:mod:`repro.explore.fitness` — residue bytes, window-of-vulnerability
+hit rate, weight-theft recovery), every candidate scored by running
+the real campaign engine via :func:`repro.fuzzlab.evaluate_world`.
+On the defense side, :mod:`repro.explore.pareto` sweeps the full
+:func:`repro.defense.defense_config_space` against a fixed attacker
+and flags the non-dominated leakage-vs-overhead frontier.  Both lanes
+emit a byte-deterministic :class:`~repro.explore.report.FrontierReport`
+(JSON + markdown), and elite genomes export as replayable fuzzlab
+corpus seeds — a champion attack becomes a permanent regression test.
+
+Everything is a pure function of its seed and config: same seed, same
+frontier, byte for byte.
+
+>>> from repro.explore import EvolutionConfig, evolve
+>>> result = evolve(EvolutionConfig(seed=0, population=2,
+...                                 generations=1, elites=1))
+>>> result.best[0] >= 0.0
+True
+>>> evolve(result.config).frontier == result.frontier
+True
+
+CLI lanes: ``repro explore attack`` and ``repro explore defenses``;
+see ``docs/exploration.md`` for the genome/fitness design and a
+worked run.
+"""
+
+from repro.explore.evolve import (
+    EvolutionConfig,
+    EvolutionResult,
+    GenerationStats,
+    evolve,
+)
+from repro.explore.fitness import (
+    FITNESS_FUNCTIONS,
+    FITNESS_NAMES,
+    GenomeEvaluator,
+)
+from repro.explore.genome import (
+    AttackGenome,
+    crossover,
+    genome_from_dict,
+    genome_to_dict,
+    mutate,
+    random_genome,
+)
+from repro.explore.pareto import (
+    DefensePoint,
+    deployment_overhead,
+    dominates,
+    pareto_front,
+    sweep_defense_space,
+)
+from repro.explore.report import (
+    FRONTIER_FORMAT,
+    FrontierReport,
+    attack_report,
+    defense_report,
+    export_elites,
+)
+
+__all__ = [
+    "AttackGenome",
+    "DefensePoint",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "FITNESS_FUNCTIONS",
+    "FITNESS_NAMES",
+    "FRONTIER_FORMAT",
+    "FrontierReport",
+    "GenerationStats",
+    "GenomeEvaluator",
+    "attack_report",
+    "crossover",
+    "defense_report",
+    "deployment_overhead",
+    "dominates",
+    "evolve",
+    "export_elites",
+    "genome_from_dict",
+    "genome_to_dict",
+    "mutate",
+    "pareto_front",
+    "random_genome",
+    "sweep_defense_space",
+]

@@ -1,0 +1,173 @@
+"""The evolutionary driver: seeded search over attacker genomes.
+
+A deliberately small, fully deterministic genetic algorithm.  One
+``random.Random(config.seed)`` drives every stochastic choice —
+initial population, tournament draws, crossover masks, mutation
+sites — so the same :class:`EvolutionConfig` always walks the same
+genome sequence and :func:`evolve` returns byte-for-byte the same
+frontier.  Selection is tournament, survival is elitist, and the
+frontier is the best *distinct* genomes ever seen (not just the final
+population), ranked by score with the genome's total-order key
+breaking ties.
+
+Wall-clock never enters the loop: fitness comes from
+:class:`~repro.explore.fitness.GenomeEvaluator` (deterministic
+campaign measurements), and any timing the caller wants (the bench
+lane's generations/s) is measured *around* :func:`evolve`, not inside
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.explore.fitness import FITNESS_NAMES, GenomeEvaluator
+from repro.explore.genome import (
+    AttackGenome,
+    crossover,
+    mutate,
+    random_genome,
+)
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Everything an evolution run is a function of."""
+
+    seed: int = 0
+    population: int = 8
+    generations: int = 4
+    elites: int = 2
+    tournament: int = 2
+    crossover_rate: float = 0.6
+    mutation_rate: float = 0.9
+    fitness: str = "residue"
+    profile: str = "none"
+    input_hw: int = 16
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0 <= self.elites < self.population:
+            raise ValueError("elites must be in [0, population)")
+        if not 1 <= self.tournament <= self.population:
+            raise ValueError("tournament must be in [1, population]")
+        for name in ("crossover_rate", "mutation_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.fitness not in FITNESS_NAMES:
+            raise ValueError(
+                f"unknown fitness {self.fitness!r}; "
+                f"choose from {FITNESS_NAMES}"
+            )
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """One generation's scoreboard."""
+
+    generation: int
+    best: float
+    mean: float
+    evaluations: int
+    """Cumulative distinct-genome campaigns after this generation."""
+
+
+@dataclass(frozen=True)
+class EvolutionResult:
+    """A finished run: the frontier plus its full provenance."""
+
+    config: EvolutionConfig
+    frontier: tuple[tuple[float, AttackGenome], ...]
+    """Best distinct genomes ever seen, ``(score, genome)``, sorted by
+    descending score then ascending genome key."""
+    stats: tuple[GenerationStats, ...]
+    evaluations: int
+    cache_hits: int
+
+    @property
+    def best(self) -> tuple[float, AttackGenome]:
+        return self.frontier[0]
+
+
+@dataclass
+class _Hall:
+    """Best-ever tracker keyed on genome identity."""
+
+    seen: dict[tuple, tuple[float, AttackGenome]] = field(
+        default_factory=dict
+    )
+
+    def admit(self, score: float, genome: AttackGenome) -> None:
+        self.seen.setdefault(genome.key(), (score, genome))
+
+    def ranked(self, limit: int) -> tuple[tuple[float, AttackGenome], ...]:
+        ordered = sorted(
+            self.seen.values(), key=lambda entry: (-entry[0], entry[1].key())
+        )
+        return tuple(ordered[:limit])
+
+
+def _select(
+    scored: list[tuple[float, AttackGenome]],
+    rng: random.Random,
+    tournament: int,
+) -> AttackGenome:
+    """Tournament selection: best of *tournament* uniform draws."""
+    contenders = [rng.choice(scored) for _ in range(tournament)]
+    return max(contenders, key=lambda entry: (entry[0], entry[1].key()))[1]
+
+
+def evolve(config: EvolutionConfig) -> EvolutionResult:
+    """Run the full evolution; deterministic in ``config`` alone."""
+    rng = random.Random(config.seed)
+    evaluator = GenomeEvaluator(
+        fitness=config.fitness,
+        profile=config.profile,
+        input_hw=config.input_hw,
+    )
+    population = [random_genome(rng) for _ in range(config.population)]
+    hall = _Hall()
+    stats: list[GenerationStats] = []
+    for generation in range(config.generations):
+        scored = [(evaluator.score(genome), genome) for genome in population]
+        for score, genome in scored:
+            hall.admit(score, genome)
+        scores = [score for score, _ in scored]
+        stats.append(
+            GenerationStats(
+                generation=generation,
+                best=max(scores),
+                mean=sum(scores) / len(scores),
+                evaluations=evaluator.evaluations,
+            )
+        )
+        if generation == config.generations - 1:
+            break
+        ranked = sorted(
+            scored, key=lambda entry: (-entry[0], entry[1].key())
+        )
+        survivors = [genome for _, genome in ranked[: config.elites]]
+        while len(survivors) < config.population:
+            parent = _select(scored, rng, config.tournament)
+            if rng.random() < config.crossover_rate:
+                child = crossover(
+                    parent, _select(scored, rng, config.tournament), rng
+                )
+            else:
+                child = parent
+            if rng.random() < config.mutation_rate:
+                child = mutate(child, rng)
+            survivors.append(child)
+        population = survivors
+    return EvolutionResult(
+        config=config,
+        frontier=hall.ranked(config.population),
+        stats=tuple(stats),
+        evaluations=evaluator.evaluations,
+        cache_hits=evaluator.cache_hits,
+    )

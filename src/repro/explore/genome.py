@@ -1,0 +1,270 @@
+"""Attacker-strategy genomes — the explorer's unit of evolution.
+
+An :class:`AttackGenome` is the attacker's half of a
+:class:`~repro.fuzzlab.scenario.Scenario`: the knobs an adversary
+actually controls (scrape latency, carve window, extraction mode,
+which models to hunt, how hard to churn the allocator) plus the
+campaign seed, with every harness-only axis (crash points, fabric
+chaos, planted faults) pinned to the cheap deterministic defaults.
+Each gene draws from a small named pool so mutation and crossover stay
+closed over *valid* genomes by construction — ``to_scenario`` always
+yields a scenario the fuzzlab runner can execute, which is what lets
+elite genomes be exported as replayable corpus seeds.
+
+Everything is seeded: :func:`random_genome`, :func:`mutate`, and
+:func:`crossover` draw only from the ``random.Random`` they are
+handed, so an evolution run is a pure function of its seed.
+
+>>> rng = __import__("random").Random(7)
+>>> genome = random_genome(rng)
+>>> genome == genome_from_dict(genome_to_dict(genome))
+True
+>>> mutate(genome, rng) != genome
+True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.fuzzlab.scenario import CARVE_WINDOWS, Scenario
+
+MODEL_POOL = (
+    "inception_v1_tf",
+    "mobilenet_v2_tf",
+    "resnet50_pt",
+    "squeezenet_pt",
+)
+"""Models a genome's mix may hunt.  Deliberately a *subset* of the
+zoo: offline prep is cached per (mix, input size), so a small pool
+keeps the number of distinct prep runs an evolution can trigger
+bounded while still exercising both frameworks."""
+
+BOARD_COUNTS = (1, 2)
+VICTIM_COUNTS = (1, 2, 3, 4)
+WAVE_SIZES = (1, 2, 3)
+TENANT_COUNTS = (1, 2, 3)
+DELAY_TICKS = (0, 1, 2, 3, 4)
+"""Scheduler ticks between wave teardown and the scrape — the
+attacker's latency, racing the asynchronous scrubber."""
+CORRUPTION_LEVELS = (0.0, 0.1, 0.25, 0.4)
+CAMPAIGN_SEEDS = tuple(range(8))
+"""Campaign-scheduler seeds a genome may pick; a gene, not a constant,
+so the search can escape a pathological schedule."""
+MIX_SIZES = (1, 2, 3)
+
+ANALYSIS_CAP = 65536
+"""Fixed analysis cap for explorer-built scenarios (the explorer
+scores campaign measurements, not dump-analysis oracles)."""
+
+
+@dataclass(frozen=True)
+class AttackGenome:
+    """One attacker strategy: every gene drawn from its pool above."""
+
+    boards: int
+    victims: int
+    wave_size: int
+    tenants_per_board: int
+    model_mix: tuple[str, ...]
+    """Kept sorted — two genomes hunting the same set of models are
+    the same strategy, and the canonical form makes :meth:`key`
+    collisions (the dedupe/cache identity) exact."""
+    coalesce_reads: bool
+    delay_ticks: int
+    carve_window: int
+    corruption: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        pools = (
+            ("boards", self.boards, BOARD_COUNTS),
+            ("victims", self.victims, VICTIM_COUNTS),
+            ("wave_size", self.wave_size, WAVE_SIZES),
+            ("tenants_per_board", self.tenants_per_board, TENANT_COUNTS),
+            ("delay_ticks", self.delay_ticks, DELAY_TICKS),
+            ("carve_window", self.carve_window, CARVE_WINDOWS),
+            ("corruption", self.corruption, CORRUPTION_LEVELS),
+            ("seed", self.seed, CAMPAIGN_SEEDS),
+        )
+        for name, value, pool in pools:
+            if value not in pool:
+                raise ValueError(
+                    f"{name} must be one of {pool}, got {value!r}"
+                )
+        if not self.model_mix:
+            raise ValueError("model_mix must be non-empty")
+        if tuple(sorted(self.model_mix)) != self.model_mix:
+            raise ValueError(
+                f"model_mix must be sorted (canonical form), "
+                f"got {self.model_mix}"
+            )
+        unknown = sorted(set(self.model_mix) - set(MODEL_POOL))
+        if unknown:
+            raise ValueError(
+                f"model(s) outside the genome pool: {unknown}; "
+                f"pool: {MODEL_POOL}"
+            )
+
+    def key(self) -> tuple:
+        """Total-order identity: cache key, dedupe key, tie-breaker."""
+        return (
+            self.boards,
+            self.victims,
+            self.wave_size,
+            self.tenants_per_board,
+            self.model_mix,
+            self.coalesce_reads,
+            self.delay_ticks,
+            self.carve_window,
+            self.corruption,
+            self.seed,
+        )
+
+    def label(self) -> str:
+        """One-line summary for progress output and report rows."""
+        return (
+            f"{self.boards}b/{self.victims}v w{self.wave_size} "
+            f"t{self.tenants_per_board} mix={len(self.model_mix)} "
+            f"delay={self.delay_ticks} carve={self.carve_window} "
+            f"{'coalesced' if self.coalesce_reads else 'word'} "
+            f"corr={self.corruption} seed={self.seed}"
+        )
+
+    def to_scenario(
+        self,
+        scenario_id: int = 0,
+        defense_profile: str = "none",
+        input_hw: int = 16,
+    ) -> Scenario:
+        """Lower the genome onto a runnable fuzzlab scenario.
+
+        Harness-only axes take the cheapest deterministic values: an
+        in-process executor both ways, the earliest legal crash point,
+        no fabric chaos — the explorer scores the campaign itself.
+        The result replays under ``repro fuzz replay`` like any other
+        corpus seed.
+        """
+        return Scenario(
+            scenario_id=scenario_id,
+            seed=self.seed,
+            boards=self.boards,
+            victims=self.victims,
+            tenants_per_board=self.tenants_per_board,
+            wave_size=self.wave_size,
+            model_mix=self.model_mix,
+            board_names=(
+                ("ZCU104",) if self.boards == 1 else ("ZCU104", "ZCU102")
+            ),
+            input_hw=input_hw,
+            corruption_fraction=self.corruption,
+            coalesce_reads=self.coalesce_reads,
+            executor="inprocess",
+            processes=None,
+            resume_executor="inprocess",
+            interrupt_after=1,
+            defense_profile=defense_profile,
+            scrape_delay_ticks=self.delay_ticks,
+            carve_window=self.carve_window,
+            analysis_cap=ANALYSIS_CAP,
+        )
+
+
+def genome_to_dict(genome: AttackGenome) -> dict:
+    """The genome as a JSON-trivial dict (tuples become lists).
+
+    A serialized-then-parsed genome dict compares equal to a fresh
+    one, so frontier reports round-trip byte-identically.
+    """
+    fields = asdict(genome)
+    fields["model_mix"] = list(fields["model_mix"])
+    return fields
+
+
+def genome_from_dict(payload: dict) -> AttackGenome:
+    """Rebuild a genome from :func:`genome_to_dict` output."""
+    fields = dict(payload)
+    fields["model_mix"] = tuple(fields["model_mix"])
+    return AttackGenome(**fields)
+
+
+def _random_mix(rng: random.Random) -> tuple[str, ...]:
+    size = rng.choice(MIX_SIZES)
+    return tuple(sorted(rng.sample(MODEL_POOL, size)))
+
+
+def random_genome(rng: random.Random) -> AttackGenome:
+    """Sample one uniformly random (valid) genome from *rng*."""
+    return AttackGenome(
+        boards=rng.choice(BOARD_COUNTS),
+        victims=rng.choice(VICTIM_COUNTS),
+        wave_size=rng.choice(WAVE_SIZES),
+        tenants_per_board=rng.choice(TENANT_COUNTS),
+        model_mix=_random_mix(rng),
+        coalesce_reads=rng.random() < 0.5,
+        delay_ticks=rng.choice(DELAY_TICKS),
+        carve_window=rng.choice(CARVE_WINDOWS),
+        corruption=rng.choice(CORRUPTION_LEVELS),
+        seed=rng.choice(CAMPAIGN_SEEDS),
+    )
+
+
+def _resample(rng: random.Random, pool: tuple, current: object) -> object:
+    """A pool draw guaranteed to differ from *current* (pools > 1)."""
+    alternatives = [value for value in pool if value != current]
+    return rng.choice(alternatives)
+
+
+def mutate(genome: AttackGenome, rng: random.Random) -> AttackGenome:
+    """Flip exactly one gene to a different value from its pool."""
+    gene = rng.randrange(10)
+    fields = genome_to_dict(genome)
+    fields["model_mix"] = genome.model_mix
+    if gene == 0:
+        fields["boards"] = _resample(rng, BOARD_COUNTS, genome.boards)
+    elif gene == 1:
+        fields["victims"] = _resample(rng, VICTIM_COUNTS, genome.victims)
+    elif gene == 2:
+        fields["wave_size"] = _resample(rng, WAVE_SIZES, genome.wave_size)
+    elif gene == 3:
+        fields["tenants_per_board"] = _resample(
+            rng, TENANT_COUNTS, genome.tenants_per_board
+        )
+    elif gene == 4:
+        mix = genome.model_mix
+        while mix == genome.model_mix:
+            mix = _random_mix(rng)
+        fields["model_mix"] = mix
+    elif gene == 5:
+        fields["coalesce_reads"] = not genome.coalesce_reads
+    elif gene == 6:
+        fields["delay_ticks"] = _resample(rng, DELAY_TICKS, genome.delay_ticks)
+    elif gene == 7:
+        fields["carve_window"] = _resample(
+            rng, CARVE_WINDOWS, genome.carve_window
+        )
+    elif gene == 8:
+        fields["corruption"] = _resample(
+            rng, CORRUPTION_LEVELS, genome.corruption
+        )
+    else:
+        fields["seed"] = _resample(rng, CAMPAIGN_SEEDS, genome.seed)
+    return AttackGenome(**fields)
+
+
+def crossover(
+    first: AttackGenome, second: AttackGenome, rng: random.Random
+) -> AttackGenome:
+    """Uniform crossover: each gene inherited from a random parent.
+
+    Genes are independent pools, so any per-gene mix of two valid
+    parents is itself valid — no repair step needed.
+    """
+    left, right = genome_to_dict(first), genome_to_dict(second)
+    left["model_mix"] = first.model_mix
+    right["model_mix"] = second.model_mix
+    child = {
+        name: (left if rng.random() < 0.5 else right)[name] for name in left
+    }
+    return AttackGenome(**child)

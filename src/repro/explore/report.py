@@ -1,0 +1,263 @@
+"""Frontier reports — the explorer's citable, replayable artifact.
+
+Both exploration lanes end in a :class:`FrontierReport`: a ranked
+list of entries (elite attacker genomes, or defense-space points with
+their frontier flags) plus the parameters the run was a function of.
+``to_json`` is byte-deterministic — sorted keys, fixed indent,
+``allow_nan=False`` so a non-finite number is a bug at serialization
+time rather than a silently invalid artifact — which is what makes
+"same seed, same bytes" a testable promise and lets CI diff frontier
+artifacts across runs.
+
+:func:`export_elites` closes the loop with the fuzzlab: each elite
+genome is lowered to its scenario and saved through the corpus
+serializer, so a champion strategy becomes a regression seed that
+``repro fuzz replay`` holds to every oracle forever after.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.explore.evolve import EvolutionResult
+from repro.explore.genome import (
+    AttackGenome,
+    genome_from_dict,
+    genome_to_dict,
+)
+from repro.explore.pareto import DefensePoint, describe_axes
+from repro.fuzzlab.corpus import save_scenario
+
+FRONTIER_FORMAT = 1
+"""Artifact schema version; bumped on incompatible layout changes."""
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """One exploration run's ranked frontier, JSON round-trippable."""
+
+    mode: str
+    """``"attack"`` (evolved genomes) or ``"defenses"`` (Pareto)."""
+    seed: int
+    fitness: str
+    params: dict
+    generations: tuple[dict, ...]
+    """Per-generation stats for attack mode; empty for defenses."""
+    entries: tuple[dict, ...]
+    """Ranked rows, best first.  Attack rows carry ``score`` and the
+    full ``genome``; defense rows carry objectives, axis values, and
+    the ``on_front`` flag."""
+
+    def to_json(self) -> str:
+        payload = {
+            "format": FRONTIER_FORMAT,
+            "mode": self.mode,
+            "seed": self.seed,
+            "fitness": self.fitness,
+            "params": self.params,
+            "generations": list(self.generations),
+            "entries": list(self.entries),
+        }
+        return json.dumps(
+            payload, indent=2, sort_keys=True, allow_nan=False
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FrontierReport":
+        payload = json.loads(text)
+        version = payload.get("format")
+        if version != FRONTIER_FORMAT:
+            raise ValueError(
+                f"unsupported frontier format {version!r} "
+                f"(expected {FRONTIER_FORMAT})"
+            )
+        return cls(
+            mode=payload["mode"],
+            seed=payload["seed"],
+            fitness=payload["fitness"],
+            params=payload["params"],
+            generations=tuple(payload["generations"]),
+            entries=tuple(payload["entries"]),
+        )
+
+    def elite_genomes(self) -> tuple[AttackGenome, ...]:
+        """Rehydrated genomes, attack mode only (ranked order)."""
+        if self.mode != "attack":
+            raise ValueError(
+                f"elite genomes exist only for attack reports, "
+                f"not {self.mode!r}"
+            )
+        return tuple(
+            genome_from_dict(entry["genome"]) for entry in self.entries
+        )
+
+    def render(self) -> str:
+        """Plain-text ranking for terminal output."""
+        lines = [
+            f"frontier: mode={self.mode} seed={self.seed} "
+            f"fitness={self.fitness}"
+        ]
+        for entry in self.entries:
+            if self.mode == "attack":
+                lines.append(
+                    f"  #{entry['rank']:>2} score={entry['score']:<12g} "
+                    f"{entry['label']}"
+                )
+            else:
+                marker = "*" if entry["on_front"] else " "
+                lines.append(
+                    f"  {marker} #{entry['rank']:>2} "
+                    f"leak={entry['leakage_bytes']:<8} "
+                    f"overhead={entry['overhead']:<6} "
+                    f"{entry['name']}"
+                )
+        if self.mode == "defenses":
+            lines.append("  (* = on the non-dominated frontier)")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown table for docs and CI artifacts."""
+        if self.mode == "attack":
+            lines = [
+                f"## Attack frontier (seed {self.seed}, "
+                f"fitness `{self.fitness}`)",
+                "",
+                "| rank | score | strategy |",
+                "| ---: | ---: | --- |",
+            ]
+            lines += [
+                f"| {entry['rank']} | {entry['score']:g} "
+                f"| `{entry['label']}` |"
+                for entry in self.entries
+            ]
+        else:
+            lines = [
+                f"## Defense Pareto sweep (seed {self.seed})",
+                "",
+                "| rank | front | leakage (B) | overhead | config |",
+                "| ---: | :---: | ---: | ---: | --- |",
+            ]
+            lines += [
+                f"| {entry['rank']} "
+                f"| {'yes' if entry['on_front'] else ''} "
+                f"| {entry['leakage_bytes']} | {entry['overhead']} "
+                f"| `{entry['name']}` |"
+                for entry in self.entries
+            ]
+        return "\n".join(lines) + "\n"
+
+
+def attack_report(
+    results: dict[str, EvolutionResult], seed: int, params: dict
+) -> FrontierReport:
+    """Merge per-profile evolution results into one ranked report.
+
+    Entries from every swept defense profile compete in one ranking
+    (score descending, then profile name and genome key for a total
+    order), so the report's top row is the strongest strategy found
+    anywhere in the sweep.
+    """
+    rows = []
+    fitness = ""
+    generations: list[dict] = []
+    for profile_name in sorted(results):
+        result = results[profile_name]
+        fitness = result.config.fitness
+        generations += [
+            {
+                "profile": profile_name,
+                "generation": s.generation,
+                "best": s.best,
+                "mean": s.mean,
+                "evaluations": s.evaluations,
+            }
+            for s in result.stats
+        ]
+        rows += [
+            {
+                "profile": profile_name,
+                "score": score,
+                "label": genome.label(),
+                "genome": genome_to_dict(genome),
+            }
+            for score, genome in result.frontier
+        ]
+    rows.sort(
+        key=lambda row: (
+            -row["score"],
+            row["profile"],
+            tuple(genome_from_dict(row["genome"]).key()),
+        )
+    )
+    entries = tuple(
+        {**row, "rank": rank} for rank, row in enumerate(rows, start=1)
+    )
+    return FrontierReport(
+        mode="attack",
+        seed=seed,
+        fitness=fitness,
+        params=params,
+        generations=tuple(generations),
+        entries=entries,
+    )
+
+
+def defense_report(
+    points: tuple[DefensePoint, ...], seed: int, params: dict
+) -> FrontierReport:
+    """Wrap a defense-space sweep as a frontier report."""
+    entries = tuple(
+        {
+            "rank": rank,
+            "name": point.config.name,
+            "on_front": point.on_front,
+            "leakage_bytes": point.leakage_bytes,
+            "overhead": point.overhead,
+            "window_hit_rate": point.window_hit_rate,
+            "success_rate": point.success_rate,
+            "axes": describe_axes(point.config),
+        }
+        for rank, point in enumerate(points, start=1)
+    )
+    return FrontierReport(
+        mode="defenses",
+        seed=seed,
+        fitness="pareto",
+        params=params,
+        generations=(),
+        entries=entries,
+    )
+
+
+def export_elites(
+    report: FrontierReport, directory: str | Path, input_hw: int = 16
+) -> tuple[Path, ...]:
+    """Save each elite genome as a replayable fuzzlab corpus seed.
+
+    The scenario id is the frontier rank, so a corpus directory reads
+    in ranked order and re-exports are stable.  Returns the written
+    paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for entry, genome in zip(report.entries, report.elite_genomes()):
+        scenario = genome.to_scenario(
+            scenario_id=entry["rank"], input_hw=input_hw
+        )
+        path = directory / (
+            f"elite-{entry['rank']:02d}-{entry['profile']}.json"
+        )
+        save_scenario(
+            scenario,
+            path,
+            note=(
+                f"explore elite rank={entry['rank']} "
+                f"fitness={report.fitness} score={entry['score']:g} "
+                f"seed={report.seed} profile={entry['profile']}"
+            ),
+        )
+        paths.append(path)
+    return tuple(paths)

@@ -59,7 +59,9 @@ from repro.fuzzlab.runner import (
     PLANTED_FAULTS,
     FuzzReport,
     ScenarioVerdict,
+    WorldEval,
     build_world,
+    evaluate_world,
     plant_fault,
     run_fuzz,
     run_scenario,
@@ -84,8 +86,10 @@ __all__ = [
     "ShrinkResult",
     "Violation",
     "WORLD_INTEGRITY",
+    "WorldEval",
     "build_world",
     "check_world",
+    "evaluate_world",
     "iter_corpus",
     "load_scenario",
     "oracle_names",

@@ -75,11 +75,12 @@ from repro.defense.arena import ScrapeDelayHook
 from repro.defense.profiles import DefenseConfig, defense_profile
 from repro.errors import (
     CampaignInterrupted,
+    EmptyMetricError,
     FabricError,
     RetryExhaustedError,
 )
 from repro.utils.resilience import RetryPolicy
-from repro.evaluation.metrics import nonzero_bytes
+from repro.evaluation.metrics import nonzero_bytes, window_hit_rate
 from repro.fuzzlab.oracles import (
     WORLD_INTEGRITY,
     BackingArtifact,
@@ -131,6 +132,82 @@ def strengthen(profile: DefenseConfig) -> tuple[DefenseConfig, str]:
         )
         return stronger, axis
     return profile, axis
+
+
+@dataclass(frozen=True)
+class WorldEval:
+    """Deterministic measurements of one scenario under one profile.
+
+    The lightweight sibling of :func:`build_world`: a *single*
+    in-process campaign through the arena's teardown-delay hook, with
+    every wall-clock field deliberately absent — the explorer
+    (:mod:`repro.explore`) scores genomes on these numbers and promises
+    byte-identical frontiers per seed, so only fields
+    ``canonical_outcome`` would keep are summarized here.
+    """
+
+    profile: str
+    victims: int
+    success_rate: float
+    identification_rate: float
+    image_recovery_rate: float
+    window_hit_rate: float
+    residue_bytes: int
+    """Nonzero bytes recovered fleet-wide (the leakage axis)."""
+    bytes_scraped: int
+    frames_scrubbed_sync: int
+    frames_scrubbed_async: int
+    scrub_backlog: int
+
+
+def evaluate_world(
+    scenario: Scenario, defense: DefenseConfig | None = None
+) -> WorldEval:
+    """Run *scenario* once, in process, and measure what leaked.
+
+    The fitness-evaluation hook the explorer drives: reuses the
+    fuzzlab's offline-prep cache (:func:`_prepared`) and the defense
+    arena's :class:`ScrapeDelayHook`, but skips everything
+    :func:`build_world` builds for the oracles — no crash/resume
+    drill, no fabric, no spool re-reads.  *defense* overrides the
+    scenario's named profile with an explicit
+    :class:`~repro.defense.profiles.DefenseConfig` (how the Pareto
+    sweep walks configs that have no registry name).
+    """
+    spec = scenario.to_spec()
+    profiles, database = _prepared(spec)
+    profile = (
+        defense
+        if defense is not None
+        else defense_profile(scenario.defense_profile)
+    )
+    hook = ScrapeDelayHook(scenario.scrape_delay_ticks)
+    report = run_campaign(
+        spec,
+        profiles,
+        database,
+        kernel_config=profile.kernel_config(spec),
+        teardown_hook=hook,
+        executor="inprocess",
+    )
+    outcomes = report.outcomes
+    try:
+        hit_rate = window_hit_rate([o.residue_nbytes for o in outcomes])
+    except EmptyMetricError:
+        hit_rate = 0.0
+    return WorldEval(
+        profile=profile.name,
+        victims=report.victims,
+        success_rate=report.success_rate,
+        identification_rate=report.identification_rate,
+        image_recovery_rate=report.image_recovery_rate,
+        window_hit_rate=hit_rate,
+        residue_bytes=sum(o.residue_nbytes for o in outcomes),
+        bytes_scraped=sum(o.nbytes for o in outcomes),
+        frames_scrubbed_sync=sum(o.frames_scrubbed_sync for o in outcomes),
+        frames_scrubbed_async=hook.frames_scrubbed_async,
+        scrub_backlog=hook.scrub_backlog,
+    )
 
 
 FABRIC_LEASE_TTL = 30.0

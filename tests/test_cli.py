@@ -356,3 +356,87 @@ class TestFuzzCli:
     def test_replay_missing_seed_exits_2(self, tmp_path, capsys):
         assert main(["fuzz", "replay", str(tmp_path / "ghost.json")]) == 2
         assert "ghost.json" in capsys.readouterr().err
+
+
+class TestDefenseSweepDedupe:
+    """Duplicate --profiles entries are swept once, with a warning."""
+
+    ARGS = [
+        "defense", "sweep", "--boards", "1", "--victims", "1",
+        "--models", "resnet50_pt", "--input-hw", "16",
+        "--no-weight-theft",
+    ]
+
+    def test_duplicates_deduped_with_warning(self, capsys):
+        assert main(self.ARGS + ["--profiles", "none,none,zero_on_free"]) == 0
+        captured = capsys.readouterr()
+        assert "duplicate profile(s)" in captured.err
+        assert "none" in captured.err
+        # Each profile appears as exactly one matrix row.
+        assert captured.out.count("\nnone ") == 1
+
+    def test_unique_profiles_stay_silent(self, capsys):
+        assert main(self.ARGS + ["--profiles", "none,zero_on_free"]) == 0
+        assert "duplicate" not in capsys.readouterr().err
+
+
+class TestExploreCli:
+    """The ``repro explore`` lanes: frontiers, elites, exit codes."""
+
+    ATTACK = [
+        "explore", "attack", "--seed", "0", "--population", "3",
+        "--generations", "2", "--keep-elites", "1",
+    ]
+    DEFENSES = [
+        "explore", "defenses", "--boards", "1", "--victims", "2",
+        "--models", "resnet50_pt", "--input-hw", "16",
+        "--scrub-rates", "16",
+    ]
+
+    def test_attack_prints_ranked_frontier(self, capsys):
+        assert main(self.ATTACK) == 0
+        output = capsys.readouterr().out
+        assert "mode=attack" in output
+        assert "# 1" in output
+
+    def test_attack_run_twice_is_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        assert main(self.ATTACK + ["-o", str(first)]) == 0
+        assert main(self.ATTACK + ["-o", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_attack_rejects_bad_population(self, capsys):
+        assert main(self.ATTACK[:-2] + ["--population", "1"]) == 2
+        assert "population" in capsys.readouterr().err
+
+    def test_attack_rejects_unknown_profile(self, capsys):
+        assert main(self.ATTACK + ["--profiles", "tinfoil"]) == 2
+        assert "tinfoil" in capsys.readouterr().err
+
+    def test_attack_exports_replayable_elites(self, tmp_path, capsys):
+        elites = tmp_path / "elites"
+        assert main(self.ATTACK + ["--elites", str(elites)]) == 0
+        seeds = sorted(elites.glob("*.json"))
+        assert seeds
+        assert main(["fuzz", "replay", str(elites)]) == 0
+        assert "0 violating" in capsys.readouterr().out
+
+    def test_defenses_flags_pareto_frontier(self, tmp_path, capsys):
+        target = tmp_path / "front.json"
+        assert main(self.DEFENSES + ["-o", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "non-dominated frontier" in output
+        payload = json.loads(target.read_text())
+        assert payload["mode"] == "defenses"
+        assert any(entry["on_front"] for entry in payload["entries"])
+
+    def test_defenses_rejects_bad_scrub_rates(self, capsys):
+        assert (
+            main(self.DEFENSES[:-2] + ["--scrub-rates", "16,banana"]) == 2
+        )
+        assert "banana" in capsys.readouterr().err
+
+    def test_defenses_markdown_table(self, capsys):
+        assert main(self.DEFENSES + ["--markdown"]) == 0
+        assert "| rank |" in capsys.readouterr().out

@@ -254,6 +254,89 @@ class TestDefenseArena:
             run_defense_arena(SMALL, profiles=())
 
 
+class TestDegenerateRows:
+    """Zero-victim rows and non-finite rates stay explicit, not NaN."""
+
+    @staticmethod
+    def _row(**overrides) -> "DefenseRow":
+        from repro.defense import DefenseRow
+
+        fields = dict(
+            profile="none",
+            defenses="no countermeasures",
+            victims=0,
+            success_rate=0.0,
+            identification_rate=0.0,
+            image_recovery_rate=0.0,
+            residue_bytes=0,
+            bytes_scraped=0,
+            window_hit_rate=0.0,
+            weight_theft_match=None,
+            teardown_seconds=0.0,
+            frames_scrubbed_sync=0,
+            frames_scrubbed_async=0,
+            scrub_backlog=0,
+        )
+        fields.update(overrides)
+        return DefenseRow(wall_seconds=0.0, **fields)
+
+    def test_zero_victim_summarize_run_defines_every_rate(self):
+        from repro.campaign.report import CampaignReport
+        from repro.defense import ScrapeDelayHook, defense_profile
+        from repro.defense.arena import summarize_run
+
+        report = CampaignReport(spec=SMALL, outcomes=[], wall_seconds=0.0)
+        row = summarize_run(
+            defense_profile("none"), report, ScrapeDelayHook(0), None
+        )
+        assert row.victims == 0
+        assert row.window_hit_rate == 0.0
+        assert row.success_rate == 0.0
+        assert row.residue_fraction == 0.0
+
+    def test_non_finite_rates_survive_json_round_trip(self):
+        matrix = DefenseMatrix(
+            spec=SMALL,
+            scrape_delay_ticks=2,
+            rows=[
+                self._row(
+                    window_hit_rate=float("nan"),
+                    weight_theft_match=float("inf"),
+                    teardown_seconds=float("-inf"),
+                )
+            ],
+        )
+        text = matrix.to_json()
+        # Valid JSON all the way: no bare NaN/Infinity tokens (which
+        # only Python's own parser would accept back).
+        import json
+        import math
+
+        json.loads(text)
+        assert "NaN" not in text.replace('"NaN"', "")
+        rebuilt = DefenseMatrix.from_json(text)
+        row = rebuilt.rows[0]
+        assert math.isnan(row.window_hit_rate)
+        assert row.weight_theft_match == float("inf")
+        assert row.teardown_seconds == float("-inf")
+
+    def test_non_finite_rates_render_as_absent(self):
+        matrix = DefenseMatrix(
+            spec=SMALL,
+            scrape_delay_ticks=2,
+            rows=[
+                self._row(
+                    window_hit_rate=float("nan"),
+                    teardown_seconds=float("inf"),
+                )
+            ],
+        )
+        for rendered in (matrix.render(), matrix.render_markdown()):
+            assert "nan" not in rendered.lower()
+            assert "inf" not in rendered.lower()
+            assert "-" in rendered
+
+
 class TestScrubPoolWindow:
     def test_leakage_shrinks_monotonically_with_scrub_rate(self):
         spec = CampaignSpec(

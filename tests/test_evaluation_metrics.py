@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro.errors import EmptyMetricError, MetricsError, ReproError
 from repro.evaluation.metrics import (
     byte_recovery_rate,
     identification_accuracy,
     image_fidelity,
     residue_survival,
+    window_hit_rate,
 )
 from repro.mmu.frame_alloc import FrameAllocator
 from repro.vitis.image import Image
@@ -80,3 +82,31 @@ class TestResidueSurvival:
         allocator = FrameAllocator(total_frames=16)
         with pytest.raises(ValueError):
             residue_survival(allocator, [])
+
+
+class TestEmptyMetricError:
+    """Empty samples raise the typed error, not a bare ValueError."""
+
+    def test_window_hit_rate_empty_raises_typed_error(self):
+        with pytest.raises(EmptyMetricError) as excinfo:
+            window_hit_rate([])
+        assert excinfo.value.metric == "window_hit_rate"
+        assert excinfo.value.what == "residue_counts"
+        assert "undefined" in str(excinfo.value)
+
+    def test_residue_survival_empty_raises_typed_error(self):
+        allocator = FrameAllocator(total_frames=16)
+        with pytest.raises(EmptyMetricError) as excinfo:
+            residue_survival(allocator, [])
+        assert excinfo.value.metric == "residue_survival"
+
+    def test_typed_error_is_still_a_value_error(self):
+        # Pre-existing `except ValueError` call sites must keep
+        # working; the typed error is a refinement, not a break.
+        error = EmptyMetricError("window_hit_rate", "residue_counts")
+        assert isinstance(error, ValueError)
+        assert isinstance(error, MetricsError)
+        assert isinstance(error, ReproError)
+
+    def test_nonempty_sample_still_defined(self):
+        assert window_hit_rate([0, 64, 0]) == pytest.approx(1 / 3)

@@ -18,9 +18,10 @@ plus a multi-model signature database, then:
    end-to-end fleet campaign — in-process and multiprocess twins on
    the same 4-board spec, plus a ``campaign_fabric`` lane serving the
    spec through the distributed coordinator to racing localhost
-   workers — and writes the results to
-   ``BENCH_analysis.json`` so the perf trajectory is committed and
-   comparable PR-over-PR.
+   workers, and an ``explore`` lane timing a bounded evolutionary
+   search (generations/s through the real campaign engine) — and
+   writes the results to ``BENCH_analysis.json`` so the perf
+   trajectory is committed and comparable PR-over-PR.
 
 Exit status: 0 = verified and recorded, 2 = a fast path diverged from
 its reference or the multiprocess executor regressed below the
@@ -401,6 +402,23 @@ def main() -> int:
             fabric_walls.append(time.perf_counter() - started)
     fabric_wall = statistics.median(fabric_walls)
 
+    # The explore lane: a bounded evolution through the real campaign
+    # engine, recorded as generations/s.  One warm run first so the
+    # fuzzlab's offline-prep cache is populated and the timed run
+    # prices the search itself, not one-time profiling.  Trajectory
+    # only, never gated — search throughput tracks campaign cost, and
+    # the campaign lanes above already gate that.
+    from repro.explore import EvolutionConfig, evolve
+
+    explore_config = EvolutionConfig(
+        seed=SEED % 1009, population=4, generations=3,
+        elites=1, fitness="residue", profile="none", input_hw=16,
+    )
+    evolve(explore_config)  # warm the prep cache
+    started = time.perf_counter()
+    explore_result = evolve(explore_config)
+    explore_wall = time.perf_counter() - started
+
     def lane(fast: float, reference: float, lane_mib: float = mib) -> dict:
         return {
             "fast_seconds": round(fast, 6),
@@ -466,6 +484,17 @@ def main() -> int:
             ),
             "ratio_vs_inprocess": round(campaign_wall / fabric_wall, 2),
         },
+        "explore": {
+            "population": explore_config.population,
+            "generations": explore_config.generations,
+            "wall_seconds": round(explore_wall, 3),
+            "generations_per_second": round(
+                explore_config.generations / explore_wall, 3
+            ),
+            "evaluations": explore_result.evaluations,
+            "cache_hits": explore_result.cache_hits,
+            "best_score": explore_result.best[0],
+        },
     }
     spool_dir.cleanup()
     mp_speedup = payload["campaign_multiprocess"]["speedup_vs_inprocess"]
@@ -495,6 +524,9 @@ def main() -> int:
           f"{payload['campaign_fabric']['victims_per_second']} victims/s "
           f"({payload['campaign_fabric']['ratio_vs_inprocess']}x vs "
           f"in-process)")
+    print(f"explore  : {payload['explore']['generations_per_second']} "
+          f"generations/s ({payload['explore']['evaluations']} campaign "
+          f"evaluations)")
     print(f"wrote {args.output}")
     return 0
 

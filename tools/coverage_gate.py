@@ -3,7 +3,7 @@
 
 Runs the gated test modules under coverage measurement and fails when
 any gated package's aggregate coverage drops below :data:`FLOOR`
-percent.  Three packages are gated:
+percent.  Four packages are gated:
 
 - ``repro.fuzzlab`` — the fuzz harness is the machinery that vouches
   for everything else, so it does not get to rot quietly;
@@ -12,7 +12,10 @@ percent.  Three packages are gated:
 - ``repro.service`` — the ingest daemon's admission-control and
   drain paths mostly matter under rare conditions (quota refusals,
   full queues, SIGTERM mid-job), exactly the code a green happy-path
-  suite can quietly stop exercising.
+  suite can quietly stop exercising;
+- ``repro.explore`` — the frontier reports it emits are cited as
+  ground truth by the docs, and its byte-determinism promise is
+  exactly the kind of property that silently erodes without tests.
 
 Two measurement backends, picked automatically:
 
@@ -43,6 +46,7 @@ PACKAGES: dict[str, Path] = {
     "repro.fuzzlab": SRC_ROOT / "repro" / "fuzzlab",
     "repro.analysis": SRC_ROOT / "repro" / "analysis",
     "repro.service": SRC_ROOT / "repro" / "service",
+    "repro.explore": SRC_ROOT / "repro" / "explore",
 }
 
 TEST_TARGETS = (
@@ -50,6 +54,7 @@ TEST_TARGETS = (
     "tests/test_analysis_scan.py",
     "tests/test_zero_copy.py",
     "tests/test_service.py",
+    "tests/test_explore.py",
 )
 
 FLOOR = 80.0
